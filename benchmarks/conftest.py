@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+All experiment benchmarks share one :class:`ExperimentConfig` (and its
+dataset cache), so each core's test-case corpus is simulated once per
+benchmark session; the budgets scale with ``REPRO_SCALE`` like the
+experiment CLI.
+"""
+
+import os
+
+import pytest
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.experiments.config import ExperimentConfig
+
+
+def _bench_scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture(scope="session")
+def bench_config(tmp_path_factory):
+    """Benchmark-sized experiment configuration with a shared cache."""
+    results_dir = str(tmp_path_factory.mktemp("bench-results"))
+    return ExperimentConfig(
+        scale=_bench_scale(),
+        synthesis_test_cases=1500,
+        evaluation_test_cases=4000,
+        cva6_synthesis_test_cases=1000,
+        results_dir=results_dir,
+    )
+
+
+@pytest.fixture(scope="session")
+def template():
+    return build_riscv_template()

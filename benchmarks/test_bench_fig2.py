@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 2 (precision vs synthesis-set size,
+per template refinement) and assert its shape."""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_bench_fig2_precision_curves(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_fig2, args=(bench_config,), rounds=1, iterations=1
+    )
+
+    # One curve per cumulative template refinement, base first.
+    labels = [series.label for series in result.series]
+    assert labels == [
+        "IL+RL+ML",
+        "IL+RL+ML+AL",
+        "IL+RL+ML+AL+BL",
+        "IL+RL+ML+AL+BL+DL",
+    ]
+
+    print("\n" + result.render())
+    finals = {
+        series.label: series.points[-1][1] for series in result.series
+    }
+    for label, value in finals.items():
+        print("final precision %-22s %s"
+              % (label, "n/a" if value is None else "%.3f" % value))
+
+    # Paper shape: the refined templates improve precision, and the
+    # full template (with DL) gives the largest gain.
+    assert finals["IL+RL+ML+AL+BL+DL"] is not None
+    assert finals["IL+RL+ML"] is not None
+    assert finals["IL+RL+ML+AL+BL+DL"] >= finals["IL+RL+ML+AL+BL"]
+    assert finals["IL+RL+ML+AL+BL+DL"] > finals["IL+RL+ML"]

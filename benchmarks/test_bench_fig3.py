@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 3 (sensitivity vs synthesis-set size,
+logarithmic x-axis) and assert its shape."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3_sensitivity_curve(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_fig3, args=(bench_config,), rounds=1, iterations=1
+    )
+
+    print("\n" + result.render())
+
+    values = [y for _x, y in result.series.points if y is not None]
+    assert values
+    # Paper shape: rapid initial rise, then saturation toward 1
+    # (99.93% at the paper's 2M-case budget).
+    assert result.final_sensitivity >= 0.75
+    assert values[0] < 0.5 * result.final_sensitivity
+    # Saturation: the last two prefix points are close to each other.
+    if len(values) >= 2:
+        assert abs(values[-1] - values[-2]) < 0.15

@@ -1,0 +1,111 @@
+"""Micro-benchmarks of the toolchain's hot paths.
+
+These are conventional pytest-benchmark measurements (many rounds) of
+the per-component costs that dominate the end-to-end experiments:
+core simulation, atom extraction, test-case generation, and template
+construction.
+"""
+
+import random
+
+import pytest
+
+from repro.contracts.observations import distinguishing_atoms
+from repro.contracts.riscv_template import build_riscv_template
+from repro.isa.assembler import assemble
+from repro.isa.executor import execute_program
+from repro.isa.state import ArchState
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.cva6 import CVA6Core
+from repro.uarch.ibex import IbexCore
+
+_PROGRAM = """
+    addi x1, x0, 0x102
+    lw   x2, 0(x1)
+    sw   x1, 2(x1)
+    slli x3, x1, 9
+    mul  x4, x3, x1
+    div  x5, x4, x1
+    beq  x5, x5, 4
+    add  x6, x5, x4
+    sub  x7, x6, x3
+    and  x8, x7, x1
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(_PROGRAM)
+
+
+@pytest.fixture(scope="module")
+def test_case(template):
+    generator = TestCaseGenerator(template, seed=1)
+    return generator.generate(1)[0]
+
+
+def test_bench_isa_executor(benchmark, program):
+    def run():
+        state = ArchState(pc=program.base_address)
+        return execute_program(program, state)
+
+    records = benchmark(run)
+    assert len(records) == 10
+
+
+def test_bench_ibex_simulation(benchmark, program):
+    core = IbexCore()
+    result = benchmark(core.simulate, program)
+    assert result.retired_instructions == 10
+
+
+def test_bench_cva6_simulation(benchmark, program):
+    core = CVA6Core()
+    result = benchmark(core.simulate, program)
+    assert result.retired_instructions == 10
+
+
+def test_bench_atom_extraction(benchmark, template, test_case):
+    records_a = execute_program(
+        test_case.program_a, test_case.initial_state.copy()
+    )
+    records_b = execute_program(
+        test_case.program_b, test_case.initial_state.copy()
+    )
+    atoms = benchmark(distinguishing_atoms, template, records_a, records_b)
+    assert isinstance(atoms, frozenset)
+
+
+def test_bench_test_case_generation(benchmark, template):
+    generator = TestCaseGenerator(template, seed=9)
+    counter = [0]
+
+    def generate():
+        counter[0] += 1
+        return generator.generate(10, start_id=counter[0] * 10)
+
+    cases = benchmark(generate)
+    assert len(cases) == 10
+
+
+def test_bench_template_construction(benchmark):
+    template = benchmark(build_riscv_template)
+    assert len(template) == 892
+
+
+def test_bench_end_to_end_test_case(benchmark, template):
+    """One full test-case evaluation (2 simulations + extraction)."""
+    from repro.evaluation.evaluator import TestCaseEvaluator
+
+    generator = TestCaseGenerator(template, seed=17)
+    evaluator = TestCaseEvaluator(IbexCore(), template)
+    rng = random.Random(0)
+    atoms = list(template)
+
+    def evaluate_one():
+        atom = atoms[rng.randrange(len(atoms))]
+        case = generator.generate_for_atom(atom, 0, rng)
+        return evaluator.evaluate(case)
+
+    result = benchmark(evaluate_one)
+    assert result is not None

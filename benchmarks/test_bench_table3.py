@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table III (toolchain runtime breakdown) and
+check the paper's qualitative shape (CVA6 ≫ Ibex in simulation)."""
+
+from repro.experiments.table3 import run_table3
+
+
+def test_bench_table3_runtime(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_table3,
+        args=(bench_config,),
+        kwargs={"test_cases": max(200, bench_config.synthesis_test_cases // 5)},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + result.render())
+
+    ibex = result.column("ibex")
+    cva6 = result.column("cva6")
+    # The paper's Table III shape: per-test-case simulation on CVA6
+    # costs much more than on Ibex (0.2 s vs 88 s there), while
+    # contract computation is comparable between the cores.
+    assert cva6.simulation_per_test_case > ibex.simulation_per_test_case
+    for timing in (ibex, cva6):
+        assert timing.compilation_seconds >= 0
+        assert timing.extraction_per_test_case > 0
+        assert timing.overall_seconds >= (
+            timing.contract_computation_seconds
+        )

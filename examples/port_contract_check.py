@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Port a contract between cores and check whether it still holds.
+
+Workflow a hardware vendor would follow: synthesize a contract for one
+core, ship it as JSON, and validate it against another implementation
+of the same ISA with the testing-based satisfaction checker
+(`repro.verification`).  Leakage is microarchitectural, so a contract
+for the Ibex-like core generally does *not* transfer to the CVA6-like
+core — the checker finds concrete witnesses (e.g. CVA6's zero-operand
+multiplier fast path, which Ibex does not have).
+"""
+
+import sys
+import tempfile
+import os
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.serialization import (
+    diff_contracts,
+    load_contract,
+    save_contract,
+)
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.synthesis.synthesizer import synthesize
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.cva6 import CVA6Core
+from repro.uarch.ibex import IbexCore
+from repro.verification.checker import check_contract_satisfaction
+
+
+def synthesize_contract(core, template, count, seed=21):
+    generator = TestCaseGenerator(template, seed=seed)
+    evaluator = TestCaseEvaluator(core, template)
+    dataset = evaluator.evaluate_many(generator.iter_generate(count))
+    return synthesize(dataset, template).contract
+
+
+def main() -> int:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    template = build_riscv_template()
+
+    print("synthesizing a contract for ibex (%d test cases) ..." % count)
+    ibex_contract = synthesize_contract(IbexCore(), template, count)
+
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-port-"), "ibex.json")
+    save_contract(ibex_contract, path, metadata={"core": "ibex"})
+    print("saved %d atoms to %s" % (len(ibex_contract), path))
+
+    restored = load_contract(path, build_riscv_template())
+    print("reloaded contract: %d atoms" % len(restored))
+
+    print("\nchecking the ibex contract against ibex itself ...")
+    self_report = check_contract_satisfaction(
+        restored, IbexCore(), test_cases=count, seed=500
+    )
+    print(self_report.render())
+
+    print("\nchecking the ibex contract against cva6 ...")
+    ported_report = check_contract_satisfaction(
+        restored, CVA6Core(), test_cases=count, seed=500
+    )
+    print(ported_report.render())
+
+    if not ported_report.satisfied:
+        print("\nas expected: leakage contracts are per-microarchitecture.")
+        print("synthesizing a native cva6 contract and diffing:")
+        cva6_contract = synthesize_contract(CVA6Core(), template, count)
+        print(diff_contracts(restored, cva6_contract).render("ibex", "cva6"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Precision and sensitivity curves (Figures 2 and 3) at example scale.
+
+Evaluates one synthesis corpus and one held-out corpus on the Ibex-like
+core, then sweeps the synthesis-set size for all four cumulative
+template refinements (Fig. 2) and plots the full-template sensitivity
+curve (Fig. 3).  Use ``REPRO_SCALE`` or the CLI for larger budgets.
+"""
+
+import sys
+import tempfile
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    config = ExperimentConfig(
+        scale=scale, results_dir=tempfile.mkdtemp(prefix="repro-curves-")
+    )
+    print(
+        "synthesis budget: %d test cases, evaluation budget: %d\n"
+        % (config.synthesis_test_cases, config.evaluation_test_cases)
+    )
+
+    fig2 = run_fig2(config)
+    print(fig2.render())
+    print()
+    for series in fig2.series:
+        final = series.points[-1][1]
+        print("  final precision %-22s %s"
+              % (series.label, "n/a" if final is None else "%.3f" % final))
+
+    print()
+    fig3 = run_fig3(config)
+    print(fig3.render())
+    print("\nCSV outputs in %s/" % config.results_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""repro — leakage-contract synthesis for RISC-V processor models.
+
+A reproduction of "Synthesizing Hardware-Software Leakage Contracts for
+RISC-V Open-Source Processors" (Mohr, Guarnieri, Reineke; DATE 2024).
+
+The package is organized bottom-up:
+
+- :mod:`repro.isa` — RV32IM instruction set: encoding, assembly,
+  architectural state, and the instruction-granular executor.
+- :mod:`repro.uarch` — cycle-accurate in-order core models (Ibex-like
+  and CVA6-like) exposing the RISC-V Formal Interface (RVFI).
+- :mod:`repro.attacker` — microarchitectural attacker models.
+- :mod:`repro.contracts` — contract atoms, templates, and the RISC-V
+  contract template of the paper (IL/RL/ML/AL/BL/DL families).
+- :mod:`repro.testgen` — atom-targeted test-case generation.
+- :mod:`repro.evaluation` — attacker distinguishability and
+  distinguishing-atom extraction.
+- :mod:`repro.synthesis` — ILP-based contract synthesis, metrics, and
+  the refinement ranking.
+- :mod:`repro.vcd`, :mod:`repro.reporting`, :mod:`repro.experiments` —
+  waveforms, tables/figures, and the paper's experiment drivers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

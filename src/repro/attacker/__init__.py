@@ -1,0 +1,18 @@
+"""Microarchitectural attacker models (§II-C, §IV-C).
+
+An attacker maps a microarchitectural execution to an observation;
+two executions are attacker distinguishable iff their observations
+differ.  The paper's evaluation uses the retirement-timing attacker;
+the cache-state attacker is provided for extension experiments.
+"""
+
+from repro.attacker.base import Attacker
+from repro.attacker.retirement import RetirementTimingAttacker, TotalTimeAttacker
+from repro.attacker.cache_state import CacheStateAttacker
+
+__all__ = [
+    "Attacker",
+    "CacheStateAttacker",
+    "RetirementTimingAttacker",
+    "TotalTimeAttacker",
+]

@@ -1,0 +1,26 @@
+"""Attacker interface."""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.uarch.core import SimulationResult
+
+
+class Attacker:
+    """Maps microarchitectural executions to attacker observations.
+
+    The paper's ``µATK : IMPLSTATE → ATKOBS`` lifted to whole
+    executions: ``observe`` consumes a finished simulation and returns
+    a hashable observation.
+    """
+
+    #: Short identifier used in reports.
+    name = "abstract"
+
+    def observe(self, result: SimulationResult) -> Hashable:
+        raise NotImplementedError
+
+    def distinguishes(self, a: SimulationResult, b: SimulationResult) -> bool:
+        """Whether the two executions are attacker distinguishable."""
+        return self.observe(a) != self.observe(b)

@@ -1,0 +1,28 @@
+"""Final-cache-state attacker (Flush+Reload-style observation).
+
+Neither analyzed core configuration carries a data cache, so this
+attacker observes an empty state there; it becomes meaningful for
+cores extended with :class:`~repro.uarch.components.cache.DirectMappedCache`
+which publish their final tag array through
+``SimulationResult.uarch_state``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.attacker.base import Attacker
+from repro.uarch.core import SimulationResult
+
+
+class CacheStateAttacker(Attacker):
+    """Observes the final contents (tag array) of the data cache."""
+
+    name = "cache-state"
+
+    def __init__(self, state_key: str = "dcache_tags"):
+        self.state_key = state_key
+
+    def observe(self, result: SimulationResult) -> Hashable:
+        state = getattr(result, "uarch_state", None) or {}
+        return state.get(self.state_key, ())

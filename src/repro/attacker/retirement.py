@@ -1,0 +1,34 @@
+"""Timing attackers.
+
+The paper's attacker model (§IV-C) observes the cycle at which each
+instruction retires, extracted from the RVFI.  The weaker
+:class:`TotalTimeAttacker` sees only the end-to-end execution time;
+it is used in ablation benchmarks to show how the attacker model
+changes the synthesized contract.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.attacker.base import Attacker
+from repro.uarch.core import SimulationResult
+
+
+class RetirementTimingAttacker(Attacker):
+    """Observes the timing of instruction retirements at cycle
+    granularity (Tsunoo-style trace attacker)."""
+
+    name = "retirement-timing"
+
+    def observe(self, result: SimulationResult) -> Hashable:
+        return result.trace.retirement_cycles
+
+
+class TotalTimeAttacker(Attacker):
+    """Observes only the total execution time in cycles."""
+
+    name = "total-time"
+
+    def observe(self, result: SimulationResult) -> Hashable:
+        return result.trace.total_cycles

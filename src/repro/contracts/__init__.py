@@ -1,0 +1,32 @@
+"""Leakage contracts: atoms, templates, and observation traces.
+
+Implements §III-A of the paper: a contract atom is a triple
+``(π, τ, φ)`` of an applicability predicate, a leakage-source
+identifier, and an observation function; a contract template is a set
+of atoms; and any subset of the template is a candidate contract.
+"""
+
+from repro.contracts.atoms import ContractAtom, LeakageFamily
+from repro.contracts.template import Contract, ContractTemplate
+from repro.contracts.observations import (
+    atom_observation_trace,
+    contract_observation_trace,
+    distinguishing_atoms,
+)
+from repro.contracts.riscv_template import (
+    BASE_FAMILIES,
+    FULL_FAMILIES,
+    build_riscv_template,
+)
+
+__all__ = [
+    "BASE_FAMILIES",
+    "Contract",
+    "ContractAtom",
+    "ContractTemplate",
+    "FULL_FAMILIES",
+    "LeakageFamily",
+    "atom_observation_trace",
+    "build_riscv_template",
+    "distinguishing_atoms",
+]

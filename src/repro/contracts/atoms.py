@@ -1,0 +1,221 @@
+"""Contract atoms: the building blocks of leakage contracts (§III-A).
+
+A contract atom is a triple ``(π, τ, φ)``:
+
+- ``π`` decides whether the atom is applicable in an architectural
+  state.  Following the paper's RISC-V instantiation (§IV-A), ``π``
+  tests the *type* (opcode) of the instruction about to execute.
+- ``τ`` identifies the leakage source (e.g. ``REG_RS2``).  Atoms of
+  different instruction types may share the same source.
+- ``φ`` extracts the observation from the architectural state.  Here
+  ``φ`` operates on the :class:`~repro.isa.executor.ExecRecord` of the
+  retiring instruction, which packages exactly the architectural facts
+  the paper extracts from the RVFI (§IV-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional
+
+from repro.isa.executor import ExecRecord
+from repro.isa.instructions import Opcode
+
+
+class LeakageFamily(enum.Enum):
+    """The atom families of the paper's RISC-V template (§IV-A)."""
+
+    IL = "instruction"
+    RL = "register"
+    ML = "memory"
+    AL = "alignment"
+    BL = "branch"
+    DL = "data-dependency"
+
+    def __lt__(self, other: "LeakageFamily") -> bool:
+        order = list(type(self))
+        return order.index(self) < order.index(other)
+
+
+#: Observation functions map a retirement record to a hashable value.
+ObservationFunction = Callable[[ExecRecord], Hashable]
+
+
+def _observe_op(record: ExecRecord) -> Hashable:
+    return record.opcode.value
+
+
+def _observe_rd(record: ExecRecord) -> Hashable:
+    return record.instruction.rd
+
+
+def _observe_rs1(record: ExecRecord) -> Hashable:
+    return record.instruction.rs1
+
+
+def _observe_rs2(record: ExecRecord) -> Hashable:
+    return record.instruction.rs2
+
+
+def _observe_imm(record: ExecRecord) -> Hashable:
+    return record.instruction.imm
+
+
+def _observe_reg_rs1(record: ExecRecord) -> Hashable:
+    return record.rs1_value
+
+
+def _observe_reg_rs2(record: ExecRecord) -> Hashable:
+    return record.rs2_value
+
+
+def _observe_reg_rd(record: ExecRecord) -> Hashable:
+    return record.rd_value
+
+
+def _observe_mem_r_addr(record: ExecRecord) -> Hashable:
+    return record.mem_read_addr
+
+
+def _observe_mem_r_data(record: ExecRecord) -> Hashable:
+    return record.mem_read_data
+
+
+def _observe_mem_w_addr(record: ExecRecord) -> Hashable:
+    return record.mem_write_addr
+
+
+def _observe_mem_w_data(record: ExecRecord) -> Hashable:
+    return record.mem_write_data
+
+
+def _observe_is_word_aligned(record: ExecRecord) -> Hashable:
+    address = record.memory_address
+    return address is not None and (address & 0x3) == 0
+
+
+def _observe_is_half_aligned(record: ExecRecord) -> Hashable:
+    address = record.memory_address
+    return address is not None and (address & 0x3) != 0x3
+
+
+def _observe_is_zero_rs1(record: ExecRecord) -> Hashable:
+    return record.rs1_value == 0
+
+
+def _observe_is_zero_rs2(record: ExecRecord) -> Hashable:
+    return record.rs2_value == 0
+
+
+def _observe_branch_taken(record: ExecRecord) -> Hashable:
+    return record.branch_taken
+
+
+def _observe_new_pc(record: ExecRecord) -> Hashable:
+    return record.next_pc
+
+
+def _make_dependency_observer(attribute: str, distance: int) -> ObservationFunction:
+    def observe(record: ExecRecord) -> Hashable:
+        value: Optional[int] = getattr(record, attribute)
+        return value is not None and value <= distance
+
+    return observe
+
+
+#: Leakage source identifier -> observation function, for the
+#: distance-independent sources.
+SIMPLE_SOURCES = {
+    "OP": (_observe_op, LeakageFamily.IL),
+    "RD": (_observe_rd, LeakageFamily.IL),
+    "RS1": (_observe_rs1, LeakageFamily.IL),
+    "RS2": (_observe_rs2, LeakageFamily.IL),
+    "IMM": (_observe_imm, LeakageFamily.IL),
+    "REG_RS1": (_observe_reg_rs1, LeakageFamily.RL),
+    "REG_RS2": (_observe_reg_rs2, LeakageFamily.RL),
+    "REG_RD": (_observe_reg_rd, LeakageFamily.RL),
+    # Refinement atoms (§III-E): operand-zero predicates.  Coarser
+    # than REG_RS*, they capture clock-gating fast paths (e.g. a
+    # zero-skip multiplier) with far fewer false positives.
+    "IS_ZERO_RS1": (_observe_is_zero_rs1, LeakageFamily.RL),
+    "IS_ZERO_RS2": (_observe_is_zero_rs2, LeakageFamily.RL),
+    "MEM_R_ADDR": (_observe_mem_r_addr, LeakageFamily.ML),
+    "MEM_R_DATA": (_observe_mem_r_data, LeakageFamily.ML),
+    "MEM_W_ADDR": (_observe_mem_w_addr, LeakageFamily.ML),
+    "MEM_W_DATA": (_observe_mem_w_data, LeakageFamily.ML),
+    "IS_WORD_ALIGNED": (_observe_is_word_aligned, LeakageFamily.AL),
+    "IS_HALF_ALIGNED": (_observe_is_half_aligned, LeakageFamily.AL),
+    "BRANCH_TAKEN": (_observe_branch_taken, LeakageFamily.BL),
+    "NEW_PC": (_observe_new_pc, LeakageFamily.BL),
+}
+
+#: Dependency-source prefixes -> the ExecRecord attribute they test.
+DEPENDENCY_SOURCES = {
+    "RAW_RS1": "raw_rs1_dist",
+    "RAW_RS2": "raw_rs2_dist",
+    "RAW_RD": "war_rd_dist",
+    "WAW": "waw_dist",
+}
+
+
+def make_observation_function(source: str) -> ObservationFunction:
+    """Build ``φ`` for a leakage-source identifier.
+
+    Dependency sources are written ``PREFIX_n`` (e.g. ``RAW_RS1_2``)
+    and observe whether the dependency exists within distance ``n``.
+    """
+    if source in SIMPLE_SOURCES:
+        return SIMPLE_SOURCES[source][0]
+    prefix, _, suffix = source.rpartition("_")
+    if prefix in DEPENDENCY_SOURCES and suffix.isdigit():
+        return _make_dependency_observer(DEPENDENCY_SOURCES[prefix], int(suffix))
+    raise ValueError("unknown leakage source: %r" % (source,))
+
+
+def family_of_source(source: str) -> LeakageFamily:
+    """The leakage family a source identifier belongs to."""
+    if source in SIMPLE_SOURCES:
+        return SIMPLE_SOURCES[source][1]
+    prefix = source.rpartition("_")[0]
+    if prefix in DEPENDENCY_SOURCES:
+        return LeakageFamily.DL
+    raise ValueError("unknown leakage source: %r" % (source,))
+
+
+@dataclass(frozen=True)
+class ContractAtom:
+    """One contract atom ``(π, τ, φ)`` specialized to an opcode.
+
+    ``atom_id`` is the atom's index within its template; it is what
+    evaluation results and the ILP refer to.
+    """
+
+    atom_id: int
+    opcode: Opcode
+    source: str
+    family: LeakageFamily
+    observe: ObservationFunction
+
+    def applies(self, record: ExecRecord) -> bool:
+        """``π``: whether this atom observes the given retirement."""
+        return record.opcode is self.opcode
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identifier, e.g. ``div:REG_RS2``."""
+        return "%s:%s" % (self.opcode.value, self.source)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ContractAtom(#%d %s)" % (self.atom_id, self.name)
+
+
+def make_atom(atom_id: int, opcode: Opcode, source: str) -> ContractAtom:
+    """Construct an atom for ``opcode`` and leakage ``source``."""
+    return ContractAtom(
+        atom_id=atom_id,
+        opcode=opcode,
+        source=source,
+        family=family_of_source(source),
+        observe=make_observation_function(source),
+    )

@@ -1,0 +1,88 @@
+"""Observation traces and atom distinguishability (§III-B, §IV-D).
+
+A single-atom contract ``CTR_{A}`` maps an execution to the sequence
+of observations produced at the steps where the atom applies.  Two
+executions are *atom distinguishable* iff those sequences differ —
+including differing in the *positions* at which observations occur,
+since the contract observation of a non-applicable state is the empty
+set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.contracts.atoms import ContractAtom
+from repro.contracts.template import ContractTemplate
+from repro.isa.executor import ExecRecord
+
+#: An atom's observation trace: ((step index, observation), ...).
+ObservationTrace = Tuple[Tuple[int, Hashable], ...]
+
+
+def atom_observation_trace(
+    atom: ContractAtom, records: Sequence[ExecRecord]
+) -> ObservationTrace:
+    """The observation sequence of ``CTR_{atom}`` over an execution."""
+    return tuple(
+        (index, atom.observe(record))
+        for index, record in enumerate(records)
+        if atom.applies(record)
+    )
+
+
+def _observation_map(
+    template: ContractTemplate, records: Sequence[ExecRecord]
+) -> Dict[int, List[Tuple[int, Hashable]]]:
+    """Per-atom observation traces, computed in one pass.
+
+    Only atoms applicable to each retiring opcode are evaluated
+    (``π`` is an opcode test), which keeps full-template evaluation
+    linear in ``len(records) * atoms_per_opcode``.
+    """
+    traces: Dict[int, List[Tuple[int, Hashable]]] = {}
+    for index, record in enumerate(records):
+        for atom in template.atoms_for_opcode(record.opcode):
+            traces.setdefault(atom.atom_id, []).append((index, atom.observe(record)))
+    return traces
+
+
+def contract_observation_trace(contract, records: Sequence[ExecRecord]):
+    """The leakage trace ``CTR_S(ISA*(σ))`` of a whole contract.
+
+    Returns, per execution step, the frozen set of ``(τ, observation)``
+    pairs of the applicable selected atoms — the contract semantics of
+    §II-D.  A program handles secrets safely w.r.t. the contract iff
+    this trace is identical for all secret values; that is exactly the
+    check performed by ``examples/audit_constant_time.py``.
+    """
+    template = contract.template
+    selected = contract.atom_ids
+    trace = []
+    for record in records:
+        observations = frozenset(
+            (atom.source, atom.observe(record))
+            for atom in template.atoms_for_opcode(record.opcode)
+            if atom.atom_id in selected
+        )
+        trace.append(observations)
+    return tuple(trace)
+
+
+def distinguishing_atoms(
+    template: ContractTemplate,
+    records_a: Sequence[ExecRecord],
+    records_b: Sequence[ExecRecord],
+) -> FrozenSet[int]:
+    """All atoms of ``template`` that distinguish the two executions.
+
+    This is the per-test-case output of the paper's test-case
+    evaluation phase (§III-C): ``distinguishing(t) ⊆ T``.
+    """
+    traces_a = _observation_map(template, records_a)
+    traces_b = _observation_map(template, records_b)
+    distinguishing = set()
+    for atom_id in traces_a.keys() | traces_b.keys():
+        if traces_a.get(atom_id, []) != traces_b.get(atom_id, []):
+            distinguishing.add(atom_id)
+    return frozenset(distinguishing)

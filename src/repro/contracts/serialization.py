@@ -1,0 +1,110 @@
+"""Contract serialization and diffing.
+
+Contracts are stored by *atom name* (``opcode:source``) rather than by
+numeric id, so a saved contract survives template rebuilds, template
+growth (new families), and exchange between toolchain versions — the
+form in which a synthesized contract would ship with a processor's
+documentation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.contracts.template import Contract, ContractTemplate
+
+
+class ContractFormatError(ValueError):
+    """Raised when serialized contract data is malformed."""
+
+
+def contract_to_dict(contract: Contract, metadata: Dict[str, str] = None) -> dict:
+    """A JSON-ready representation of ``contract``."""
+    return {
+        "format": "repro-leakage-contract/v1",
+        "template": contract.template.name,
+        "metadata": dict(metadata or {}),
+        "atoms": sorted(atom.name for atom in contract.atoms),
+    }
+
+
+def contract_to_json(contract: Contract, metadata: Dict[str, str] = None) -> str:
+    return json.dumps(contract_to_dict(contract, metadata), indent=2)
+
+
+def contract_from_dict(data: dict, template: ContractTemplate) -> Contract:
+    """Rebuild a contract over ``template`` from serialized data.
+
+    Atom names must all resolve in the template; unknown names raise
+    :class:`ContractFormatError` (a contract must never silently lose
+    leakage observations).
+    """
+    if data.get("format") != "repro-leakage-contract/v1":
+        raise ContractFormatError("unknown format: %r" % (data.get("format"),))
+    names = data.get("atoms")
+    if not isinstance(names, list):
+        raise ContractFormatError("missing atom list")
+    by_name = {atom.name: atom.atom_id for atom in template}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise ContractFormatError(
+            "atoms not in template %r: %s" % (template.name, ", ".join(missing))
+        )
+    return Contract(template, [by_name[name] for name in names])
+
+
+def contract_from_json(text: str, template: ContractTemplate) -> Contract:
+    return contract_from_dict(json.loads(text), template)
+
+
+def save_contract(contract: Contract, path: str, metadata: Dict[str, str] = None) -> None:
+    with open(path, "w") as stream:
+        stream.write(contract_to_json(contract, metadata) + "\n")
+
+
+def load_contract(path: str, template: ContractTemplate) -> Contract:
+    with open(path) as stream:
+        return contract_from_json(stream.read(), template)
+
+
+@dataclass(frozen=True)
+class ContractDiff:
+    """Atom-level difference between two contracts."""
+
+    only_in_first: Tuple[str, ...]
+    only_in_second: Tuple[str, ...]
+    common: Tuple[str, ...]
+
+    @property
+    def identical(self) -> bool:
+        return not self.only_in_first and not self.only_in_second
+
+    def render(self, first_label: str = "first", second_label: str = "second") -> str:
+        lines = [
+            "%d common atoms, %d only in %s, %d only in %s"
+            % (
+                len(self.common),
+                len(self.only_in_first),
+                first_label,
+                len(self.only_in_second),
+                second_label,
+            )
+        ]
+        for name in self.only_in_first:
+            lines.append("  - %s" % name)
+        for name in self.only_in_second:
+            lines.append("  + %s" % name)
+        return "\n".join(lines)
+
+
+def diff_contracts(first: Contract, second: Contract) -> ContractDiff:
+    """Compare two contracts by atom name (templates may differ)."""
+    names_first = {atom.name for atom in first.atoms}
+    names_second = {atom.name for atom in second.atoms}
+    return ContractDiff(
+        only_in_first=tuple(sorted(names_first - names_second)),
+        only_in_second=tuple(sorted(names_second - names_first)),
+        common=tuple(sorted(names_first & names_second)),
+    )

@@ -1,0 +1,139 @@
+"""Contract templates and candidate contracts (§III-A).
+
+A :class:`ContractTemplate` is an ordered set of atoms (order fixes the
+``atom_id`` numbering used everywhere downstream); a :class:`Contract`
+is a subset of a template — the synthesis result.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.contracts.atoms import ContractAtom, LeakageFamily
+from repro.isa.instructions import InstructionCategory, Opcode
+
+
+class ContractTemplate:
+    """An immutable, indexed collection of contract atoms."""
+
+    def __init__(self, atoms: Sequence[ContractAtom], name: str = "template"):
+        self.name = name
+        self._atoms: Tuple[ContractAtom, ...] = tuple(atoms)
+        for index, atom in enumerate(self._atoms):
+            if atom.atom_id != index:
+                raise ValueError(
+                    "atom_id %d at position %d; template atoms must be "
+                    "numbered contiguously" % (atom.atom_id, index)
+                )
+        self._by_opcode: Dict[Opcode, Tuple[ContractAtom, ...]] = {}
+        grouped: Dict[Opcode, List[ContractAtom]] = {}
+        for atom in self._atoms:
+            grouped.setdefault(atom.opcode, []).append(atom)
+        self._by_opcode = {opcode: tuple(atoms) for opcode, atoms in grouped.items()}
+
+    @property
+    def atoms(self) -> Tuple[ContractAtom, ...]:
+        return self._atoms
+
+    def atoms_for_opcode(self, opcode: Opcode) -> Tuple[ContractAtom, ...]:
+        """All atoms applicable to instructions of type ``opcode``."""
+        return self._by_opcode.get(opcode, ())
+
+    def atom(self, atom_id: int) -> ContractAtom:
+        return self._atoms[atom_id]
+
+    def ids_by_family(self, families: Iterable[LeakageFamily]) -> FrozenSet[int]:
+        """Atom ids whose family is in ``families`` (template restriction)."""
+        family_set = set(families)
+        return frozenset(
+            atom.atom_id for atom in self._atoms if atom.family in family_set
+        )
+
+    def restrict(self, families: Iterable[LeakageFamily], name: Optional[str] = None):
+        """A view of this template restricted to ``families``.
+
+        Returned as a frozen set of permitted atom ids; synthesis takes
+        this as its search space so that atom ids remain stable across
+        template variants (needed to reuse evaluation results, as the
+        paper does when comparing templates in Fig. 2).
+        """
+        return self.ids_by_family(families)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[ContractAtom]:
+        return iter(self._atoms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ContractTemplate(%s, %d atoms)" % (self.name, len(self._atoms))
+
+
+class Contract:
+    """A candidate contract: a subset of a template's atoms (``CTR_S``)."""
+
+    def __init__(self, template: ContractTemplate, atom_ids: Iterable[int]):
+        self.template = template
+        self.atom_ids: FrozenSet[int] = frozenset(atom_ids)
+        for atom_id in self.atom_ids:
+            if not 0 <= atom_id < len(template):
+                raise ValueError("atom id out of range: %r" % (atom_id,))
+
+    @property
+    def atoms(self) -> List[ContractAtom]:
+        return [self.template.atom(atom_id) for atom_id in sorted(self.atom_ids)]
+
+    def __contains__(self, atom_id: int) -> bool:
+        return atom_id in self.atom_ids
+
+    def __len__(self) -> int:
+        return len(self.atom_ids)
+
+    def distinguishes(self, distinguishing_atom_ids: FrozenSet[int]) -> bool:
+        """Whether this contract distinguishes a test case, given the
+        set of atoms that distinguish it (§III-B: a test case is
+        contract distinguishable iff some selected atom distinguishes
+        it)."""
+        return not self.atom_ids.isdisjoint(distinguishing_atom_ids)
+
+    def by_category_and_family(self):
+        """Group selected atoms for the paper's contract tables.
+
+        Returns ``{(InstructionCategory, LeakageFamily): [atoms]}``.
+        """
+        grouped: Dict[Tuple[InstructionCategory, LeakageFamily], List[ContractAtom]] = {}
+        for atom in self.atoms:
+            key = (atom.opcode, atom.family)
+            category = _category_of(atom.opcode)
+            grouped.setdefault((category, atom.family), []).append(atom)
+        return grouped
+
+    def summary(self) -> str:
+        """A short, human-readable listing of the contract's atoms."""
+        lines = ["Contract with %d atoms:" % len(self.atom_ids)]
+        for atom in self.atoms:
+            lines.append("  %-24s [%s]" % (atom.name, atom.family.name))
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Contract):
+            return NotImplemented
+        return self.template is other.template and self.atom_ids == other.atom_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Contract(%d of %d atoms)" % (len(self.atom_ids), len(self.template))
+
+
+def _category_of(opcode: Opcode) -> InstructionCategory:
+    from repro.isa.instructions import OPCODE_INFO
+
+    return OPCODE_INFO[opcode].category

@@ -1,0 +1,11 @@
+"""Test-case evaluation (§III-C).
+
+For every test case, determine (1) whether it is attacker
+distinguishable on the target core, and (2) which contract atoms
+distinguish it at the ISA level.
+"""
+
+from repro.evaluation.results import EvaluationDataset, TestCaseResult
+from repro.evaluation.evaluator import TestCaseEvaluator
+
+__all__ = ["EvaluationDataset", "TestCaseEvaluator", "TestCaseResult"]

@@ -1,0 +1,101 @@
+"""Multi-process test-case evaluation.
+
+The paper evaluates test cases on up to 128 threads; this module
+provides the equivalent fan-out for the Python substrate.  Workers are
+initialized once with the core factory and template parameters
+(rebuilding the 892-atom template per task would dominate), generate
+their own test-case shards deterministically from the shared seed, and
+stream back plain result tuples.
+
+Determinism: the combined dataset equals the sequential
+``TestCaseEvaluator.evaluate_many`` output for the same seed, because
+test cases are generated per test id (the generator derives a child
+RNG from ``(seed, test_id)``), not from a shared stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Tuple
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.evaluation.results import EvaluationDataset, TestCaseResult
+from repro.testgen.generator import GeneratorConfig, TestCaseGenerator
+
+_worker_state = {}
+
+
+def _initialize_worker(core_name: str, seed: int, max_distance: int) -> None:
+    from repro.experiments.runner import build_core
+
+    template = build_riscv_template(max_distance=max_distance)
+    _worker_state["generator"] = TestCaseGenerator(template, seed=seed)
+    _worker_state["evaluator"] = TestCaseEvaluator(build_core(core_name), template)
+
+
+def _evaluate_shard(shard: Tuple[int, int]) -> List[tuple]:
+    start, count = shard
+    generator: TestCaseGenerator = _worker_state["generator"]
+    evaluator: TestCaseEvaluator = _worker_state["evaluator"]
+    results = []
+    for test_case in generator.iter_generate(count, start_id=start):
+        result = evaluator.evaluate(test_case)
+        results.append(
+            (
+                result.test_id,
+                result.attacker_distinguishable,
+                tuple(sorted(result.distinguishing_atom_ids)),
+                result.targeted_atom_id,
+            )
+        )
+    return results
+
+
+def evaluate_parallel(
+    core_name: str,
+    count: int,
+    seed: int,
+    processes: Optional[int] = None,
+    shard_size: int = 250,
+    max_distance: int = 4,
+) -> EvaluationDataset:
+    """Evaluate ``count`` generated test cases on ``core_name`` using a
+    process pool.  Equivalent to the sequential evaluator for the same
+    ``seed`` (results ordered by test id)."""
+    if count <= 0:
+        return EvaluationDataset([], core_name=core_name)
+    processes = processes or min(multiprocessing.cpu_count(), 8)
+    shards = [
+        (start, min(shard_size, count - start))
+        for start in range(0, count, shard_size)
+    ]
+    if processes == 1 or len(shards) == 1:
+        _initialize_worker(core_name, seed, max_distance)
+        shard_results = [_evaluate_shard(shard) for shard in shards]
+    else:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes,
+            initializer=_initialize_worker,
+            initargs=(core_name, seed, max_distance),
+        ) as pool:
+            shard_results = pool.map(_evaluate_shard, shards)
+
+    rows = [row for shard in shard_results for row in shard]
+    rows.sort(key=lambda row: row[0])
+    results = [
+        TestCaseResult(
+            test_id=test_id,
+            attacker_distinguishable=distinguishable,
+            distinguishing_atom_ids=frozenset(atom_ids),
+            targeted_atom_id=targeted,
+        )
+        for test_id, distinguishable, atom_ids, targeted in rows
+    ]
+    return EvaluationDataset(
+        results,
+        core_name=core_name,
+        template_name="riscv-rv32im",
+        attacker_name="retirement-timing",
+    )

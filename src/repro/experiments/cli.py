@@ -1,0 +1,83 @@
+"""Command-line entry point: ``repro-synthesize``.
+
+Runs the paper's experiments end-to-end::
+
+    repro-synthesize fig2
+    repro-synthesize table1 --scale 2
+    repro-synthesize all --results-dir results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.contract_tables import run_table1, run_table2
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.table3 import run_table3
+
+_EXPERIMENTS = ("fig2", "fig3", "table1", "table2", "table3")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-synthesize",
+        description="Synthesize hardware-software leakage contracts for the "
+        "bundled RISC-V core models and reproduce the paper's experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=_EXPERIMENTS + ("all",),
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="test-case budget multiplier (default: REPRO_SCALE env or 1.0)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory for CSV/text outputs and the dataset cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not cache or reuse evaluated datasets",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    kwargs = {"results_dir": arguments.results_dir, "cache": not arguments.no_cache}
+    if arguments.scale is not None:
+        kwargs["scale"] = arguments.scale
+    config = ExperimentConfig(**kwargs)
+
+    names = (
+        list(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    )
+    for name in names:
+        print("== %s ==" % name)
+        if name == "fig2":
+            print(run_fig2(config).render())
+        elif name == "fig3":
+            print(run_fig3(config).render())
+        elif name == "table1":
+            print(run_table1(config).render())
+        elif name == "table2":
+            print(run_table2(config).render())
+        elif name == "table3":
+            print(run_table3(config).render())
+        print()
+    print("results written to %s/" % config.results_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

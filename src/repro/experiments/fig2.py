@@ -1,0 +1,101 @@
+"""Figure 2: precision of synthesized contracts vs. synthesis-set size,
+for the base template and its cumulative refinements.
+
+For each template restriction (IL+RL+ML, +AL, +BL, +DL) and each
+prefix of the synthesis set, a contract is synthesized and its
+precision measured on a held-out evaluation set.  The paper's shape:
+precision increases with richer templates; data-dependency leakages
+(DL) give the largest improvement; precision dips when new leak kinds
+are first discovered (the contract must cover them with coarse atoms
+until finer ones are available).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.contracts.atoms import LeakageFamily
+from repro.contracts.riscv_template import cumulative_family_sets
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import evaluate_dataset, shared_template
+from repro.reporting.curves import Series, render_ascii_chart, write_csv
+from repro.synthesis.metrics import evaluate_contract
+from repro.synthesis.synthesizer import ContractSynthesizer
+
+
+def _family_label(families: Tuple[LeakageFamily, ...]) -> str:
+    return "+".join(family.name for family in families)
+
+
+@dataclass
+class Fig2Result:
+    """Precision curves per template restriction."""
+
+    series: List[Series]
+    prefixes: List[int]
+    evaluation_count: int
+    core_name: str = "ibex"
+
+    def final_precision(self, label: str) -> Optional[float]:
+        for series in self.series:
+            if series.label == label:
+                return series.points[-1][1]
+        raise KeyError(label)
+
+    def render(self) -> str:
+        chart = render_ascii_chart(self.series, log_x=False)
+        return (
+            "Fig. 2 — contract precision on %d held-out test cases (%s)\n%s"
+            % (self.evaluation_count, self.core_name, chart)
+        )
+
+
+def run_fig2(
+    config: Optional[ExperimentConfig] = None,
+    core_name: str = "ibex",
+) -> Fig2Result:
+    """Run the Figure 2 experiment."""
+    config = config if config is not None else ExperimentConfig()
+    template = shared_template()
+    cache_dir = config.cache_dir()
+
+    synthesis_set, _evaluator = evaluate_dataset(
+        core_name, template, config.synthesis_test_cases,
+        config.synthesis_seed, cache_dir,
+    )
+    evaluation_set, _evaluator = evaluate_dataset(
+        core_name, template, config.evaluation_test_cases,
+        config.evaluation_seed, cache_dir,
+    )
+
+    synthesizer = ContractSynthesizer(template)
+    prefixes = config.synthesis_prefixes()
+    series: List[Series] = []
+    for families in cumulative_family_sets():
+        allowed = template.ids_by_family(families)
+        points: List[Tuple[float, Optional[float]]] = []
+        for prefix in prefixes:
+            synthesis_result = synthesizer.synthesize(
+                synthesis_set.prefix(prefix), allowed_atom_ids=allowed
+            )
+            counts = evaluate_contract(synthesis_result.contract, evaluation_set)
+            points.append((float(prefix), counts.precision))
+        series.append(Series(label=_family_label(families), points=points))
+
+    result = Fig2Result(
+        series=series,
+        prefixes=prefixes,
+        evaluation_count=len(evaluation_set),
+        core_name=core_name,
+    )
+    _save(config, result)
+    return result
+
+
+def _save(config: ExperimentConfig, result: Fig2Result) -> None:
+    directory = config.ensure_results_dir()
+    write_csv(os.path.join(directory, "fig2_precision.csv"), result.series)
+    with open(os.path.join(directory, "fig2_precision.txt"), "w") as stream:
+        stream.write(result.render() + "\n")

@@ -1,0 +1,70 @@
+"""Shared plumbing for experiment drivers: cores, datasets, caching."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.template import ContractTemplate
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.evaluation.results import EvaluationDataset
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.core import Core
+from repro.uarch.cva6 import CVA6Core
+from repro.uarch.ibex import IbexCore
+
+_CORES = {
+    "ibex": IbexCore,
+    "cva6": CVA6Core,
+}
+
+
+def build_core(name: str) -> Core:
+    """Instantiate a core model by name (``ibex`` or ``cva6``)."""
+    try:
+        return _CORES[name]()
+    except KeyError:
+        raise ValueError(
+            "unknown core %r (available: %s)" % (name, ", ".join(sorted(_CORES)))
+        )
+
+
+def shared_template() -> ContractTemplate:
+    """The full RV32IM template used by all experiments."""
+    return build_riscv_template()
+
+
+def evaluate_dataset(
+    core_name: str,
+    template: ContractTemplate,
+    count: int,
+    seed: int,
+    cache_dir: Optional[str] = None,
+    progress_every: Optional[int] = None,
+) -> Tuple[EvaluationDataset, Optional[TestCaseEvaluator]]:
+    """Generate and evaluate ``count`` test cases on ``core_name``.
+
+    Returns ``(dataset, evaluator)``; the evaluator carries the phase
+    timers (``None`` when the dataset was loaded from cache).  Caching
+    mirrors the paper's reuse of one big evaluated corpus across all
+    synthesis-set sweeps.
+    """
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = os.path.join(
+            cache_dir,
+            "%s-%s-seed%d-n%d.json" % (core_name, template.name, seed, count),
+        )
+        if os.path.exists(cache_path):
+            return EvaluationDataset.load(cache_path), None
+
+    core = build_core(core_name)
+    generator = TestCaseGenerator(template, seed=seed)
+    evaluator = TestCaseEvaluator(core, template)
+    dataset = evaluator.evaluate_many(
+        generator.iter_generate(count), progress_every=progress_every
+    )
+    if cache_path is not None:
+        dataset.save(cache_path)
+    return dataset, evaluator

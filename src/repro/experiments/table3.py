@@ -1,0 +1,135 @@
+"""Table III: runtime breakdown of the contract-synthesis toolchain.
+
+The paper reports, per core: testbench compilation time, simulation
+time for a single test case, extraction of distinguishing atoms per
+test case, contract computation time, and overall time.  Our
+"compilation" phase is the construction of the core model, template,
+and generator (there is no Verilog elaboration in the Python
+substrate — a documented substitution); the remaining phases map
+one-to-one.  The expected *shape*: CVA6 costs far more than Ibex in
+simulation, while contract computation is comparable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_core
+from repro.synthesis.synthesizer import ContractSynthesizer
+from repro.testgen.generator import TestCaseGenerator
+
+
+@dataclass
+class CoreTiming:
+    """One column of Table III."""
+
+    core_name: str
+    test_cases: int
+    compilation_seconds: float
+    simulation_per_test_case: float
+    extraction_per_test_case: float
+    contract_computation_seconds: float
+    overall_seconds: float
+
+
+@dataclass
+class Table3Result:
+    """Timing columns for every measured core."""
+
+    timings: List[CoreTiming]
+
+    def column(self, core_name: str) -> CoreTiming:
+        for timing in self.timings:
+            if timing.core_name == core_name:
+                return timing
+        raise KeyError(core_name)
+
+    def render(self) -> str:
+        header = "%-38s" % "Phase" + "".join(
+            "%14s" % timing.core_name for timing in self.timings
+        )
+        rows = [
+            (
+                "Toolchain setup ('compilation')",
+                ["%.3f s" % t.compilation_seconds for t in self.timings],
+            ),
+            (
+                "Simulation of a single test case",
+                ["%.3f ms" % (t.simulation_per_test_case * 1e3) for t in self.timings],
+            ),
+            (
+                "Extraction of distinguishing atoms",
+                ["%.3f ms" % (t.extraction_per_test_case * 1e3) for t in self.timings],
+            ),
+            (
+                "Computation of the contract",
+                ["%.3f s" % t.contract_computation_seconds for t in self.timings],
+            ),
+            (
+                "Overall computation time",
+                ["%.3f s" % t.overall_seconds for t in self.timings],
+            ),
+        ]
+        lines = [
+            "Table III — toolchain runtime (%d test cases per core)"
+            % self.timings[0].test_cases,
+            header,
+        ]
+        for label, cells in rows:
+            lines.append("%-38s" % label + "".join("%14s" % cell for cell in cells))
+        return "\n".join(lines)
+
+
+def run_table3(
+    config: Optional[ExperimentConfig] = None,
+    core_names: Optional[List[str]] = None,
+    test_cases: Optional[int] = None,
+) -> Table3Result:
+    """Measure the toolchain phases on each core."""
+    config = config if config is not None else ExperimentConfig()
+    core_names = core_names if core_names is not None else ["ibex", "cva6"]
+    count = test_cases if test_cases is not None else max(
+        200, config.synthesis_test_cases // 4
+    )
+
+    timings = []
+    for core_name in core_names:
+        overall_start = time.perf_counter()
+
+        setup_start = time.perf_counter()
+        core = build_core(core_name)
+        template = build_riscv_template()
+        generator = TestCaseGenerator(template, seed=config.synthesis_seed)
+        evaluator = TestCaseEvaluator(core, template)
+        compilation_seconds = time.perf_counter() - setup_start
+
+        dataset = evaluator.evaluate_many(generator.iter_generate(count))
+
+        synthesis_start = time.perf_counter()
+        ContractSynthesizer(template).synthesize(dataset)
+        contract_seconds = time.perf_counter() - synthesis_start
+
+        overall_seconds = time.perf_counter() - overall_start
+        timings.append(
+            CoreTiming(
+                core_name=core_name,
+                test_cases=count,
+                compilation_seconds=compilation_seconds,
+                simulation_per_test_case=evaluator.simulation_seconds / count,
+                extraction_per_test_case=evaluator.extraction_seconds / count,
+                contract_computation_seconds=contract_seconds,
+                overall_seconds=overall_seconds,
+            )
+        )
+
+    result = Table3Result(timings=timings)
+    directory = config.ensure_results_dir()
+    with open(os.path.join(directory, "table3_runtime.txt"), "w") as stream:
+        stream.write(result.render() + "\n")
+    return result

@@ -1,0 +1,45 @@
+"""RV32IM instruction-set architecture layer.
+
+This package implements the architectural (ISA-level) half of the
+contract-synthesis methodology: the instruction model, binary encoding,
+an assembler/disassembler pair, the architectural state, and the ISA
+executor that realizes the paper's ``ISA : ARCH -> ARCH`` state machine.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    InstructionCategory,
+    Opcode,
+    OPCODE_INFO,
+)
+from repro.isa.registers import ABI_NAMES, REGISTER_COUNT, register_name
+from repro.isa.state import ArchState
+from repro.isa.memory import SparseMemory
+from repro.isa.program import Program
+from repro.isa.executor import ExecRecord, IsaExecutor, execute_program
+from repro.isa.encoding import encode_instruction, decode_instruction
+from repro.isa.assembler import assemble, assemble_program, AssemblerError
+from repro.isa.disassembler import disassemble, disassemble_program
+
+__all__ = [
+    "ABI_NAMES",
+    "ArchState",
+    "AssemblerError",
+    "ExecRecord",
+    "Instruction",
+    "InstructionCategory",
+    "IsaExecutor",
+    "Opcode",
+    "OPCODE_INFO",
+    "Program",
+    "REGISTER_COUNT",
+    "SparseMemory",
+    "assemble",
+    "assemble_program",
+    "decode_instruction",
+    "disassemble",
+    "disassemble_program",
+    "encode_instruction",
+    "execute_program",
+    "register_name",
+]

@@ -1,0 +1,260 @@
+"""A small two-pass assembler for RV32IM test programs.
+
+Supports the canonical operand syntaxes::
+
+    add  rd, rs1, rs2
+    addi rd, rs1, imm
+    lw   rd, imm(rs1)
+    sw   rs2, imm(rs1)
+    beq  rs1, rs2, offset_or_label
+    jal  rd, offset_or_label
+    jalr rd, rs1, imm        (or: jalr rd, imm(rs1))
+    lui  rd, imm
+    label:
+
+plus the pseudo-instructions ``nop``, ``mv``, ``li`` (12-bit range),
+``j``, ``ret``, and ``not``.  Comments start with ``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, InstructionFormat, Opcode, OPCODE_INFO
+from repro.isa.program import DEFAULT_BASE_ADDRESS, Program
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*)\s*:\s*(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or range error, with the line number."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _parse_int(text: str, line_number: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError("invalid integer literal: %r" % text, line_number)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def assemble(source: str, base_address: int = DEFAULT_BASE_ADDRESS) -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    statements = _collect_statements(source)
+    labels = _assign_labels(statements, base_address)
+    instructions: List[Instruction] = []
+    for address_index, (line_number, mnemonic, operands) in enumerate(
+        statement for statement in statements if statement is not None
+    ):
+        address = base_address + 4 * address_index
+        instructions.append(
+            _assemble_statement(mnemonic, operands, address, labels, line_number)
+        )
+    return Program(instructions, base_address)
+
+
+def assemble_program(lines: List[str], base_address: int = DEFAULT_BASE_ADDRESS) -> Program:
+    """Assemble a list of statement strings (one instruction each)."""
+    return assemble("\n".join(lines), base_address)
+
+
+def _collect_statements(source: str):
+    """Yield parsed (line_number, mnemonic, operands) or label markers.
+
+    Returns a list where instruction statements are tuples and label
+    definitions are folded into a side table by :func:`_assign_labels`;
+    labels are represented by ``("label", name)`` placeholders.
+    """
+    statements = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        while line:
+            match = _LABEL_RE.match(line)
+            if match:
+                statements.append(("label", match.group(1), line_number))
+                line = match.group(2).strip()
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            operands = [
+                operand.strip() for operand in operand_text.split(",") if operand.strip()
+            ]
+            statements.append((line_number, mnemonic, operands))
+            line = ""
+    # Normalize: labels become None placeholders after address assignment.
+    return statements
+
+
+def _assign_labels(statements, base_address: int) -> Dict[str, int]:
+    labels: Dict[str, int] = {}
+    address = base_address
+    for position, statement in enumerate(statements):
+        if statement[0] == "label":
+            _tag, name, line_number = statement
+            if name in labels:
+                raise AssemblerError("duplicate label: %r" % name, line_number)
+            labels[name] = address
+            statements[position] = None
+        else:
+            address += 4
+    statements[:] = [statement for statement in statements if statement is not None]
+    return labels
+
+
+def _resolve_target(
+    text: str, address: int, labels: Dict[str, int], line_number: int
+) -> int:
+    """Resolve a branch/jump operand to a pc-relative offset."""
+    if text in labels:
+        return labels[text] - address
+    return _parse_int(text, line_number)
+
+
+_PSEUDO_EXPANSIONS = {
+    "nop": ("addi", ["x0", "x0", "0"]),
+    "ret": ("jalr", ["x0", "ra", "0"]),
+}
+
+
+def _assemble_statement(
+    mnemonic: str,
+    operands: List[str],
+    address: int,
+    labels: Dict[str, int],
+    line_number: int,
+) -> Instruction:
+    if mnemonic in _PSEUDO_EXPANSIONS:
+        if operands:
+            raise AssemblerError("%s takes no operands" % mnemonic, line_number)
+        mnemonic, operands = _PSEUDO_EXPANSIONS[mnemonic]
+    elif mnemonic == "mv":
+        _expect_operands(mnemonic, operands, 2, line_number)
+        mnemonic, operands = "addi", [operands[0], operands[1], "0"]
+    elif mnemonic == "li":
+        _expect_operands(mnemonic, operands, 2, line_number)
+        value = _parse_int(operands[1], line_number)
+        if not -2048 <= value <= 2047:
+            raise AssemblerError(
+                "li immediate out of 12-bit range: %d" % value, line_number
+            )
+        mnemonic, operands = "addi", [operands[0], "x0", str(value)]
+    elif mnemonic == "j":
+        _expect_operands(mnemonic, operands, 1, line_number)
+        mnemonic, operands = "jal", ["x0", operands[0]]
+    elif mnemonic == "not":
+        _expect_operands(mnemonic, operands, 2, line_number)
+        mnemonic, operands = "xori", [operands[0], operands[1], "-1"]
+
+    try:
+        opcode = Opcode(mnemonic)
+    except ValueError:
+        raise AssemblerError("unknown mnemonic: %r" % mnemonic, line_number)
+    info = OPCODE_INFO[opcode]
+
+    try:
+        return _build_instruction(opcode, info, operands, address, labels, line_number)
+    except ValueError as error:
+        if isinstance(error, AssemblerError):
+            raise
+        raise AssemblerError(str(error), line_number)
+
+
+def _expect_operands(mnemonic: str, operands: List[str], count: int, line_number: int):
+    if len(operands) != count:
+        raise AssemblerError(
+            "%s expects %d operands, got %d" % (mnemonic, count, len(operands)),
+            line_number,
+        )
+
+
+def _parse_mem_operand(text: str, line_number: int) -> Tuple[int, int]:
+    match = _MEM_OPERAND_RE.match(text)
+    if not match:
+        raise AssemblerError("expected imm(reg) operand, got %r" % text, line_number)
+    return _parse_int(match.group(1), line_number), parse_register(match.group(2))
+
+
+def _build_instruction(
+    opcode: Opcode,
+    info,
+    operands: List[str],
+    address: int,
+    labels: Dict[str, int],
+    line_number: int,
+) -> Instruction:
+    name = opcode.value
+    fmt = info.fmt
+
+    if opcode in (Opcode.FENCE, Opcode.ECALL, Opcode.EBREAK):
+        if operands:
+            raise AssemblerError("%s takes no operands" % name, line_number)
+        return Instruction(opcode)
+
+    if fmt is InstructionFormat.R:
+        _expect_operands(name, operands, 3, line_number)
+        return Instruction(
+            opcode,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            rs2=parse_register(operands[2]),
+        )
+    if fmt is InstructionFormat.U:
+        _expect_operands(name, operands, 2, line_number)
+        return Instruction(
+            opcode,
+            rd=parse_register(operands[0]),
+            imm=_parse_int(operands[1], line_number),
+        )
+    if fmt is InstructionFormat.J:
+        _expect_operands(name, operands, 2, line_number)
+        return Instruction(
+            opcode,
+            rd=parse_register(operands[0]),
+            imm=_resolve_target(operands[1], address, labels, line_number),
+        )
+    if fmt is InstructionFormat.B:
+        _expect_operands(name, operands, 3, line_number)
+        return Instruction(
+            opcode,
+            rs1=parse_register(operands[0]),
+            rs2=parse_register(operands[1]),
+            imm=_resolve_target(operands[2], address, labels, line_number),
+        )
+    if fmt is InstructionFormat.S:
+        _expect_operands(name, operands, 2, line_number)
+        imm, rs1 = _parse_mem_operand(operands[1], line_number)
+        return Instruction(
+            opcode, rs1=rs1, rs2=parse_register(operands[0]), imm=imm
+        )
+    # I-format: loads use imm(rs1); JALR accepts both syntaxes; ALU uses 3 operands.
+    if opcode in (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU):
+        _expect_operands(name, operands, 2, line_number)
+        imm, rs1 = _parse_mem_operand(operands[1], line_number)
+        return Instruction(opcode, rd=parse_register(operands[0]), rs1=rs1, imm=imm)
+    if opcode is Opcode.JALR and len(operands) == 2:
+        imm, rs1 = _parse_mem_operand(operands[1], line_number)
+        return Instruction(opcode, rd=parse_register(operands[0]), rs1=rs1, imm=imm)
+    _expect_operands(name, operands, 3, line_number)
+    return Instruction(
+        opcode,
+        rd=parse_register(operands[0]),
+        rs1=parse_register(operands[1]),
+        imm=_parse_int(operands[2], line_number),
+    )

@@ -1,0 +1,491 @@
+"""The RV32C compressed-instruction encoding layer.
+
+The paper analyzes both cores in their RV32IM**C** configurations.
+Compressed (16-bit) encodings matter for leakage because they change
+instruction-fetch behaviour: a fetch unit that delivers a fixed number
+of bytes per cycle supplies two compressed instructions per fetch but
+only one uncompressed instruction, so *encoding-dependent* timing
+appears — a plausible origin of the pervasive ``IL`` cells in the
+paper's contract tables.
+
+This module implements the RV32C subset relevant to RV32IM programs:
+
+``compress``    maps an :class:`~repro.isa.instructions.Instruction`
+                to its 16-bit encoding when one exists (else ``None``),
+``decompress``  expands a 16-bit word back to the base instruction,
+``is_compressible``
+                the predicate used by the fetch-timing models.
+
+The mapping follows the RVC spec: C.ADDI, C.LI, C.LUI, C.ADDI16SP,
+C.ADDI4SPN, C.SLLI, C.SRLI, C.SRAI, C.ANDI, C.MV, C.ADD, C.SUB,
+C.XOR, C.OR, C.AND, C.LW, C.SW, C.LWSP, C.SWSP, C.J, C.JAL, C.JR,
+C.JALR, C.BEQZ, C.BNEZ, C.NOP, C.EBREAK.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+class CompressionError(ValueError):
+    """Raised when a 16-bit word is not a valid RV32C instruction."""
+
+
+def _is_prime_register(index: int) -> bool:
+    """RVC's 3-bit register fields address x8..x15 only."""
+    return 8 <= index <= 15
+
+
+def _prime(index: int) -> int:
+    return index - 8
+
+
+def _unprime(field: int) -> int:
+    return field + 8
+
+
+def _fits_signed(value: int, bits: int) -> bool:
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def compress(instruction: Instruction) -> Optional[int]:
+    """The 16-bit encoding of ``instruction``, or ``None``.
+
+    Returns the canonical RVC encoding when the instruction matches a
+    compressed format's operand constraints.
+    """
+    opcode = instruction.opcode
+    rd, rs1, rs2, imm = (
+        instruction.rd, instruction.rs1, instruction.rs2, instruction.imm,
+    )
+
+    if opcode is Opcode.ADDI:
+        # C.NOP / C.ADDI: rd == rs1 != 0, 6-bit immediate.
+        if rd == rs1 and _fits_signed(imm, 6):
+            if rd == 0 and imm == 0:
+                return _ci(0b01, 0b000, 0, 0)  # C.NOP
+            if rd != 0:
+                return _ci(0b01, 0b000, rd, imm)
+        # C.LI: rs1 == x0, rd != 0, 6-bit immediate.
+        if rs1 == 0 and rd != 0 and _fits_signed(imm, 6):
+            return _ci(0b01, 0b010, rd, imm)
+        # C.ADDI16SP: rd == rs1 == sp, imm multiple of 16 in 10 bits.
+        if (
+            rd == rs1 == 2
+            and imm % 16 == 0
+            and imm != 0
+            and _fits_signed(imm // 16, 6)
+        ):
+            return _ci_addi16sp(imm)
+        # C.ADDI4SPN: rs1 == sp, rd' in x8..15, zero-extended scaled imm.
+        if (
+            rs1 == 2
+            and _is_prime_register(rd)
+            and imm > 0
+            and imm % 4 == 0
+            and imm < 1024
+        ):
+            return _ciw_addi4spn(rd, imm)
+        return None
+    if opcode is Opcode.LUI:
+        # C.LUI: rd != 0, 2; imm in [-32, 31] after sign fold, != 0.
+        if rd not in (0, 2) and imm != 0:
+            folded = imm if imm < 32 else imm - (1 << 20)
+            if _fits_signed(folded, 6) and folded != 0:
+                return _ci(0b01, 0b011, rd, folded)
+        return None
+    if opcode is Opcode.SLLI:
+        if rd == rs1 != 0 and 0 < imm < 32:
+            return _ci(0b10, 0b000, rd, imm, unsigned=True)
+        return None
+    if opcode in (Opcode.SRLI, Opcode.SRAI):
+        if rd == rs1 and _is_prime_register(rd) and 0 < imm < 32:
+            funct2 = 0b00 if opcode is Opcode.SRLI else 0b01
+            return _cb_shift(funct2, rd, imm)
+        return None
+    if opcode is Opcode.ANDI:
+        if rd == rs1 and _is_prime_register(rd) and _fits_signed(imm, 6):
+            return _cb_andi(rd, imm)
+        return None
+    if opcode is Opcode.ADD:
+        # C.MV: rd != 0, rs1 == x0 is NOT C.MV (that is rs2 move):
+        # C.MV expands to add rd, x0, rs2.
+        if rd != 0 and rs1 == 0 and rs2 != 0:
+            return _cr(0b1000, rd, rs2)
+        # C.ADD: rd == rs1 != 0, rs2 != 0.
+        if rd == rs1 != 0 and rs2 != 0:
+            return _cr(0b1001, rd, rs2)
+        return None
+    if opcode in (Opcode.SUB, Opcode.XOR, Opcode.OR, Opcode.AND):
+        if rd == rs1 and _is_prime_register(rd) and _is_prime_register(rs2):
+            funct2 = {
+                Opcode.SUB: 0b00, Opcode.XOR: 0b01,
+                Opcode.OR: 0b10, Opcode.AND: 0b11,
+            }[opcode]
+            return _ca(funct2, rd, rs2)
+        return None
+    if opcode is Opcode.LW:
+        # C.LWSP: rd != 0, rs1 == sp, scaled 8-bit zero-extended imm.
+        if rd != 0 and rs1 == 2 and imm % 4 == 0 and 0 <= imm < 256:
+            return _ci_lwsp(rd, imm)
+        if (
+            _is_prime_register(rd)
+            and _is_prime_register(rs1)
+            and imm % 4 == 0
+            and 0 <= imm < 128
+        ):
+            return _cl_lw(rd, rs1, imm)
+        return None
+    if opcode is Opcode.SW:
+        if rs1 == 2 and imm % 4 == 0 and 0 <= imm < 256:
+            return _css_swsp(rs2, imm)
+        if (
+            _is_prime_register(rs1)
+            and _is_prime_register(rs2)
+            and imm % 4 == 0
+            and 0 <= imm < 128
+        ):
+            return _cs_sw(rs2, rs1, imm)
+        return None
+    if opcode is Opcode.JAL:
+        if rd == 0 and _fits_signed(imm, 12):
+            return _cj(0b101, imm)
+        if rd == 1 and _fits_signed(imm, 12):
+            return _cj(0b001, imm)  # C.JAL (RV32 only)
+        return None
+    if opcode is Opcode.JALR:
+        if imm == 0 and rs1 != 0:
+            if rd == 0:
+                return _cr(0b1000, rs1, 0)  # C.JR
+            if rd == 1:
+                return _cr(0b1001, rs1, 0)  # C.JALR
+        return None
+    if opcode in (Opcode.BEQ, Opcode.BNE):
+        if rs2 == 0 and _is_prime_register(rs1) and _fits_signed(imm, 9):
+            funct3 = 0b110 if opcode is Opcode.BEQ else 0b111
+            return _cb_branch(funct3, rs1, imm)
+        return None
+    if opcode is Opcode.EBREAK:
+        return (0b100 << 13) | (1 << 12) | 0b10
+    return None
+
+
+def is_compressible(instruction: Instruction) -> bool:
+    """Whether the instruction has a 16-bit encoding."""
+    return compress(instruction) is not None
+
+
+def code_size(instruction: Instruction) -> int:
+    """Bytes the instruction occupies in an RV32IMC text section."""
+    return 2 if is_compressible(instruction) else 4
+
+
+# ----------------------------------------------------------------------
+# Format packers
+
+def _ci(quadrant: int, funct3: int, rd: int, imm: int, unsigned: bool = False) -> int:
+    value = imm & 0x3F
+    return (
+        (funct3 << 13)
+        | (((value >> 5) & 1) << 12)
+        | (rd << 7)
+        | ((value & 0x1F) << 2)
+        | quadrant
+    )
+
+
+def _ci_addi16sp(imm: int) -> int:
+    scaled = imm
+    return (
+        (0b011 << 13)
+        | (((scaled >> 9) & 1) << 12)
+        | (2 << 7)
+        | (((scaled >> 4) & 1) << 6)
+        | (((scaled >> 6) & 1) << 5)
+        | (((scaled >> 7) & 0x3) << 3)
+        | (((scaled >> 5) & 1) << 2)
+        | 0b01
+    )
+
+
+def _ciw_addi4spn(rd: int, imm: int) -> int:
+    return (
+        (0b000 << 13)
+        | (((imm >> 4) & 0x3) << 11)
+        | (((imm >> 6) & 0xF) << 7)
+        | (((imm >> 2) & 1) << 6)
+        | (((imm >> 3) & 1) << 5)
+        | (_prime(rd) << 2)
+        | 0b00
+    )
+
+
+def _cr(funct4: int, rd_rs1: int, rs2: int) -> int:
+    return (funct4 << 12) | (rd_rs1 << 7) | (rs2 << 2) | 0b10
+
+
+def _ca(funct2: int, rd: int, rs2: int) -> int:
+    return (
+        (0b100011 << 10)
+        | (_prime(rd) << 7)
+        | (funct2 << 5)
+        | (_prime(rs2) << 2)
+        | 0b01
+    )
+
+
+def _cb_shift(funct2: int, rd: int, shamt: int) -> int:
+    return (
+        (0b100 << 13)
+        | (((shamt >> 5) & 1) << 12)
+        | (funct2 << 10)
+        | (_prime(rd) << 7)
+        | ((shamt & 0x1F) << 2)
+        | 0b01
+    )
+
+
+def _cb_andi(rd: int, imm: int) -> int:
+    value = imm & 0x3F
+    return (
+        (0b100 << 13)
+        | (((value >> 5) & 1) << 12)
+        | (0b10 << 10)
+        | (_prime(rd) << 7)
+        | ((value & 0x1F) << 2)
+        | 0b01
+    )
+
+
+def _cb_branch(funct3: int, rs1: int, offset: int) -> int:
+    value = offset & 0x1FF
+    return (
+        (funct3 << 13)
+        | (((value >> 8) & 1) << 12)
+        | (((value >> 3) & 0x3) << 10)
+        | (_prime(rs1) << 7)
+        | (((value >> 6) & 0x3) << 5)
+        | (((value >> 1) & 0x3) << 3)
+        | (((value >> 5) & 1) << 2)
+        | 0b01
+    )
+
+
+def _cj(funct3: int, offset: int) -> int:
+    value = offset & 0xFFF
+    return (
+        (funct3 << 13)
+        | (((value >> 11) & 1) << 12)
+        | (((value >> 4) & 1) << 11)
+        | (((value >> 8) & 0x3) << 9)
+        | (((value >> 10) & 1) << 8)
+        | (((value >> 6) & 1) << 7)
+        | (((value >> 7) & 1) << 6)
+        | (((value >> 1) & 0x7) << 3)
+        | (((value >> 5) & 1) << 2)
+        | 0b01
+    )
+
+
+def _cl_lw(rd: int, rs1: int, imm: int) -> int:
+    return (
+        (0b010 << 13)
+        | (((imm >> 3) & 0x7) << 10)
+        | (_prime(rs1) << 7)
+        | (((imm >> 2) & 1) << 6)
+        | (((imm >> 6) & 1) << 5)
+        | (_prime(rd) << 2)
+        | 0b00
+    )
+
+
+def _cs_sw(rs2: int, rs1: int, imm: int) -> int:
+    return (
+        (0b110 << 13)
+        | (((imm >> 3) & 0x7) << 10)
+        | (_prime(rs1) << 7)
+        | (((imm >> 2) & 1) << 6)
+        | (((imm >> 6) & 1) << 5)
+        | (_prime(rs2) << 2)
+        | 0b00
+    )
+
+
+def _ci_lwsp(rd: int, imm: int) -> int:
+    return (
+        (0b010 << 13)
+        | (((imm >> 5) & 1) << 12)
+        | (rd << 7)
+        | (((imm >> 2) & 0x7) << 4)
+        | (((imm >> 6) & 0x3) << 2)
+        | 0b10
+    )
+
+
+def _css_swsp(rs2: int, imm: int) -> int:
+    return (
+        (0b110 << 13)
+        | (((imm >> 2) & 0xF) << 9)
+        | (((imm >> 6) & 0x3) << 7)
+        | (rs2 << 2)
+        | 0b10
+    )
+
+
+# ----------------------------------------------------------------------
+# Decompression
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decompress(word: int) -> Instruction:
+    """Expand a 16-bit RVC word into its base RV32IM instruction."""
+    if not 0 <= word <= 0xFFFF:
+        raise CompressionError("word out of 16-bit range: %r" % (word,))
+    quadrant = word & 0x3
+    if quadrant == 0b11:
+        raise CompressionError("not a compressed instruction: 0x%04x" % word)
+    funct3 = (word >> 13) & 0x7
+    if quadrant == 0b00:
+        return _decompress_q0(word, funct3)
+    if quadrant == 0b01:
+        return _decompress_q1(word, funct3)
+    return _decompress_q2(word, funct3)
+
+
+def _decompress_q0(word: int, funct3: int) -> Instruction:
+    rd_prime = _unprime((word >> 2) & 0x7)
+    rs1_prime = _unprime((word >> 7) & 0x7)
+    if funct3 == 0b000:
+        imm = (
+            (((word >> 11) & 0x3) << 4)
+            | (((word >> 7) & 0xF) << 6)
+            | (((word >> 6) & 1) << 2)
+            | (((word >> 5) & 1) << 3)
+        )
+        if imm == 0:
+            raise CompressionError("reserved CIW encoding")
+        return Instruction(Opcode.ADDI, rd=rd_prime, rs1=2, imm=imm)
+    if funct3 == 0b010:
+        imm = (
+            (((word >> 10) & 0x7) << 3)
+            | (((word >> 6) & 1) << 2)
+            | (((word >> 5) & 1) << 6)
+        )
+        return Instruction(Opcode.LW, rd=rd_prime, rs1=rs1_prime, imm=imm)
+    if funct3 == 0b110:
+        imm = (
+            (((word >> 10) & 0x7) << 3)
+            | (((word >> 6) & 1) << 2)
+            | (((word >> 5) & 1) << 6)
+        )
+        return Instruction(Opcode.SW, rs1=rs1_prime, rs2=rd_prime, imm=imm)
+    raise CompressionError("unsupported quadrant-0 funct3: %d" % funct3)
+
+
+def _decompress_q1(word: int, funct3: int) -> Instruction:
+    rd = (word >> 7) & 0x1F
+    imm6 = _sign_extend((((word >> 12) & 1) << 5) | ((word >> 2) & 0x1F), 6)
+    if funct3 == 0b000:
+        return Instruction(Opcode.ADDI, rd=rd, rs1=rd, imm=imm6)
+    if funct3 == 0b001 or funct3 == 0b101:
+        offset_bits = (
+            (((word >> 12) & 1) << 11)
+            | (((word >> 11) & 1) << 4)
+            | (((word >> 9) & 0x3) << 8)
+            | (((word >> 8) & 1) << 10)
+            | (((word >> 7) & 1) << 6)
+            | (((word >> 6) & 1) << 7)
+            | (((word >> 3) & 0x7) << 1)
+            | (((word >> 2) & 1) << 5)
+        )
+        offset = _sign_extend(offset_bits, 12)
+        link = 1 if funct3 == 0b001 else 0
+        return Instruction(Opcode.JAL, rd=link, imm=offset)
+    if funct3 == 0b010:
+        return Instruction(Opcode.ADDI, rd=rd, rs1=0, imm=imm6)
+    if funct3 == 0b011:
+        if rd == 2:
+            imm = _sign_extend(
+                (((word >> 12) & 1) << 9)
+                | (((word >> 6) & 1) << 4)
+                | (((word >> 5) & 1) << 6)
+                | (((word >> 3) & 0x3) << 7)
+                | (((word >> 2) & 1) << 5),
+                10,
+            )
+            if imm == 0:
+                raise CompressionError("reserved C.ADDI16SP")
+            return Instruction(Opcode.ADDI, rd=2, rs1=2, imm=imm)
+        if imm6 == 0:
+            raise CompressionError("reserved C.LUI")
+        return Instruction(Opcode.LUI, rd=rd, imm=imm6 & 0xFFFFF)
+    if funct3 == 0b100:
+        sub_kind = (word >> 10) & 0x3
+        rd_prime = _unprime((word >> 7) & 0x7)
+        if sub_kind == 0b00 or sub_kind == 0b01:
+            shamt = (((word >> 12) & 1) << 5) | ((word >> 2) & 0x1F)
+            opcode = Opcode.SRLI if sub_kind == 0b00 else Opcode.SRAI
+            if shamt >= 32:
+                raise CompressionError("RV32 shift amount >= 32")
+            return Instruction(opcode, rd=rd_prime, rs1=rd_prime, imm=shamt)
+        if sub_kind == 0b10:
+            return Instruction(Opcode.ANDI, rd=rd_prime, rs1=rd_prime, imm=imm6)
+        rs2_prime = _unprime((word >> 2) & 0x7)
+        funct2 = (word >> 5) & 0x3
+        opcode = (Opcode.SUB, Opcode.XOR, Opcode.OR, Opcode.AND)[funct2]
+        if (word >> 12) & 1:
+            raise CompressionError("RV64-only CA encoding")
+        return Instruction(opcode, rd=rd_prime, rs1=rd_prime, rs2=rs2_prime)
+    # funct3 110/111: C.BEQZ / C.BNEZ
+    rs1_prime = _unprime((word >> 7) & 0x7)
+    offset = _sign_extend(
+        (((word >> 12) & 1) << 8)
+        | (((word >> 10) & 0x3) << 3)
+        | (((word >> 5) & 0x3) << 6)
+        | (((word >> 3) & 0x3) << 1)
+        | (((word >> 2) & 1) << 5),
+        9,
+    )
+    opcode = Opcode.BEQ if funct3 == 0b110 else Opcode.BNE
+    return Instruction(opcode, rs1=rs1_prime, rs2=0, imm=offset)
+
+
+def _decompress_q2(word: int, funct3: int) -> Instruction:
+    rd = (word >> 7) & 0x1F
+    rs2 = (word >> 2) & 0x1F
+    bit12 = (word >> 12) & 1
+    if funct3 == 0b000:
+        shamt = (bit12 << 5) | rs2
+        if shamt >= 32 or rd == 0:
+            raise CompressionError("invalid C.SLLI")
+        return Instruction(Opcode.SLLI, rd=rd, rs1=rd, imm=shamt)
+    if funct3 == 0b010:
+        if rd == 0:
+            raise CompressionError("reserved C.LWSP")
+        imm = (
+            (bit12 << 5)
+            | (((word >> 4) & 0x7) << 2)
+            | (((word >> 2) & 0x3) << 6)
+        )
+        return Instruction(Opcode.LW, rd=rd, rs1=2, imm=imm)
+    if funct3 == 0b110:
+        imm = (((word >> 9) & 0xF) << 2) | (((word >> 7) & 0x3) << 6)
+        return Instruction(Opcode.SW, rs1=2, rs2=rs2, imm=imm)
+    if funct3 == 0b100:
+        if bit12 == 0:
+            if rs2 == 0:
+                if rd == 0:
+                    raise CompressionError("reserved C.JR")
+                return Instruction(Opcode.JALR, rd=0, rs1=rd, imm=0)
+            return Instruction(Opcode.ADD, rd=rd, rs1=0, rs2=rs2)
+        if rs2 == 0:
+            if rd == 0:
+                return Instruction(Opcode.EBREAK)
+            return Instruction(Opcode.JALR, rd=1, rs1=rd, imm=0)
+        return Instruction(Opcode.ADD, rd=rd, rs1=rd, rs2=rs2)
+    raise CompressionError("unsupported quadrant-2 funct3: %d" % funct3)

@@ -1,0 +1,46 @@
+"""Disassembler producing assembler-compatible text.
+
+``assemble(disassemble_program(p)) == p`` holds for every program, which
+the property-based tests exploit for round-trip checking.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Instruction, InstructionFormat, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+
+
+def disassemble(instruction: Instruction, abi: bool = True) -> str:
+    """Render one instruction as text."""
+    opcode = instruction.opcode
+    info = instruction.info
+    name = opcode.value
+
+    def reg(index: int) -> str:
+        return register_name(index, abi=abi)
+
+    if opcode in (Opcode.FENCE, Opcode.ECALL, Opcode.EBREAK):
+        return name
+    fmt = info.fmt
+    if fmt is InstructionFormat.R:
+        return "%s %s, %s, %s" % (name, reg(instruction.rd), reg(instruction.rs1), reg(instruction.rs2))
+    if fmt is InstructionFormat.U:
+        return "%s %s, %d" % (name, reg(instruction.rd), instruction.imm)
+    if fmt is InstructionFormat.J:
+        return "%s %s, %d" % (name, reg(instruction.rd), instruction.imm)
+    if fmt is InstructionFormat.B:
+        return "%s %s, %s, %d" % (name, reg(instruction.rs1), reg(instruction.rs2), instruction.imm)
+    if fmt is InstructionFormat.S:
+        return "%s %s, %d(%s)" % (name, reg(instruction.rs2), instruction.imm, reg(instruction.rs1))
+    # I-format
+    if opcode in (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU):
+        return "%s %s, %d(%s)" % (name, reg(instruction.rd), instruction.imm, reg(instruction.rs1))
+    return "%s %s, %s, %d" % (name, reg(instruction.rd), reg(instruction.rs1), instruction.imm)
+
+
+def disassemble_program(program: Program, abi: bool = True) -> List[str]:
+    """Render a whole program, one line per instruction."""
+    return [disassemble(instruction, abi=abi) for instruction in program]

@@ -1,0 +1,269 @@
+"""Binary encoding and decoding of RV32IM instructions.
+
+Implements the standard 32-bit instruction formats (R/I/S/B/U/J) as
+specified in the RISC-V unprivileged ISA manual.  ``encode_instruction``
+and ``decode_instruction`` are exact inverses on the supported subset,
+which the property-based tests verify by round-tripping the entire
+instruction space.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Instruction,
+    InstructionFormat,
+    Opcode,
+    OPCODE_INFO,
+    SHIFT_IMMEDIATE_OPCODES,
+)
+
+
+class EncodingError(ValueError):
+    """Raised when a word cannot be decoded as a supported instruction."""
+
+
+_MAJOR_LUI = 0b0110111
+_MAJOR_AUIPC = 0b0010111
+_MAJOR_JAL = 0b1101111
+_MAJOR_JALR = 0b1100111
+_MAJOR_BRANCH = 0b1100011
+_MAJOR_LOAD = 0b0000011
+_MAJOR_STORE = 0b0100011
+_MAJOR_OP_IMM = 0b0010011
+_MAJOR_OP = 0b0110011
+_MAJOR_MISC_MEM = 0b0001111
+_MAJOR_SYSTEM = 0b1110011
+
+#: opcode -> (major opcode, funct3, funct7); ``None`` where unused.
+_ENCODING_FIELDS = {
+    Opcode.LUI: (_MAJOR_LUI, None, None),
+    Opcode.AUIPC: (_MAJOR_AUIPC, None, None),
+    Opcode.JAL: (_MAJOR_JAL, None, None),
+    Opcode.JALR: (_MAJOR_JALR, 0b000, None),
+    Opcode.BEQ: (_MAJOR_BRANCH, 0b000, None),
+    Opcode.BNE: (_MAJOR_BRANCH, 0b001, None),
+    Opcode.BLT: (_MAJOR_BRANCH, 0b100, None),
+    Opcode.BGE: (_MAJOR_BRANCH, 0b101, None),
+    Opcode.BLTU: (_MAJOR_BRANCH, 0b110, None),
+    Opcode.BGEU: (_MAJOR_BRANCH, 0b111, None),
+    Opcode.LB: (_MAJOR_LOAD, 0b000, None),
+    Opcode.LH: (_MAJOR_LOAD, 0b001, None),
+    Opcode.LW: (_MAJOR_LOAD, 0b010, None),
+    Opcode.LBU: (_MAJOR_LOAD, 0b100, None),
+    Opcode.LHU: (_MAJOR_LOAD, 0b101, None),
+    Opcode.SB: (_MAJOR_STORE, 0b000, None),
+    Opcode.SH: (_MAJOR_STORE, 0b001, None),
+    Opcode.SW: (_MAJOR_STORE, 0b010, None),
+    Opcode.ADDI: (_MAJOR_OP_IMM, 0b000, None),
+    Opcode.SLTI: (_MAJOR_OP_IMM, 0b010, None),
+    Opcode.SLTIU: (_MAJOR_OP_IMM, 0b011, None),
+    Opcode.XORI: (_MAJOR_OP_IMM, 0b100, None),
+    Opcode.ORI: (_MAJOR_OP_IMM, 0b110, None),
+    Opcode.ANDI: (_MAJOR_OP_IMM, 0b111, None),
+    Opcode.SLLI: (_MAJOR_OP_IMM, 0b001, 0b0000000),
+    Opcode.SRLI: (_MAJOR_OP_IMM, 0b101, 0b0000000),
+    Opcode.SRAI: (_MAJOR_OP_IMM, 0b101, 0b0100000),
+    Opcode.ADD: (_MAJOR_OP, 0b000, 0b0000000),
+    Opcode.SUB: (_MAJOR_OP, 0b000, 0b0100000),
+    Opcode.SLL: (_MAJOR_OP, 0b001, 0b0000000),
+    Opcode.SLT: (_MAJOR_OP, 0b010, 0b0000000),
+    Opcode.SLTU: (_MAJOR_OP, 0b011, 0b0000000),
+    Opcode.XOR: (_MAJOR_OP, 0b100, 0b0000000),
+    Opcode.SRL: (_MAJOR_OP, 0b101, 0b0000000),
+    Opcode.SRA: (_MAJOR_OP, 0b101, 0b0100000),
+    Opcode.OR: (_MAJOR_OP, 0b110, 0b0000000),
+    Opcode.AND: (_MAJOR_OP, 0b111, 0b0000000),
+    Opcode.MUL: (_MAJOR_OP, 0b000, 0b0000001),
+    Opcode.MULH: (_MAJOR_OP, 0b001, 0b0000001),
+    Opcode.MULHSU: (_MAJOR_OP, 0b010, 0b0000001),
+    Opcode.MULHU: (_MAJOR_OP, 0b011, 0b0000001),
+    Opcode.DIV: (_MAJOR_OP, 0b100, 0b0000001),
+    Opcode.DIVU: (_MAJOR_OP, 0b101, 0b0000001),
+    Opcode.REM: (_MAJOR_OP, 0b110, 0b0000001),
+    Opcode.REMU: (_MAJOR_OP, 0b111, 0b0000001),
+    Opcode.FENCE: (_MAJOR_MISC_MEM, 0b000, None),
+    Opcode.ECALL: (_MAJOR_SYSTEM, 0b000, None),
+    Opcode.EBREAK: (_MAJOR_SYSTEM, 0b000, None),
+}
+
+_DECODE_R = {
+    (funct3, funct7): opcode
+    for opcode, (major, funct3, funct7) in _ENCODING_FIELDS.items()
+    if major == _MAJOR_OP
+}
+_DECODE_BRANCH = {
+    funct3: opcode
+    for opcode, (major, funct3, _f7) in _ENCODING_FIELDS.items()
+    if major == _MAJOR_BRANCH
+}
+_DECODE_LOAD = {
+    funct3: opcode
+    for opcode, (major, funct3, _f7) in _ENCODING_FIELDS.items()
+    if major == _MAJOR_LOAD
+}
+_DECODE_STORE = {
+    funct3: opcode
+    for opcode, (major, funct3, _f7) in _ENCODING_FIELDS.items()
+    if major == _MAJOR_STORE
+}
+_DECODE_OP_IMM = {
+    funct3: opcode
+    for opcode, (major, funct3, funct7) in _ENCODING_FIELDS.items()
+    if major == _MAJOR_OP_IMM and funct7 is None
+}
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    return value & ((1 << bits) - 1)
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign_bit = 1 << (bits - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Encode ``instruction`` into its 32-bit machine word."""
+    opcode = instruction.opcode
+    major, funct3, funct7 = _ENCODING_FIELDS[opcode]
+    info = OPCODE_INFO[opcode]
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+    imm = instruction.imm
+
+    if opcode is Opcode.ECALL:
+        return (0 << 20) | (0b000 << 12) | _MAJOR_SYSTEM
+    if opcode is Opcode.EBREAK:
+        return (1 << 20) | (0b000 << 12) | _MAJOR_SYSTEM
+    if opcode is Opcode.FENCE:
+        # fence iorw, iorw
+        return (0x0FF << 20) | (0b000 << 12) | _MAJOR_MISC_MEM
+
+    fmt = info.fmt
+    if fmt is InstructionFormat.R:
+        return (
+            (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+            | (rd << 7) | major
+        )
+    if fmt is InstructionFormat.I:
+        if opcode in SHIFT_IMMEDIATE_OPCODES:
+            imm12 = (funct7 << 5) | (imm & 0x1F)
+        else:
+            imm12 = _to_unsigned(imm, 12)
+        return (imm12 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | major
+    if fmt is InstructionFormat.S:
+        imm12 = _to_unsigned(imm, 12)
+        return (
+            ((imm12 >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+            | ((imm12 & 0x1F) << 7) | major
+        )
+    if fmt is InstructionFormat.B:
+        imm13 = _to_unsigned(imm, 13)
+        return (
+            (((imm13 >> 12) & 0x1) << 31)
+            | (((imm13 >> 5) & 0x3F) << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (funct3 << 12)
+            | (((imm13 >> 1) & 0xF) << 8)
+            | (((imm13 >> 11) & 0x1) << 7)
+            | major
+        )
+    if fmt is InstructionFormat.U:
+        return (_to_unsigned(imm, 20) << 12) | (rd << 7) | major
+    if fmt is InstructionFormat.J:
+        imm21 = _to_unsigned(imm, 21)
+        return (
+            (((imm21 >> 20) & 0x1) << 31)
+            | (((imm21 >> 1) & 0x3FF) << 21)
+            | (((imm21 >> 11) & 0x1) << 20)
+            | (((imm21 >> 12) & 0xFF) << 12)
+            | (rd << 7)
+            | major
+        )
+    raise AssertionError("unreachable format: %r" % (fmt,))  # pragma: no cover
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit machine word into an :class:`Instruction`."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError("word out of range: %r" % (word,))
+    major = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if major == _MAJOR_LUI:
+        return Instruction(Opcode.LUI, rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if major == _MAJOR_AUIPC:
+        return Instruction(Opcode.AUIPC, rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if major == _MAJOR_JAL:
+        imm = (
+            (((word >> 31) & 0x1) << 20)
+            | (((word >> 21) & 0x3FF) << 1)
+            | (((word >> 20) & 0x1) << 11)
+            | (((word >> 12) & 0xFF) << 12)
+        )
+        return Instruction(Opcode.JAL, rd=rd, imm=_sign_extend(imm, 21))
+    if major == _MAJOR_JALR:
+        if funct3 != 0:
+            raise EncodingError("bad JALR funct3: %d" % funct3)
+        return Instruction(
+            Opcode.JALR, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12)
+        )
+    if major == _MAJOR_BRANCH:
+        opcode = _DECODE_BRANCH.get(funct3)
+        if opcode is None:
+            raise EncodingError("bad branch funct3: %d" % funct3)
+        imm = (
+            (((word >> 31) & 0x1) << 12)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+            | (((word >> 7) & 0x1) << 11)
+        )
+        return Instruction(opcode, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 13))
+    if major == _MAJOR_LOAD:
+        opcode = _DECODE_LOAD.get(funct3)
+        if opcode is None:
+            raise EncodingError("bad load funct3: %d" % funct3)
+        return Instruction(opcode, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12))
+    if major == _MAJOR_STORE:
+        opcode = _DECODE_STORE.get(funct3)
+        if opcode is None:
+            raise EncodingError("bad store funct3: %d" % funct3)
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Instruction(opcode, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 12))
+    if major == _MAJOR_OP_IMM:
+        if funct3 == 0b001 or funct3 == 0b101:
+            shamt = rs2
+            if funct3 == 0b001:
+                if funct7 != 0:
+                    raise EncodingError("bad SLLI funct7: %d" % funct7)
+                return Instruction(Opcode.SLLI, rd=rd, rs1=rs1, imm=shamt)
+            if funct7 == 0b0000000:
+                return Instruction(Opcode.SRLI, rd=rd, rs1=rs1, imm=shamt)
+            if funct7 == 0b0100000:
+                return Instruction(Opcode.SRAI, rd=rd, rs1=rs1, imm=shamt)
+            raise EncodingError("bad shift funct7: %d" % funct7)
+        opcode = _DECODE_OP_IMM.get(funct3)
+        if opcode is None:
+            raise EncodingError("bad OP-IMM funct3: %d" % funct3)
+        return Instruction(opcode, rd=rd, rs1=rs1, imm=_sign_extend(word >> 20, 12))
+    if major == _MAJOR_OP:
+        opcode = _DECODE_R.get((funct3, funct7))
+        if opcode is None:
+            raise EncodingError("bad OP funct3/funct7: %d/%d" % (funct3, funct7))
+        return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2)
+    if major == _MAJOR_MISC_MEM:
+        if funct3 != 0:
+            raise EncodingError("bad MISC-MEM funct3: %d" % funct3)
+        return Instruction(Opcode.FENCE)
+    if major == _MAJOR_SYSTEM:
+        imm12 = word >> 20
+        if funct3 == 0 and imm12 == 0:
+            return Instruction(Opcode.ECALL)
+        if funct3 == 0 and imm12 == 1:
+            return Instruction(Opcode.EBREAK)
+        raise EncodingError("unsupported SYSTEM encoding: 0x%08x" % word)
+    raise EncodingError("unsupported major opcode: 0x%02x" % major)

@@ -1,0 +1,375 @@
+"""The ISA-level state machine (the paper's ``ISA : ARCH -> ARCH``).
+
+:class:`IsaExecutor` executes a :class:`~repro.isa.program.Program`
+instruction-by-instruction over an :class:`~repro.isa.state.ArchState`
+and emits one :class:`ExecRecord` per retired instruction.  ExecRecords
+carry everything contract atoms observe: operand values, memory
+addresses and data, branch outcomes, and register-dependency distances
+(the paper's ``RAW_*_n`` / ``WAW_n`` features).
+
+The microarchitectural cores reuse this executor for functional
+semantics and layer cycle-accurate timing on top, mirroring how the
+paper extracts architectural state from RVFI retirement events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+
+_MASK32 = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+#: Default step bound; test-case programs are short and loop-free, so
+#: this only guards against pathological hand-written inputs.
+DEFAULT_MAX_STEPS = 4096
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a program does not terminate within the step bound."""
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & _SIGN_BIT else value
+
+
+@dataclass
+class ExecRecord:
+    """Architectural facts about one retired instruction.
+
+    ``index`` is the retirement order (0-based).  Dependency distances
+    are ``None`` when there is no conflicting instruction within
+    :attr:`IsaExecutor.dependency_window` earlier retirements.
+    """
+
+    index: int
+    pc: int
+    next_pc: int
+    instruction: Instruction
+    rs1_value: int = 0
+    rs2_value: int = 0
+    rd_value: int = 0
+    mem_read_addr: Optional[int] = None
+    mem_read_data: Optional[int] = None
+    mem_write_addr: Optional[int] = None
+    mem_write_data: Optional[int] = None
+    branch_taken: Optional[bool] = None
+    raw_rs1_dist: Optional[int] = None
+    raw_rs2_dist: Optional[int] = None
+    war_rd_dist: Optional[int] = None
+    waw_dist: Optional[int] = None
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.instruction.opcode
+
+    @property
+    def memory_address(self) -> Optional[int]:
+        """The effective address of a load or store, if any."""
+        if self.mem_read_addr is not None:
+            return self.mem_read_addr
+        return self.mem_write_addr
+
+    @property
+    def is_control_flow_change(self) -> bool:
+        return self.next_pc != (self.pc + 4) & _MASK32
+
+
+def annotate_dependency_distances(records: List["ExecRecord"], window: int = 4) -> None:
+    """(Re)compute the dependency-distance fields of ``records``.
+
+    Used by the executor itself and by consumers that reconstruct
+    retirement records from external sources (e.g. VCD waveforms),
+    where the dependency features must be re-derived from the
+    instruction stream.
+    """
+    last_writer: Dict[int, int] = {}
+    last_reader: Dict[int, int] = {}
+    for record in records:
+        _annotate_record_dependencies(record, last_writer, last_reader, window)
+        _update_dependency_maps(record, last_writer, last_reader)
+
+
+def _annotate_record_dependencies(
+    record: "ExecRecord",
+    last_writer: Dict[int, int],
+    last_reader: Dict[int, int],
+    window: int,
+) -> None:
+    info = record.instruction.info
+    index = record.index
+
+    def distance(event_index: Optional[int]) -> Optional[int]:
+        if event_index is None:
+            return None
+        dist = index - event_index
+        return dist if dist <= window else None
+
+    if info.has_rs1 and record.instruction.rs1 != 0:
+        record.raw_rs1_dist = distance(last_writer.get(record.instruction.rs1))
+    if info.has_rs2 and record.instruction.rs2 != 0:
+        record.raw_rs2_dist = distance(last_writer.get(record.instruction.rs2))
+    written = record.instruction.written_register
+    if written is not None:
+        record.war_rd_dist = distance(last_reader.get(written))
+        record.waw_dist = distance(last_writer.get(written))
+
+
+def _update_dependency_maps(
+    record: "ExecRecord",
+    last_writer: Dict[int, int],
+    last_reader: Dict[int, int],
+) -> None:
+    instruction = record.instruction
+    info = instruction.info
+    if info.has_rs1 and instruction.rs1 != 0:
+        last_reader[instruction.rs1] = record.index
+    if info.has_rs2 and instruction.rs2 != 0:
+        last_reader[instruction.rs2] = record.index
+    written = instruction.written_register
+    if written is not None:
+        last_writer[written] = record.index
+
+
+class IsaExecutor:
+    """Executes programs at instruction granularity.
+
+    ``dependency_window`` bounds how far back register dependencies are
+    tracked; the paper's template uses distances up to ``n = 4``.
+    """
+
+    def __init__(self, dependency_window: int = 4):
+        self.dependency_window = dependency_window
+
+    def run(
+        self,
+        program: Program,
+        state: ArchState,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> List[ExecRecord]:
+        """Execute ``program`` on ``state`` (mutated in place).
+
+        Execution stops when the program counter leaves the program,
+        when an ``ECALL``/``EBREAK`` retires, or after ``max_steps``
+        instructions (raising :class:`ExecutionLimitExceeded`).
+        """
+        records: List[ExecRecord] = []
+        last_writer: Dict[int, int] = {}
+        last_reader: Dict[int, int] = {}
+        window = self.dependency_window
+
+        while True:
+            instruction = program.fetch(state.pc)
+            if instruction is None:
+                return records
+            if len(records) >= max_steps:
+                raise ExecutionLimitExceeded(
+                    "program exceeded %d retired instructions" % max_steps
+                )
+            record = self._step(state, instruction, len(records))
+            _annotate_record_dependencies(record, last_writer, last_reader, window)
+            _update_dependency_maps(record, last_writer, last_reader)
+            records.append(record)
+            if instruction.opcode in (Opcode.ECALL, Opcode.EBREAK):
+                return records
+            state.pc = record.next_pc
+
+    def _step(self, state: ArchState, instruction: Instruction, index: int) -> ExecRecord:
+        """Execute one instruction, returning its retirement record."""
+        opcode = instruction.opcode
+        pc = state.pc
+        rs1_value = state.regs[instruction.rs1] if instruction.info.has_rs1 else 0
+        rs2_value = state.regs[instruction.rs2] if instruction.info.has_rs2 else 0
+        imm = instruction.imm
+        record = ExecRecord(
+            index=index,
+            pc=pc,
+            next_pc=(pc + 4) & _MASK32,
+            instruction=instruction,
+            rs1_value=rs1_value,
+            rs2_value=rs2_value,
+        )
+
+        result: Optional[int] = None
+        if opcode is Opcode.ADDI:
+            result = (rs1_value + imm) & _MASK32
+        elif opcode is Opcode.ADD:
+            result = (rs1_value + rs2_value) & _MASK32
+        elif opcode is Opcode.SUB:
+            result = (rs1_value - rs2_value) & _MASK32
+        elif opcode is Opcode.ANDI:
+            result = rs1_value & (imm & _MASK32)
+        elif opcode is Opcode.ORI:
+            result = rs1_value | (imm & _MASK32)
+        elif opcode is Opcode.XORI:
+            result = rs1_value ^ (imm & _MASK32)
+        elif opcode is Opcode.AND:
+            result = rs1_value & rs2_value
+        elif opcode is Opcode.OR:
+            result = rs1_value | rs2_value
+        elif opcode is Opcode.XOR:
+            result = rs1_value ^ rs2_value
+        elif opcode is Opcode.SLTI:
+            result = 1 if _signed(rs1_value) < imm else 0
+        elif opcode is Opcode.SLTIU:
+            result = 1 if rs1_value < (imm & _MASK32) else 0
+        elif opcode is Opcode.SLT:
+            result = 1 if _signed(rs1_value) < _signed(rs2_value) else 0
+        elif opcode is Opcode.SLTU:
+            result = 1 if rs1_value < rs2_value else 0
+        elif opcode is Opcode.SLLI:
+            result = (rs1_value << imm) & _MASK32
+        elif opcode is Opcode.SRLI:
+            result = rs1_value >> imm
+        elif opcode is Opcode.SRAI:
+            result = (_signed(rs1_value) >> imm) & _MASK32
+        elif opcode is Opcode.SLL:
+            result = (rs1_value << (rs2_value & 0x1F)) & _MASK32
+        elif opcode is Opcode.SRL:
+            result = rs1_value >> (rs2_value & 0x1F)
+        elif opcode is Opcode.SRA:
+            result = (_signed(rs1_value) >> (rs2_value & 0x1F)) & _MASK32
+        elif opcode is Opcode.LUI:
+            result = (imm << 12) & _MASK32
+        elif opcode is Opcode.AUIPC:
+            result = (pc + (imm << 12)) & _MASK32
+        elif opcode is Opcode.MUL:
+            result = (rs1_value * rs2_value) & _MASK32
+        elif opcode is Opcode.MULH:
+            result = ((_signed(rs1_value) * _signed(rs2_value)) >> 32) & _MASK32
+        elif opcode is Opcode.MULHSU:
+            result = ((_signed(rs1_value) * rs2_value) >> 32) & _MASK32
+        elif opcode is Opcode.MULHU:
+            result = ((rs1_value * rs2_value) >> 32) & _MASK32
+        elif opcode in (Opcode.DIV, Opcode.DIVU, Opcode.REM, Opcode.REMU):
+            result = _divide(opcode, rs1_value, rs2_value)
+        elif opcode in (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU):
+            result = _load(state, record, opcode, rs1_value, imm)
+        elif opcode in (Opcode.SB, Opcode.SH, Opcode.SW):
+            _store(state, record, opcode, rs1_value, rs2_value, imm)
+        elif opcode in (
+            Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
+        ):
+            taken = _branch_condition(opcode, rs1_value, rs2_value)
+            record.branch_taken = taken
+            if taken:
+                record.next_pc = (pc + imm) & _MASK32
+        elif opcode is Opcode.JAL:
+            result = (pc + 4) & _MASK32
+            record.next_pc = (pc + imm) & _MASK32
+        elif opcode is Opcode.JALR:
+            result = (pc + 4) & _MASK32
+            record.next_pc = (rs1_value + imm) & _MASK32 & ~0x1
+        elif opcode in (Opcode.FENCE, Opcode.ECALL, Opcode.EBREAK):
+            pass
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssertionError("unhandled opcode: %r" % (opcode,))
+
+        if result is not None and instruction.info.has_rd:
+            state.write_register(instruction.rd, result)
+            record.rd_value = state.regs[instruction.rd]
+        return record
+
+
+def _divide(opcode: Opcode, dividend: int, divisor: int) -> int:
+    """RV32M division semantics, including the divide-by-zero and
+    signed-overflow special cases mandated by the ISA manual."""
+    if opcode is Opcode.DIVU:
+        return _MASK32 if divisor == 0 else dividend // divisor
+    if opcode is Opcode.REMU:
+        return dividend if divisor == 0 else dividend % divisor
+    signed_dividend, signed_divisor = _signed(dividend), _signed(divisor)
+    if opcode is Opcode.DIV:
+        if signed_divisor == 0:
+            return _MASK32
+        if signed_dividend == -(1 << 31) and signed_divisor == -1:
+            return dividend
+        quotient = abs(signed_dividend) // abs(signed_divisor)
+        if (signed_dividend < 0) != (signed_divisor < 0):
+            quotient = -quotient
+        return quotient & _MASK32
+    # REM
+    if signed_divisor == 0:
+        return dividend
+    if signed_dividend == -(1 << 31) and signed_divisor == -1:
+        return 0
+    remainder = abs(signed_dividend) % abs(signed_divisor)
+    if signed_dividend < 0:
+        remainder = -remainder
+    return remainder & _MASK32
+
+
+def _load(state: ArchState, record: ExecRecord, opcode: Opcode, base: int, imm: int) -> int:
+    address = (base + imm) & _MASK32
+    if opcode is Opcode.LW:
+        data = state.memory.load_word(address)
+        value = data
+    elif opcode is Opcode.LH:
+        data = state.memory.load_halfword(address)
+        value = (data - 0x10000) & _MASK32 if data & 0x8000 else data
+    elif opcode is Opcode.LHU:
+        data = state.memory.load_halfword(address)
+        value = data
+    elif opcode is Opcode.LB:
+        data = state.memory.load_byte(address)
+        value = (data - 0x100) & _MASK32 if data & 0x80 else data
+    else:  # LBU
+        data = state.memory.load_byte(address)
+        value = data
+    record.mem_read_addr = address
+    record.mem_read_data = data
+    return value
+
+
+def _store(
+    state: ArchState,
+    record: ExecRecord,
+    opcode: Opcode,
+    base: int,
+    value: int,
+    imm: int,
+) -> None:
+    address = (base + imm) & _MASK32
+    if opcode is Opcode.SW:
+        data = value & _MASK32
+        state.memory.store_word(address, data)
+    elif opcode is Opcode.SH:
+        data = value & 0xFFFF
+        state.memory.store_halfword(address, data)
+    else:  # SB
+        data = value & 0xFF
+        state.memory.store_byte(address, data)
+    record.mem_write_addr = address
+    record.mem_write_data = data
+
+
+def _branch_condition(opcode: Opcode, lhs: int, rhs: int) -> bool:
+    if opcode is Opcode.BEQ:
+        return lhs == rhs
+    if opcode is Opcode.BNE:
+        return lhs != rhs
+    if opcode is Opcode.BLT:
+        return _signed(lhs) < _signed(rhs)
+    if opcode is Opcode.BGE:
+        return _signed(lhs) >= _signed(rhs)
+    if opcode is Opcode.BLTU:
+        return lhs < rhs
+    # BGEU
+    return lhs >= rhs
+
+
+def execute_program(
+    program: Program,
+    state: Optional[ArchState] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    dependency_window: int = 4,
+) -> List[ExecRecord]:
+    """Convenience wrapper: run ``program`` from ``state`` (or a fresh
+    state positioned at the program's base address)."""
+    if state is None:
+        state = ArchState(pc=program.base_address)
+    return IsaExecutor(dependency_window).run(program, state, max_steps)

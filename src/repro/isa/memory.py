@@ -1,0 +1,111 @@
+"""Sparse byte-addressable memory for the 32-bit address space.
+
+Backed by a dictionary of aligned 32-bit words; unwritten locations read
+as zero.  This mirrors the paper's experimental setup in which both
+programs of a test case start from the same (fixed) memory image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+_MASK32 = 0xFFFFFFFF
+
+
+class SparseMemory:
+    """Little-endian sparse memory with word-granular backing store."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, image: Dict[int, int] = None):
+        self._words: Dict[int, int] = {}
+        if image:
+            for address, value in image.items():
+                self.store_word(address, value)
+
+    def copy(self) -> "SparseMemory":
+        clone = SparseMemory()
+        clone._words = dict(self._words)
+        return clone
+
+    def load_byte(self, address: int) -> int:
+        address &= _MASK32
+        word = self._words.get(address & ~0x3, 0)
+        return (word >> ((address & 0x3) * 8)) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        address &= _MASK32
+        base = address & ~0x3
+        shift = (address & 0x3) * 8
+        word = self._words.get(base, 0)
+        self._words[base] = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+
+    def load_halfword(self, address: int) -> int:
+        address &= _MASK32
+        if address & 0x1 == 0 and address & 0x2 in (0, 2):
+            base = address & ~0x3
+            shift = (address & 0x3) * 8
+            if shift <= 16:
+                return (self._words.get(base, 0) >> shift) & 0xFFFF
+        return self.load_byte(address) | (self.load_byte(address + 1) << 8)
+
+    def store_halfword(self, address: int, value: int) -> None:
+        self.store_byte(address, value & 0xFF)
+        self.store_byte(address + 1, (value >> 8) & 0xFF)
+
+    def load_word(self, address: int) -> int:
+        address &= _MASK32
+        if address & 0x3 == 0:
+            return self._words.get(address, 0)
+        return (
+            self.load_byte(address)
+            | (self.load_byte(address + 1) << 8)
+            | (self.load_byte(address + 2) << 16)
+            | (self.load_byte(address + 3) << 24)
+        )
+
+    def store_word(self, address: int, value: int) -> None:
+        address &= _MASK32
+        if address & 0x3 == 0:
+            self._words[address] = value & _MASK32
+            return
+        for offset in range(4):
+            self.store_byte(address + offset, (value >> (offset * 8)) & 0xFF)
+
+    def load(self, address: int, width: int) -> int:
+        """Load ``width`` bytes (1, 2, or 4) as an unsigned integer."""
+        if width == 4:
+            return self.load_word(address)
+        if width == 2:
+            return self.load_halfword(address)
+        if width == 1:
+            return self.load_byte(address)
+        raise ValueError("unsupported access width: %r" % (width,))
+
+    def store(self, address: int, value: int, width: int) -> None:
+        """Store ``width`` bytes (1, 2, or 4) of ``value``."""
+        if width == 4:
+            self.store_word(address, value)
+        elif width == 2:
+            self.store_halfword(address, value)
+        elif width == 1:
+            self.store_byte(address, value)
+        else:
+            raise ValueError("unsupported access width: %r" % (width,))
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over (aligned address, word value) pairs that were written."""
+        return self._words.items()
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMemory):
+            return NotImplemented
+        mine = {a: w for a, w in self._words.items() if w != 0}
+        theirs = {a: w for a, w in other._words.items() if w != 0}
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SparseMemory(%d words)" % len(self._words)

@@ -1,0 +1,44 @@
+"""RISC-V integer register file names and helpers.
+
+RV32I defines 32 integer registers ``x0`` .. ``x31`` where ``x0`` is
+hard-wired to zero.  The ABI assigns mnemonic names (``zero``, ``ra``,
+``sp``, ...) which the assembler and disassembler accept and produce.
+"""
+
+from __future__ import annotations
+
+REGISTER_COUNT = 32
+
+#: ABI register names indexed by register number.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_INDEX = {name: index for index, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX.update({"x%d" % index: index for index in range(REGISTER_COUNT)})
+# ``fp`` is an alias for ``s0``/``x8``.
+_NAME_TO_INDEX["fp"] = 8
+
+
+def register_name(index: int, abi: bool = True) -> str:
+    """Return the canonical name of register ``index``.
+
+    ``abi=True`` yields the ABI name (``a0``), otherwise the numeric
+    name (``x10``).
+    """
+    if not 0 <= index < REGISTER_COUNT:
+        raise ValueError("register index out of range: %r" % (index,))
+    return ABI_NAMES[index] if abi else "x%d" % index
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name (ABI or numeric) into its index."""
+    index = _NAME_TO_INDEX.get(name.strip().lower())
+    if index is None:
+        raise ValueError("unknown register name: %r" % (name,))
+    return index

@@ -1,0 +1,25 @@
+"""Rendering of contract tables and experiment curves."""
+
+from repro.reporting.tables import (
+    CellMarker,
+    PAPER_TABLE_1,
+    PAPER_TABLE_2,
+    TABLE_CATEGORIES,
+    contract_summary_grid,
+    grid_agreement,
+    render_contract_table,
+)
+from repro.reporting.curves import Series, render_ascii_chart, write_csv
+
+__all__ = [
+    "CellMarker",
+    "PAPER_TABLE_1",
+    "PAPER_TABLE_2",
+    "Series",
+    "TABLE_CATEGORIES",
+    "contract_summary_grid",
+    "grid_agreement",
+    "render_ascii_chart",
+    "render_contract_table",
+    "write_csv",
+]

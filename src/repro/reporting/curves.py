@@ -1,0 +1,105 @@
+"""Curve data (Figures 2 and 3) with CSV and ASCII rendering."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One labelled curve: y values over shared x positions."""
+
+    label: str
+    points: List[Tuple[float, Optional[float]]]
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _y in self.points]
+
+    @property
+    def ys(self) -> List[Optional[float]]:
+        return [y for _x, y in self.points]
+
+
+def write_csv(path: str, series_list: Sequence[Series]) -> None:
+    """Write curves in wide CSV form (x, one column per series)."""
+    xs = sorted({x for series in series_list for x in series.xs})
+    lookup = [
+        {x: y for x, y in series.points}
+        for series in series_list
+    ]
+    with open(path, "w") as stream:
+        stream.write(
+            "x," + ",".join(series.label for series in series_list) + "\n"
+        )
+        for x in xs:
+            row = ["%g" % x]
+            for table in lookup:
+                value = table.get(x)
+                row.append("" if value is None else "%.6f" % value)
+            stream.write(",".join(row) + "\n")
+
+
+def render_ascii_chart(
+    series_list: Sequence[Series],
+    width: int = 70,
+    height: int = 16,
+    log_x: bool = False,
+    y_range: Tuple[float, float] = (0.0, 1.0),
+) -> str:
+    """A small terminal chart, one glyph per series."""
+    glyphs = "*o+x#@"
+    y_low, y_high = y_range
+    xs = [x for series in series_list for x, y in series.points if y is not None]
+    if not xs:
+        return "(no data)"
+    x_low, x_high = min(xs), max(xs)
+
+    def x_position(x: float) -> int:
+        if log_x:
+            if x <= 0:
+                return 0
+            low = math.log10(max(x_low, 1e-9))
+            high = math.log10(max(x_high, 1e-9))
+        else:
+            low, high = x_low, x_high
+        span = (high - low) or 1.0
+        value = math.log10(x) if log_x else x
+        return int(round((value - low) / span * (width - 1)))
+
+    def y_position(y: float) -> int:
+        span = (y_high - y_low) or 1.0
+        fraction = (y - y_low) / span
+        return int(round((1.0 - fraction) * (height - 1)))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in series.points:
+            if y is None:
+                continue
+            row = min(max(y_position(y), 0), height - 1)
+            column = min(max(x_position(x), 0), width - 1)
+            canvas[row][column] = glyph
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = "%.2f" % y_high
+        elif row_index == height - 1:
+            label = "%.2f" % y_low
+        else:
+            label = ""
+        lines.append("%6s |%s" % (label, "".join(row)))
+    lines.append("%6s +%s" % ("", "-" * width))
+    lines.append(
+        "%6s  %-20s%40s"
+        % ("", "%g" % x_low, "%g" % x_high)
+    )
+    for index, series in enumerate(series_list):
+        lines.append(
+            "%6s  %s = %s" % ("", glyphs[index % len(glyphs)], series.label)
+        )
+    return "\n".join(lines)

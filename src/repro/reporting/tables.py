@@ -1,0 +1,165 @@
+"""Contract summary tables in the paper's notation (Tables I and II).
+
+Cells aggregate per-opcode atoms into instruction categories:
+
+- ``•``  every opcode in the category has a selected atom of the family,
+- ``•◦`` some opcodes do,
+- ``◦``  none do (but atoms of the family would apply),
+- ``-``  the family does not apply to the category at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from repro.contracts.atoms import LeakageFamily
+from repro.contracts.template import Contract, ContractTemplate
+from repro.isa.instructions import InstructionCategory, Opcode, OPCODE_INFO
+
+
+class CellMarker(enum.Enum):
+    FULL = "•"
+    PARTIAL = "•◦"
+    NONE = "◦"
+    NOT_APPLICABLE = "-"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The table rows of the paper, in order.
+TABLE_CATEGORIES: Tuple[Tuple[str, InstructionCategory], ...] = (
+    ("Arithmetic instructions", InstructionCategory.ARITHMETIC),
+    ("Division, Remainder", InstructionCategory.DIVISION),
+    ("Multiplication", InstructionCategory.MULTIPLICATION),
+    ("Loads", InstructionCategory.LOAD),
+    ("Stores", InstructionCategory.STORE),
+    ("Branch instructions", InstructionCategory.BRANCH),
+)
+
+#: The table columns, in order.
+TABLE_FAMILIES: Tuple[LeakageFamily, ...] = (
+    LeakageFamily.IL,
+    LeakageFamily.RL,
+    LeakageFamily.ML,
+    LeakageFamily.AL,
+    LeakageFamily.BL,
+    LeakageFamily.DL,
+)
+
+GridKey = Tuple[InstructionCategory, LeakageFamily]
+Grid = Dict[GridKey, CellMarker]
+
+
+def contract_summary_grid(contract: Contract) -> Grid:
+    """Aggregate ``contract`` into the paper's category/family grid."""
+    template: ContractTemplate = contract.template
+    applicable: Dict[GridKey, set] = {}
+    selected: Dict[GridKey, set] = {}
+    for atom in template:
+        category = OPCODE_INFO[atom.opcode].category
+        key = (category, atom.family)
+        applicable.setdefault(key, set()).add(atom.opcode)
+        if atom.atom_id in contract:
+            selected.setdefault(key, set()).add(atom.opcode)
+
+    grid: Grid = {}
+    for _label, category in TABLE_CATEGORIES:
+        for family in TABLE_FAMILIES:
+            key = (category, family)
+            applicable_opcodes = applicable.get(key, set())
+            if not applicable_opcodes:
+                grid[key] = CellMarker.NOT_APPLICABLE
+                continue
+            covered = selected.get(key, set())
+            if not covered:
+                grid[key] = CellMarker.NONE
+            elif covered == applicable_opcodes:
+                grid[key] = CellMarker.FULL
+            else:
+                grid[key] = CellMarker.PARTIAL
+    return grid
+
+
+def render_contract_table(contract: Contract, title: str = "") -> str:
+    """Render the grid as fixed-width text."""
+    grid = contract_summary_grid(contract)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "%-26s" % "" + "".join(
+        "%6s" % family.name for family in TABLE_FAMILIES
+    )
+    lines.append(header)
+    for label, category in TABLE_CATEGORIES:
+        cells = "".join(
+            "%6s" % grid[(category, family)].value for family in TABLE_FAMILIES
+        )
+        lines.append("%-26s%s" % (label, cells))
+    lines.append("")
+    lines.append("%d atoms selected" % len(contract))
+    return "\n".join(lines)
+
+
+def _paper_grid(rows: Dict[InstructionCategory, str]) -> Grid:
+    """Parse a compact per-category marker string into a grid."""
+    symbols = {
+        "F": CellMarker.FULL,
+        "P": CellMarker.PARTIAL,
+        "O": CellMarker.NONE,
+        "-": CellMarker.NOT_APPLICABLE,
+    }
+    grid: Grid = {}
+    for category, markers in rows.items():
+        assert len(markers) == len(TABLE_FAMILIES)
+        for family, marker in zip(TABLE_FAMILIES, markers):
+            grid[(category, family)] = symbols[marker]
+    return grid
+
+
+#: Table I of the paper (synthesized Ibex contract, 82 atoms).
+PAPER_TABLE_1 = _paper_grid(
+    {
+        InstructionCategory.ARITHMETIC: "PP---P",
+        InstructionCategory.DIVISION: "OP---P",
+        InstructionCategory.MULTIPLICATION: "PO---F",
+        InstructionCategory.LOAD: "POOF-O",
+        InstructionCategory.STORE: "POOO-O",
+        InstructionCategory.BRANCH: "PO--FO",
+    }
+)
+
+#: Table II of the paper (synthesized CVA6 contract, 77 atoms).
+PAPER_TABLE_2 = _paper_grid(
+    {
+        InstructionCategory.ARITHMETIC: "PP---P",
+        InstructionCategory.DIVISION: "PP---P",
+        InstructionCategory.MULTIPLICATION: "OP---P",
+        InstructionCategory.LOAD: "POOO-P",
+        InstructionCategory.STORE: "OPOO-O",
+        InstructionCategory.BRANCH: "OO--FP",
+    }
+)
+
+
+def grid_agreement(measured: Grid, reference: Grid) -> Tuple[int, int, List[str]]:
+    """Cell-level agreement between a measured grid and the paper's.
+
+    Returns ``(matching cells, total cells, mismatch descriptions)``.
+    Cells are compared on the paper's applicable cells only.
+    """
+    matches = 0
+    total = 0
+    mismatches: List[str] = []
+    for (category, family), expected in reference.items():
+        measured_marker = measured.get((category, family), CellMarker.NOT_APPLICABLE)
+        total += 1
+        if measured_marker is expected:
+            matches += 1
+        else:
+            mismatches.append(
+                "%s/%s: measured %s, paper %s"
+                % (category.value, family.name, measured_marker.value, expected.value)
+            )
+    return matches, total, mismatches

@@ -1,0 +1,24 @@
+"""Contract-based program-security auditing.
+
+The pay-off of leakage contracts (§II-D): a program whose contract
+trace is independent of its secrets leaks nothing on *any* processor
+satisfying the contract.  This package implements that check — the
+downstream use case the paper's related work ([19], [22]) builds
+entire verifiers around.
+"""
+
+from repro.security.policy import SecurityPolicy
+from repro.security.audit import (
+    AuditResult,
+    Counterexample,
+    audit_program,
+    ground_truth_leakage,
+)
+
+__all__ = [
+    "AuditResult",
+    "Counterexample",
+    "SecurityPolicy",
+    "audit_program",
+    "ground_truth_leakage",
+]

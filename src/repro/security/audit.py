@@ -1,0 +1,141 @@
+"""The contract-level non-interference check.
+
+``audit_program`` samples secret assignments under a policy, computes
+the contract's leakage trace for each resulting initial state, and
+reports the first pair of assignments with differing traces.  If all
+traces agree, the program is (testing-wise) non-interferent w.r.t.
+the contract — and therefore safe on every core that satisfies it.
+
+``ground_truth_leakage`` performs the corresponding microarchitectural
+experiment on a concrete core, which is how the audit's verdicts are
+validated in tests: contract-secure programs must be attacker-secure
+on cores the contract was synthesized from (up to the contract's test
+coverage), while the converse may fail (contracts over-approximate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.attacker.base import Attacker
+from repro.attacker.retirement import RetirementTimingAttacker
+from repro.contracts.observations import contract_observation_trace
+from repro.contracts.template import Contract
+from repro.isa.executor import execute_program
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+from repro.security.policy import SecurityPolicy
+from repro.uarch.core import Core
+
+
+@dataclass
+class Counterexample:
+    """Two secret assignments the contract distinguishes."""
+
+    assignment_a: Dict[str, Dict[int, int]]
+    assignment_b: Dict[str, Dict[int, int]]
+    #: First execution step at which the contract traces differ
+    #: (``None`` when the traces differ in length).
+    first_divergence_step: Optional[int]
+
+
+@dataclass
+class AuditResult:
+    """Outcome of a contract-level program audit."""
+
+    secure: bool
+    samples: int
+    counterexample: Optional[Counterexample] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.secure
+
+
+def _first_divergence(trace_a, trace_b) -> Optional[int]:
+    for step, (obs_a, obs_b) in enumerate(zip(trace_a, trace_b)):
+        if obs_a != obs_b:
+            return step
+    if len(trace_a) != len(trace_b):
+        return None
+    return None
+
+
+def audit_program(
+    program: Program,
+    contract: Contract,
+    policy: SecurityPolicy,
+    base_state: Optional[ArchState] = None,
+    samples: int = 16,
+    seed: int = 0,
+) -> AuditResult:
+    """Check that ``program``'s contract trace is secret-independent.
+
+    ``base_state`` fixes the public inputs (defaults to all-zero
+    registers); ``samples`` secret assignments are drawn and all
+    resulting traces compared against the first.
+    """
+    if samples < 2:
+        raise ValueError("need at least two samples to compare")
+    rng = random.Random(seed)
+    state = (
+        base_state.copy()
+        if base_state is not None
+        else ArchState(pc=program.base_address)
+    )
+    state.pc = program.base_address
+
+    reference_assignment = policy.sample_assignment(rng)
+    reference_records = execute_program(
+        program, policy.apply(state, reference_assignment)
+    )
+    reference_trace = contract_observation_trace(contract, reference_records)
+
+    for _ in range(samples - 1):
+        assignment = policy.sample_assignment(rng)
+        records = execute_program(program, policy.apply(state, assignment))
+        trace = contract_observation_trace(contract, records)
+        if trace != reference_trace:
+            return AuditResult(
+                secure=False,
+                samples=samples,
+                counterexample=Counterexample(
+                    assignment_a=reference_assignment,
+                    assignment_b=assignment,
+                    first_divergence_step=_first_divergence(reference_trace, trace),
+                ),
+            )
+    return AuditResult(secure=True, samples=samples)
+
+
+def ground_truth_leakage(
+    program: Program,
+    core: Core,
+    policy: SecurityPolicy,
+    base_state: Optional[ArchState] = None,
+    samples: int = 16,
+    seed: int = 0,
+    attacker: Optional[Attacker] = None,
+) -> bool:
+    """Whether a microarchitectural attacker on ``core`` can actually
+    distinguish secret assignments of ``program`` (testing-based)."""
+    rng = random.Random(seed)
+    attacker = attacker if attacker is not None else RetirementTimingAttacker()
+    state = (
+        base_state.copy()
+        if base_state is not None
+        else ArchState(pc=program.base_address)
+    )
+    state.pc = program.base_address
+
+    reference = core.simulate(
+        program, policy.apply(state, policy.sample_assignment(rng))
+    )
+    for _ in range(samples - 1):
+        result = core.simulate(
+            program, policy.apply(state, policy.sample_assignment(rng))
+        )
+        if attacker.distinguishes(reference, result):
+            return True
+    return False

@@ -1,0 +1,64 @@
+"""Security policies: which architectural state holds secrets."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.isa.state import ArchState
+
+
+@dataclass(frozen=True)
+class SecurityPolicy:
+    """Declares the secret part of the initial architectural state.
+
+    ``secret_registers`` hold values the attacker must not learn;
+    ``secret_memory_words`` are word-aligned addresses whose contents
+    are secret.  Everything else is public and fixed across the
+    sampled executions.
+    """
+
+    secret_registers: FrozenSet[int] = frozenset()
+    secret_memory_words: FrozenSet[int] = frozenset()
+    #: Candidate secret values; defaults to a mix of small and wide
+    #: values when empty.
+    value_pool: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for register in self.secret_registers:
+            if not 1 <= register <= 31:
+                raise ValueError("secret register out of range: %r" % (register,))
+        for address in self.secret_memory_words:
+            if address % 4:
+                raise ValueError("secret memory address must be word aligned")
+        if not self.secret_registers and not self.secret_memory_words:
+            raise ValueError("policy declares no secrets")
+
+    def sample_assignment(self, rng: random.Random) -> Dict[str, Dict[int, int]]:
+        """One random assignment of values to all secret locations."""
+        def draw() -> int:
+            if self.value_pool:
+                return self.value_pool[rng.randrange(len(self.value_pool))]
+            if rng.random() < 0.5:
+                return rng.randrange(0, 256)
+            return rng.getrandbits(32)
+
+        return {
+            "registers": {register: draw() for register in sorted(self.secret_registers)},
+            "memory": {address: draw() for address in sorted(self.secret_memory_words)},
+        }
+
+    def apply(self, state: ArchState, assignment: Dict[str, Dict[int, int]]) -> ArchState:
+        """A copy of ``state`` with the secret assignment installed."""
+        prepared = state.copy()
+        for register, value in assignment["registers"].items():
+            prepared.write_register(register, value)
+        for address, value in assignment["memory"].items():
+            prepared.memory.store_word(address, value)
+        return prepared
+
+
+def registers(*indices: int) -> FrozenSet[int]:
+    """Convenience constructor: ``SecurityPolicy(registers(10, 11))``."""
+    return frozenset(indices)

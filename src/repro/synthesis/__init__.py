@@ -1,0 +1,43 @@
+"""Contract synthesis via 0-1 integer linear programming (§III-D).
+
+Given an evaluation dataset, synthesis selects the subset of template
+atoms that (a) distinguishes every attacker-distinguishable test case
+whose leak the template can express at all, and (b) minimizes the
+number of attacker-indistinguishable test cases that become contract
+distinguishable (false positives) — i.e. the most precise correct
+contract.
+"""
+
+from repro.synthesis.ilp import IlpInstance, build_ilp_instance
+from repro.synthesis.solvers import (
+    BranchAndBoundSolver,
+    GreedySolver,
+    IlpSolver,
+    ScipyMilpSolver,
+    SolverResult,
+)
+from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult, synthesize
+from repro.synthesis.metrics import (
+    ClassificationCounts,
+    evaluate_contract,
+    verify_contract_correctness,
+)
+from repro.synthesis.ranking import AtomRanking, rank_atoms_by_false_positives
+
+__all__ = [
+    "AtomRanking",
+    "BranchAndBoundSolver",
+    "ClassificationCounts",
+    "ContractSynthesizer",
+    "GreedySolver",
+    "IlpInstance",
+    "IlpSolver",
+    "ScipyMilpSolver",
+    "SolverResult",
+    "SynthesisResult",
+    "build_ilp_instance",
+    "evaluate_contract",
+    "rank_atoms_by_false_positives",
+    "synthesize",
+    "verify_contract_correctness",
+]

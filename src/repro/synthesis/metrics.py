@@ -1,0 +1,111 @@
+"""Classification metrics for contracts (§III-B, Fig. 2/3).
+
+A contract plays the role of a binary classifier over test cases:
+positive = contract distinguishable.  Ground truth = attacker
+distinguishable.  Precision is what the synthesis maximizes; sensitivity
+measures how much actual leakage the synthesis test set exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.contracts.template import Contract
+from repro.evaluation.results import EvaluationDataset
+
+
+@dataclass(frozen=True)
+class ClassificationCounts:
+    """Confusion-matrix counts of a contract over a dataset."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+    @property
+    def precision(self) -> Optional[float]:
+        """TP / (TP + FP); ``None`` when the contract flags nothing."""
+        flagged = self.true_positives + self.false_positives
+        if flagged == 0:
+            return None
+        return self.true_positives / flagged
+
+    @property
+    def sensitivity(self) -> Optional[float]:
+        """TP / (TP + FN); ``None`` when nothing is attacker
+        distinguishable."""
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return None
+        return self.true_positives / actual
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "ClassificationCounts(tp=%d, fp=%d, fn=%d, tn=%d)"
+            % (
+                self.true_positives,
+                self.false_positives,
+                self.false_negatives,
+                self.true_negatives,
+            )
+        )
+
+
+def evaluate_contract(
+    contract: Contract, dataset: EvaluationDataset
+) -> ClassificationCounts:
+    """Score ``contract`` against (typically held-out) ``dataset``."""
+    true_positives = false_positives = false_negatives = true_negatives = 0
+    atom_ids = contract.atom_ids
+    for result in dataset:
+        contract_distinguishable = not atom_ids.isdisjoint(
+            result.distinguishing_atom_ids
+        )
+        if result.attacker_distinguishable:
+            if contract_distinguishable:
+                true_positives += 1
+            else:
+                false_negatives += 1
+        else:
+            if contract_distinguishable:
+                false_positives += 1
+            else:
+                true_negatives += 1
+    return ClassificationCounts(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        true_negatives=true_negatives,
+    )
+
+
+def verify_contract_correctness(
+    contract: Contract,
+    dataset: EvaluationDataset,
+    allowed_atom_ids=None,
+) -> bool:
+    """Check that ``contract`` distinguishes every attacker-
+    distinguishable test case that the (restricted) template can
+    distinguish at all — the paper's contract-satisfaction guarantee
+    on the synthesis test set."""
+    allowed = None if allowed_atom_ids is None else frozenset(allowed_atom_ids)
+    for result in dataset.distinguishable:
+        atoms = result.distinguishing_atom_ids
+        if allowed is not None:
+            atoms = atoms & allowed
+        if not atoms:
+            continue  # not expressible in the restricted template
+        if contract.atom_ids.isdisjoint(atoms):
+            return False
+    return True

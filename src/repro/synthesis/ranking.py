@@ -1,0 +1,83 @@
+"""Atom false-positive ranking for template refinement (§III-E).
+
+Beyond the synthesized contract, the toolchain reports how many false
+positives each selected atom is responsible for, together with example
+test cases.  A human expert inspects the worst offenders to split or
+refine atoms — this is how the paper discovered the AL/BL/DL families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.contracts.template import Contract, ContractTemplate
+from repro.evaluation.results import EvaluationDataset
+
+
+@dataclass(frozen=True)
+class AtomRanking:
+    """False-positive attribution for one selected atom."""
+
+    atom_id: int
+    atom_name: str
+    #: Indistinguishable test cases this atom distinguishes.
+    false_positive_count: int
+    #: ... of which no *other* selected atom distinguishes (removing or
+    #: refining this atom alone would recover exactly these).
+    sole_false_positive_count: int
+    #: Example test ids for manual inspection.
+    example_test_ids: Tuple[int, ...]
+
+
+def rank_atoms_by_false_positives(
+    contract: Contract,
+    dataset: EvaluationDataset,
+    max_examples: int = 5,
+) -> List[AtomRanking]:
+    """Rank the contract's atoms by the false positives they cause."""
+    template: ContractTemplate = contract.template
+    counts: Dict[int, int] = {atom_id: 0 for atom_id in contract.atom_ids}
+    sole_counts: Dict[int, int] = {atom_id: 0 for atom_id in contract.atom_ids}
+    examples: Dict[int, List[int]] = {atom_id: [] for atom_id in contract.atom_ids}
+
+    for result in dataset.indistinguishable:
+        selected_here = result.distinguishing_atom_ids & contract.atom_ids
+        if not selected_here:
+            continue
+        for atom_id in selected_here:
+            counts[atom_id] += 1
+            if len(examples[atom_id]) < max_examples:
+                examples[atom_id].append(result.test_id)
+        if len(selected_here) == 1:
+            (atom_id,) = selected_here
+            sole_counts[atom_id] += 1
+
+    rankings = [
+        AtomRanking(
+            atom_id=atom_id,
+            atom_name=template.atom(atom_id).name,
+            false_positive_count=counts[atom_id],
+            sole_false_positive_count=sole_counts[atom_id],
+            example_test_ids=tuple(examples[atom_id]),
+        )
+        for atom_id in contract.atom_ids
+    ]
+    rankings.sort(key=lambda r: (-r.false_positive_count, r.atom_id))
+    return rankings
+
+
+def format_ranking(rankings: List[AtomRanking], top: int = 20) -> str:
+    """Human-readable refinement report."""
+    lines = ["%-28s %10s %10s  examples" % ("atom", "FPs", "sole FPs")]
+    for ranking in rankings[:top]:
+        lines.append(
+            "%-28s %10d %10d  %s"
+            % (
+                ranking.atom_name,
+                ranking.false_positive_count,
+                ranking.sole_false_positive_count,
+                list(ranking.example_test_ids),
+            )
+        )
+    return "\n".join(lines)

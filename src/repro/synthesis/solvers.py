@@ -1,0 +1,332 @@
+"""Solver backends for the synthesis ILP.
+
+Three interchangeable backends:
+
+- :class:`ScipyMilpSolver` — exact, via ``scipy.optimize.milp``
+  (HiGHS).  The default; the paper uses Google OR-Tools, any exact
+  0-1 ILP solver yields the same optimum.
+- :class:`BranchAndBoundSolver` — exact, pure Python.  Self-contained
+  reference implementation used to cross-check the scipy backend and
+  in environments without SciPy.
+- :class:`GreedySolver` — a classic weighted set-cover heuristic used
+  as an ablation baseline (how much precision does optimality buy?).
+
+All backends minimize false positives first and break ties toward
+fewer atoms, so synthesized contracts are canonical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.synthesis.ilp import IlpInstance
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one ILP solve."""
+
+    selected_atom_ids: FrozenSet[int]
+    false_positives: int
+    solver_name: str
+    optimal: bool
+    #: Backend-specific statistics (nodes explored, iterations, ...).
+    stats: Dict[str, float] = None
+
+    def __post_init__(self) -> None:
+        if self.stats is None:
+            self.stats = {}
+
+
+class IlpSolver:
+    """Backend interface."""
+
+    name = "abstract"
+
+    def solve(self, instance: IlpInstance) -> SolverResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _verify(instance: IlpInstance, selection: FrozenSet[int]) -> None:
+        if not instance.covers_all(selection):
+            raise AssertionError("solver returned a non-covering selection")
+
+
+def eliminate_redundant_atoms(
+    instance: IlpInstance, selection: Sequence[int]
+) -> List[int]:
+    """Drop atoms whose coverage is subsumed by the rest.
+
+    Loss-free: removing atoms never increases the number of false
+    positives, and coverage is re-checked per removal.  The most
+    FP-expensive redundancies are dropped first.
+    """
+    fp_cost = {atom_id: 0 for atom_id in selection}
+    for atoms, weight in instance.fp_sets:
+        for atom_id in atoms:
+            if atom_id in fp_cost:
+                fp_cost[atom_id] += weight
+    coverage = {atom_id: 0 for atom_id in selection}
+    for atoms in instance.cover_sets:
+        for atom_id in atoms:
+            if atom_id in coverage:
+                coverage[atom_id] += 1
+    kept = list(selection)
+    # Try to drop FP-expensive atoms first, then narrow ones.
+    for atom_id in sorted(selection, key=lambda a: (-fp_cost[a], coverage[a], a)):
+        remainder = [other for other in kept if other != atom_id]
+        if remainder and instance.covers_all(remainder):
+            kept = remainder
+    return kept
+
+
+class ScipyMilpSolver(IlpSolver):
+    """Exact backend on ``scipy.optimize.milp`` (HiGHS).
+
+    ``time_limit`` (seconds) bounds the branch-and-cut search; when it
+    is hit, the best incumbent is returned with ``optimal=False`` (and
+    the greedy solution is used if HiGHS has no incumbent yet).  Dense
+    instances — deep-pipeline cores whose mispredictions make whole
+    suffixes distinguishable — can otherwise take hours to *prove*
+    optimality long after finding the optimum.
+    """
+
+    name = "scipy-milp"
+
+    def __init__(self, time_limit: Optional[float] = 120.0):
+        self.time_limit = time_limit
+
+    def solve(self, instance: IlpInstance) -> SolverResult:
+        import numpy as np
+        from scipy import sparse
+        from scipy.optimize import Bounds, LinearConstraint, milp
+
+        atom_ids = instance.candidate_atom_ids
+        atom_index = {atom_id: index for index, atom_id in enumerate(atom_ids)}
+        atom_count = len(atom_ids)
+        fp_count = len(instance.fp_sets)
+        variable_count = atom_count + fp_count
+
+        if not instance.cover_sets:
+            return SolverResult(frozenset(), 0, self.name, optimal=True)
+
+        # Objective: FP weights on the c_t variables only.  Selected
+        # atoms carry no cost (an epsilon tie-break toward smaller
+        # contracts makes the MILP hugely degenerate and slow); the
+        # contract is minimized afterwards by loss-free redundancy
+        # elimination.
+        objective = np.zeros(variable_count)
+        for index, (_atoms, weight) in enumerate(instance.fp_sets):
+            objective[atom_count + index] = float(weight)
+
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        lower: List[float] = []
+        upper: List[float] = []
+        row = 0
+        for atoms in instance.cover_sets:
+            for atom_id in atoms:
+                rows.append(row)
+                cols.append(atom_index[atom_id])
+                data.append(1.0)
+            lower.append(1.0)
+            upper.append(float(len(atoms)))
+            row += 1
+        for fp_position, (atoms, _weight) in enumerate(instance.fp_sets):
+            for atom_id in atoms:
+                # s_A - c_t <= 0
+                rows.append(row)
+                cols.append(atom_index[atom_id])
+                data.append(1.0)
+                rows.append(row)
+                cols.append(atom_count + fp_position)
+                data.append(-1.0)
+                lower.append(-1.0)
+                upper.append(0.0)
+                row += 1
+
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(row, variable_count)
+        )
+        options = {}
+        if self.time_limit is not None:
+            options["time_limit"] = float(self.time_limit)
+        result = milp(
+            c=objective,
+            constraints=LinearConstraint(matrix, lower, upper),
+            integrality=np.ones(variable_count),
+            bounds=Bounds(0.0, 1.0),
+            options=options,
+        )
+        optimal = bool(result.success)
+        if result.x is not None:
+            raw_selection = [
+                atom_ids[index]
+                for index in range(atom_count)
+                if result.x[index] > 0.5
+            ]
+        elif result.status == 1:  # time/iteration limit, no incumbent
+            raw_selection = sorted(GreedySolver().solve(instance).selected_atom_ids)
+            optimal = False
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("MILP solve failed: %s" % result.message)
+        selected = frozenset(eliminate_redundant_atoms(instance, raw_selection))
+        self._verify(instance, selected)
+        return SolverResult(
+            selected_atom_ids=selected,
+            false_positives=instance.false_positive_weight(selected),
+            solver_name=self.name,
+            optimal=optimal,
+            stats={"variables": variable_count, "constraints": row},
+        )
+
+
+class GreedySolver(IlpSolver):
+    """Weighted greedy set cover with redundancy elimination."""
+
+    name = "greedy"
+
+    def solve(self, instance: IlpInstance) -> SolverResult:
+        uncovered = set(range(len(instance.cover_sets)))
+        atom_covers: Dict[int, set] = {atom_id: set() for atom_id in instance.candidate_atom_ids}
+        for position, atoms in enumerate(instance.cover_sets):
+            for atom_id in atoms:
+                atom_covers[atom_id].add(position)
+        atom_fp: Dict[int, int] = {atom_id: 0 for atom_id in instance.candidate_atom_ids}
+        for atoms, weight in instance.fp_sets:
+            for atom_id in atoms:
+                atom_fp[atom_id] += weight
+
+        selection: List[int] = []
+        iterations = 0
+        while uncovered:
+            iterations += 1
+            best_atom = None
+            best_key = None
+            for atom_id, covers in atom_covers.items():
+                gain = len(covers & uncovered)
+                if gain == 0:
+                    continue
+                # Cheapest additional FP per newly covered constraint;
+                # ties toward smaller atom id for determinism.
+                key = (atom_fp[atom_id] / gain, -gain, atom_id)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_atom = atom_id
+            selection.append(best_atom)
+            uncovered -= atom_covers[best_atom]
+
+        selection = eliminate_redundant_atoms(instance, selection)
+        selected = frozenset(selection)
+        self._verify(instance, selected)
+        return SolverResult(
+            selected_atom_ids=selected,
+            false_positives=instance.false_positive_weight(selected),
+            solver_name=self.name,
+            optimal=False,
+            stats={"iterations": iterations},
+        )
+
+
+class BranchAndBoundSolver(IlpSolver):
+    """Exact pure-Python branch & bound over the coverage structure.
+
+    Search state is a bitmask of covered constraints plus a bitmask of
+    touched FP sets; the greedy solution provides the initial upper
+    bound, and a branch is pruned when its FP weight (an admissible
+    lower bound — selecting more atoms never removes false positives)
+    reaches the incumbent.
+    """
+
+    name = "branch-and-bound"
+
+    def __init__(self, node_limit: int = 2_000_000):
+        self.node_limit = node_limit
+
+    def solve(self, instance: IlpInstance) -> SolverResult:
+        cover_count = len(instance.cover_sets)
+        if cover_count == 0:
+            return SolverResult(frozenset(), 0, self.name, optimal=True)
+
+        atom_ids = instance.candidate_atom_ids
+        cover_mask: Dict[int, int] = {atom_id: 0 for atom_id in atom_ids}
+        for position, atoms in enumerate(instance.cover_sets):
+            bit = 1 << position
+            for atom_id in atoms:
+                cover_mask[atom_id] |= bit
+        fp_mask: Dict[int, int] = {atom_id: 0 for atom_id in atom_ids}
+        fp_weights = [weight for _atoms, weight in instance.fp_sets]
+        for position, (atoms, _weight) in enumerate(instance.fp_sets):
+            bit = 1 << position
+            for atom_id in atoms:
+                fp_mask[atom_id] |= bit
+
+        def weight_of(mask: int) -> int:
+            total = 0
+            position = 0
+            while mask:
+                if mask & 1:
+                    total += fp_weights[position]
+                mask >>= 1
+                position += 1
+            return total
+
+        greedy = GreedySolver().solve(instance)
+        best_selection = tuple(sorted(greedy.selected_atom_ids))
+        best_key = (greedy.false_positives, len(best_selection))
+        full_mask = (1 << cover_count) - 1
+
+        # Order the atoms inside each constraint by FP cost (cheap
+        # first) so good solutions are found early.
+        constraint_options: List[List[int]] = [
+            sorted(atoms, key=lambda a: (weight_of(fp_mask[a]), a))
+            for atoms in instance.cover_sets
+        ]
+
+        nodes = [0]
+        optimal = [True]
+
+        def search(covered: int, fp_bits: int, selection: Tuple[int, ...]):
+            nonlocal best_selection, best_key
+            nodes[0] += 1
+            if nodes[0] > self.node_limit:  # pragma: no cover - safety valve
+                optimal[0] = False
+                return
+            current_fp = weight_of(fp_bits)
+            key = (current_fp, len(selection))
+            if key >= best_key:
+                return
+            if covered == full_mask:
+                best_key = key
+                best_selection = selection
+                return
+            # Branch on the uncovered constraint with fewest options.
+            pivot = None
+            pivot_options = None
+            for position in range(cover_count):
+                if covered & (1 << position):
+                    continue
+                options = constraint_options[position]
+                if pivot_options is None or len(options) < len(pivot_options):
+                    pivot, pivot_options = position, options
+                    if len(options) == 1:
+                        break
+            for atom_id in pivot_options:
+                search(
+                    covered | cover_mask[atom_id],
+                    fp_bits | fp_mask[atom_id],
+                    selection + (atom_id,),
+                )
+
+        search(0, 0, ())
+        selected = frozenset(best_selection)
+        self._verify(instance, selected)
+        return SolverResult(
+            selected_atom_ids=selected,
+            false_positives=instance.false_positive_weight(selected),
+            solver_name=self.name,
+            optimal=optimal[0],
+            stats={"nodes": nodes[0]},
+        )

@@ -1,0 +1,95 @@
+"""End-to-end contract synthesis (§III-D).
+
+``synthesize`` ties the pieces together: reduce an evaluation dataset
+to an ILP instance (optionally under a template restriction), solve
+it, and package the optimal contract with its diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.contracts.template import Contract, ContractTemplate
+from repro.evaluation.results import EvaluationDataset
+from repro.synthesis.ilp import IlpInstance, build_ilp_instance
+from repro.synthesis.solvers import IlpSolver, ScipyMilpSolver, SolverResult
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesized contract plus synthesis diagnostics."""
+
+    contract: Contract
+    solver_result: SolverResult
+    instance: IlpInstance
+    wall_seconds: float
+    #: Test ids of false positives under the synthesized contract.
+    false_positive_test_ids: Tuple[int, ...] = field(default=())
+
+    @property
+    def false_positives(self) -> int:
+        return self.solver_result.false_positives
+
+    @property
+    def atom_count(self) -> int:
+        return len(self.contract)
+
+    @property
+    def uncoverable_test_ids(self) -> Tuple[int, ...]:
+        return self.instance.uncoverable_test_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SynthesisResult(%d atoms, %d false positives, %.3fs)" % (
+            self.atom_count,
+            self.false_positives,
+            self.wall_seconds,
+        )
+
+
+class ContractSynthesizer:
+    """Reusable synthesis front end bound to a template and solver."""
+
+    def __init__(
+        self,
+        template: ContractTemplate,
+        solver: Optional[IlpSolver] = None,
+    ):
+        self.template = template
+        self.solver = solver if solver is not None else ScipyMilpSolver()
+
+    def synthesize(
+        self,
+        dataset: EvaluationDataset,
+        allowed_atom_ids: Optional[Iterable[int]] = None,
+    ) -> SynthesisResult:
+        """Synthesize the most precise correct contract for ``dataset``.
+
+        ``allowed_atom_ids`` restricts the template (e.g. to the
+        IL+RL+ML base families); atom ids refer to ``self.template``.
+        """
+        start = time.perf_counter()
+        instance = build_ilp_instance(dataset, allowed_atom_ids)
+        solver_result = self.solver.solve(instance)
+        contract = Contract(self.template, solver_result.selected_atom_ids)
+        elapsed = time.perf_counter() - start
+        return SynthesisResult(
+            contract=contract,
+            solver_result=solver_result,
+            instance=instance,
+            wall_seconds=elapsed,
+            false_positive_test_ids=tuple(
+                instance.false_positive_test_ids(solver_result.selected_atom_ids)
+            ),
+        )
+
+
+def synthesize(
+    dataset: EvaluationDataset,
+    template: ContractTemplate,
+    allowed_atom_ids: Optional[Iterable[int]] = None,
+    solver: Optional[IlpSolver] = None,
+) -> SynthesisResult:
+    """One-shot convenience wrapper around :class:`ContractSynthesizer`."""
+    return ContractSynthesizer(template, solver).synthesize(dataset, allowed_atom_ids)

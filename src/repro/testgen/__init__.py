@@ -1,0 +1,12 @@
+"""Atom-targeted test-case generation (§III-B, §IV-B).
+
+A test case is a pair of programs with a shared, fixed initial
+architectural state; the two programs differ only in their middle
+section, which is constructed so that one specific contract atom is
+likely to distinguish them.
+"""
+
+from repro.testgen.testcase import TestCase
+from repro.testgen.generator import GeneratorConfig, TestCaseGenerator
+
+__all__ = ["GeneratorConfig", "TestCase", "TestCaseGenerator"]

@@ -1,0 +1,57 @@
+"""Test-case container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+
+
+@dataclass
+class TestCase:
+    """A pair of programs from equal initial states (§III-B).
+
+    Formally a test case is a pair of microarchitectural states with
+    equal microarchitectural parts; here both programs start from the
+    same (randomly initialized) architectural register file and an
+    all-zero memory, and every core model resets its microarchitectural
+    state per simulation, so the equality holds by construction.
+
+    ``targeted_atom_id`` records which contract atom the generator was
+    aiming at — diagnostic metadata only; evaluation computes the exact
+    distinguishing set regardless.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    test_id: int
+    program_a: Program
+    program_b: Program
+    initial_state: ArchState
+    targeted_atom_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.program_a.base_address != self.program_b.base_address:
+            raise ValueError("programs must share a base address")
+
+    @property
+    def differing_positions(self):
+        """Instruction indices where the two programs differ."""
+        length = max(len(self.program_a), len(self.program_b))
+        positions = []
+        for index in range(length):
+            a = self.program_a[index] if index < len(self.program_a) else None
+            b = self.program_b[index] if index < len(self.program_b) else None
+            if a != b:
+                positions.append(index)
+        return positions
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TestCase(#%d, %d/%d instructions, atom=%s)" % (
+            self.test_id,
+            len(self.program_a),
+            len(self.program_b),
+            self.targeted_atom_id,
+        )

@@ -1,0 +1,27 @@
+"""Cycle-accurate microarchitectural core models with RVFI output.
+
+This package is the reproduction's substitute for RTL simulation: each
+core is a behavioural, cycle-accurate timing model layered on top of the
+functional ISA executor, exposing retirement events through the RISC-V
+Formal Interface (:mod:`repro.uarch.rvfi`) exactly as the paper's
+Verilog testbench does.
+"""
+
+from repro.uarch.rvfi import RvfiRecord, RvfiTrace
+from repro.uarch.core import Core, SimulationResult
+from repro.uarch.ibex import IbexCore, IbexConfig
+from repro.uarch.cva6 import CVA6Core, CVA6Config
+from repro.uarch.testbench import Testbench, simulate
+
+__all__ = [
+    "CVA6Config",
+    "CVA6Core",
+    "Core",
+    "IbexConfig",
+    "IbexCore",
+    "RvfiRecord",
+    "RvfiTrace",
+    "SimulationResult",
+    "Testbench",
+    "simulate",
+]

@@ -1,0 +1,51 @@
+"""Reusable microarchitectural timing components.
+
+Each component models the *timing* of a functional unit; functional
+semantics always come from the ISA executor.  The components are the
+knobs through which the core models realize the leakage behaviours
+catalogued in DESIGN.md §5.
+"""
+
+from repro.uarch.components.divider import (
+    ConstantTimeDivider,
+    Divider,
+    EarlyExitDivider,
+)
+from repro.uarch.components.multiplier import (
+    FixedLatencyMultiplier,
+    Multiplier,
+    ZeroSkipMultiplier,
+)
+from repro.uarch.components.shifter import BarrelShifter, SerialShifter, Shifter
+from repro.uarch.components.memory_interface import (
+    FixedLatencyMemoryPort,
+    MemoryPort,
+    WordAlignedMemoryPort,
+)
+from repro.uarch.components.branch_predictor import (
+    BimodalPredictor,
+    BranchPredictor,
+    Prediction,
+    StaticNotTakenPredictor,
+)
+from repro.uarch.components.cache import DirectMappedCache
+
+__all__ = [
+    "BarrelShifter",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "ConstantTimeDivider",
+    "DirectMappedCache",
+    "Divider",
+    "EarlyExitDivider",
+    "FixedLatencyMemoryPort",
+    "FixedLatencyMultiplier",
+    "MemoryPort",
+    "Multiplier",
+    "Prediction",
+    "SerialShifter",
+    "Shifter",
+    "StaticNotTakenPredictor",
+    "WordAlignedMemoryPort",
+    "ZeroSkipMultiplier",
+]

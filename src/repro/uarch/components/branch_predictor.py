@@ -1,0 +1,94 @@
+"""Branch-predictor models.
+
+The predictor state is part of the *microarchitectural* state, which
+test cases hold equal between the two programs (§II-D requires
+``σ_IMPL = σ'_IMPL``); predictors therefore start from the same reset
+state for every simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A fetch-time prediction: direction plus (optional) target."""
+
+    taken: bool
+    target: Optional[int] = None
+
+
+class BranchPredictor:
+    """Interface for direction+target prediction with update."""
+
+    def predict(self, pc: int) -> Prediction:
+        raise NotImplementedError
+
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class StaticNotTakenPredictor(BranchPredictor):
+    """Always predicts not-taken (Ibex has no dynamic predictor)."""
+
+    def predict(self, pc: int) -> Prediction:
+        return Prediction(taken=False)
+
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class BimodalPredictor(BranchPredictor):
+    """2-bit saturating-counter BHT plus a direct-mapped BTB (CVA6-style).
+
+    A taken prediction is only useful with a BTB hit (otherwise the
+    target is unknown at fetch); this mirrors CVA6's frontend.
+    """
+
+    COUNTER_MAX = 3
+    TAKEN_THRESHOLD = 2
+
+    def __init__(self, entries: int = 64, initial_counter: int = 1):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 <= initial_counter <= self.COUNTER_MAX:
+            raise ValueError("initial counter out of range")
+        self.entries = entries
+        self.initial_counter = initial_counter
+        self._counters: List[int] = []
+        self._btb_tags: List[Optional[int]] = []
+        self._btb_targets: List[int] = []
+        self.reset()
+
+    def reset(self) -> None:
+        self._counters = [self.initial_counter] * self.entries
+        self._btb_tags = [None] * self.entries
+        self._btb_targets = [0] * self.entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc: int) -> Prediction:
+        index = self._index(pc)
+        taken = self._counters[index] >= self.TAKEN_THRESHOLD
+        if taken and self._btb_tags[index] == pc:
+            return Prediction(taken=True, target=self._btb_targets[index])
+        return Prediction(taken=False)
+
+    def update(self, pc: int, taken: bool, target: int) -> None:
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(self.COUNTER_MAX, counter + 1)
+            self._btb_tags[index] = pc
+            self._btb_targets[index] = target
+        else:
+            self._counters[index] = max(0, counter - 1)

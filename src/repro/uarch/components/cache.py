@@ -1,0 +1,66 @@
+"""A direct-mapped data-cache model.
+
+Neither analyzed core configuration in the paper has a data cache that
+shows in retirement timing (Ibex's config has none; CVA6's interface is
+modelled as fixed-latency).  This component exists for the *extension*
+experiments: plugging it into a core creates address-dependent timing
+(``ML``/``MEM_R_ADDR`` leakage) and final-cache-state attackers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class DirectMappedCache:
+    """Direct-mapped cache with configurable geometry.
+
+    Tracks hit/miss per access; the tag array is the attacker-visible
+    "final cache state" used by Flush+Reload-style attacker models.
+    """
+
+    def __init__(
+        self,
+        line_size: int = 16,
+        line_count: int = 64,
+        hit_cycles: int = 1,
+        miss_cycles: int = 10,
+    ):
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError("line size must be a positive power of two")
+        if line_count <= 0 or line_count & (line_count - 1):
+            raise ValueError("line count must be a positive power of two")
+        self.line_size = line_size
+        self.line_count = line_count
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+        self._tags: List[Optional[int]] = [None] * line_count
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._tags = [None] * self.line_count
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line_address = address // self.line_size
+        return line_address % self.line_count, line_address // self.line_count
+
+    def access(self, address: int) -> int:
+        """Access ``address``; returns the latency and updates state."""
+        index, tag = self._locate(address)
+        if self._tags[index] == tag:
+            self.hits += 1
+            return self.hit_cycles
+        self.misses += 1
+        self._tags[index] = tag
+        return self.miss_cycles
+
+    def contains(self, address: int) -> bool:
+        index, tag = self._locate(address)
+        return self._tags[index] == tag
+
+    def final_state(self) -> Tuple[Optional[int], ...]:
+        """The tag array — an attacker observation for cache attackers."""
+        return tuple(self._tags)

@@ -1,0 +1,76 @@
+"""Divider latency models.
+
+Real embedded RISC-V cores (both Ibex and CVA6) use iterative dividers
+whose latency depends on the operand values — the canonical source of
+the paper's register-leakage (``RL``) atoms on division instructions.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+
+_MASK32 = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+SIGNED_OPCODES = frozenset({Opcode.DIV, Opcode.REM})
+QUOTIENT_OPCODES = frozenset({Opcode.DIV, Opcode.DIVU})
+
+
+def _magnitude(value: int, signed: bool) -> int:
+    if signed and value & _SIGN_BIT:
+        return (0x1_0000_0000 - value) & _MASK32
+    return value
+
+
+def _significant_bits(value: int) -> int:
+    return value.bit_length()
+
+
+class Divider:
+    """Interface: map a division instruction's operands to a latency."""
+
+    def latency(self, opcode: Opcode, dividend: int, divisor: int) -> int:
+        raise NotImplementedError
+
+
+class ConstantTimeDivider(Divider):
+    """A data-independent divider (as mandated by e.g. the Zkt profile)."""
+
+    def __init__(self, cycles: int = 18):
+        if cycles < 1:
+            raise ValueError("divider latency must be positive")
+        self.cycles = cycles
+
+    def latency(self, opcode: Opcode, dividend: int, divisor: int) -> int:
+        return self.cycles
+
+
+class EarlyExitDivider(Divider):
+    """Iterative restoring divider with early termination.
+
+    The iteration count tracks the number of significant bits of the
+    dividend's magnitude (one quotient bit per cycle, skipping leading
+    zeros), plus a fixed pre/post-processing overhead.  Division by
+    zero and the trivial ``dividend < divisor`` case exit early — both
+    behaviours are documented for the Ibex divider.
+    """
+
+    def __init__(self, base_cycles: int = 3, zero_cycles: int = 2, trivial_cycles: int = 2):
+        self.base_cycles = base_cycles
+        self.zero_cycles = zero_cycles
+        self.trivial_cycles = trivial_cycles
+
+    def latency(self, opcode: Opcode, dividend: int, divisor: int) -> int:
+        signed = opcode in SIGNED_OPCODES
+        dividend_magnitude = _magnitude(dividend & _MASK32, signed)
+        divisor_magnitude = _magnitude(divisor & _MASK32, signed)
+        if divisor_magnitude == 0:
+            return self.zero_cycles
+        if dividend_magnitude < divisor_magnitude:
+            return self.trivial_cycles
+        iterations = (
+            _significant_bits(dividend_magnitude)
+            - _significant_bits(divisor_magnitude)
+            + 1
+        )
+        return self.base_cycles + iterations

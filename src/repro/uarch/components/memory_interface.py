@@ -1,0 +1,74 @@
+"""Data-memory port timing models.
+
+The paper's headline Ibex finding — loads leak whether their address is
+aligned — stems from Ibex's word-aligned memory interface: an access
+that straddles a word boundary is split into two bus transactions.
+:class:`WordAlignedMemoryPort` reproduces exactly that; CVA6's more
+complex interface hides individual accesses behind a fixed-latency
+cache port (:class:`FixedLatencyMemoryPort`).
+"""
+
+from __future__ import annotations
+
+
+class MemoryPort:
+    """Interface: map (address, width in bytes) to an access latency."""
+
+    def load_latency(self, address: int, width: int) -> int:
+        raise NotImplementedError
+
+    def store_latency(self, address: int, width: int) -> int:
+        raise NotImplementedError
+
+
+def crosses_word_boundary(address: int, width: int) -> bool:
+    """Whether an access of ``width`` bytes at ``address`` spans two
+    aligned 32-bit words."""
+    return (address & 0x3) + width > 4
+
+
+class WordAlignedMemoryPort(MemoryPort):
+    """A bus that only issues word-aligned transactions (Ibex-style).
+
+    Loads pay ``cycles_per_transaction`` per bus transaction; an access
+    crossing a word boundary needs two.  Stores are absorbed by a
+    single-entry write buffer, so their retirement timing is flat
+    regardless of alignment (matching the analyzed Ibex configuration,
+    Table I: ``AL`` applies to loads only).
+    """
+
+    def __init__(self, cycles_per_transaction: int = 1, store_cycles: int = 1):
+        if cycles_per_transaction < 1 or store_cycles < 1:
+            raise ValueError("latencies must be positive")
+        self.cycles_per_transaction = cycles_per_transaction
+        self.store_cycles = store_cycles
+
+    def load_transactions(self, address: int, width: int) -> int:
+        return 2 if crosses_word_boundary(address, width) else 1
+
+    def load_latency(self, address: int, width: int) -> int:
+        return self.cycles_per_transaction * self.load_transactions(address, width)
+
+    def store_latency(self, address: int, width: int) -> int:
+        return self.store_cycles
+
+
+class FixedLatencyMemoryPort(MemoryPort):
+    """An idealized cache port with uniform hit latency (CVA6-style).
+
+    Nothing about the access — address, alignment, or data — shows in
+    the timing, which is why the synthesized CVA6 contract has no
+    memory or alignment leakage (Table II).
+    """
+
+    def __init__(self, load_cycles: int = 2, store_cycles: int = 1):
+        if load_cycles < 1 or store_cycles < 1:
+            raise ValueError("latencies must be positive")
+        self.load_cycles = load_cycles
+        self.store_cycles = store_cycles
+
+    def load_latency(self, address: int, width: int) -> int:
+        return self.load_cycles
+
+    def store_latency(self, address: int, width: int) -> int:
+        return self.store_cycles

@@ -1,0 +1,59 @@
+"""Multiplier latency models."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.isa.instructions import Opcode
+
+MULTIPLY_OPCODES = (Opcode.MUL, Opcode.MULH, Opcode.MULHSU, Opcode.MULHU)
+
+
+class Multiplier:
+    """Interface: map a multiply instruction's operands to a latency."""
+
+    def latency(self, opcode: Opcode, lhs: int, rhs: int) -> int:
+        raise NotImplementedError
+
+
+class FixedLatencyMultiplier(Multiplier):
+    """Data-independent multiplier with per-opcode latencies.
+
+    Ibex's "slow" multiplier computes low products in fewer passes than
+    high products, so ``MUL`` and ``MULH*`` legitimately differ — an
+    instruction-leakage (``IL``/``OP``) source within the
+    multiplication category.
+    """
+
+    def __init__(self, cycles: int = 3, high_cycles: Optional[int] = None):
+        if cycles < 1:
+            raise ValueError("multiplier latency must be positive")
+        self.cycles_by_opcode: Dict[Opcode, int] = {
+            Opcode.MUL: cycles,
+            Opcode.MULH: high_cycles if high_cycles is not None else cycles,
+            Opcode.MULHSU: high_cycles if high_cycles is not None else cycles,
+            Opcode.MULHU: high_cycles if high_cycles is not None else cycles,
+        }
+
+    def latency(self, opcode: Opcode, lhs: int, rhs: int) -> int:
+        return self.cycles_by_opcode[opcode]
+
+
+class ZeroSkipMultiplier(Multiplier):
+    """Multiplier with a clock-gated fast path for zero operands.
+
+    If either operand is zero the partial-product accumulation is
+    skipped entirely — a register-leakage (``RL``) source, as the
+    latency now reveals whether an operand was zero.
+    """
+
+    def __init__(self, cycles: int = 2, zero_cycles: int = 1):
+        if zero_cycles > cycles:
+            raise ValueError("fast path must not be slower than the normal path")
+        self.cycles = cycles
+        self.zero_cycles = zero_cycles
+
+    def latency(self, opcode: Opcode, lhs: int, rhs: int) -> int:
+        if lhs == 0 or rhs == 0:
+            return self.zero_cycles
+        return self.cycles

@@ -1,0 +1,35 @@
+"""Shifter latency models."""
+
+from __future__ import annotations
+
+
+class Shifter:
+    """Interface: map a shift amount to a latency."""
+
+    def latency(self, shift_amount: int) -> int:
+        raise NotImplementedError
+
+
+class BarrelShifter(Shifter):
+    """Single-cycle barrel shifter (data-independent)."""
+
+    def latency(self, shift_amount: int) -> int:
+        return 1
+
+
+class SerialShifter(Shifter):
+    """Iterative shifter that moves ``step`` bits per cycle.
+
+    Area-optimized embedded cores shift serially; the latency then
+    reveals the shift amount — an ``IL``/``IMM`` leak for immediate
+    shifts and an ``RL``/``REG_RS2`` leak for register shifts.
+    """
+
+    def __init__(self, step: int = 8):
+        if not 1 <= step <= 32:
+            raise ValueError("shift step must be in 1..32")
+        self.step = step
+
+    def latency(self, shift_amount: int) -> int:
+        shift_amount &= 0x1F
+        return 1 + shift_amount // self.step

@@ -1,0 +1,108 @@
+"""Base interface for cycle-accurate core models.
+
+A core model layers a timing model over the functional ISA executor:
+``simulate`` runs a program to completion and returns the RVFI
+retirement trace plus the final architectural state.  The contract
+toolchain only ever interacts with cores through this interface, so
+adding a new processor (as the paper argues for RVFI-compliant cores)
+requires no changes elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.isa.executor import DEFAULT_MAX_STEPS, ExecRecord, IsaExecutor
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+from repro.uarch.rvfi import RvfiRecord, RvfiTrace
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one program on a core.
+
+    ``uarch_state`` carries optional attacker-visible microarchitectural
+    residue (e.g. final cache tags) published by extended core models.
+    """
+
+    trace: RvfiTrace
+    final_state: ArchState
+    uarch_state: Dict[str, Hashable] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.trace.total_cycles
+
+    @property
+    def retired_instructions(self) -> int:
+        return len(self.trace)
+
+
+class Core:
+    """Abstract core: functional execution + subclass-provided timing."""
+
+    #: Human-readable core name (e.g. ``"ibex"``).
+    name = "abstract"
+
+    def __init__(self, dependency_window: int = 4):
+        self._executor = IsaExecutor(dependency_window=dependency_window)
+
+    def reset(self) -> None:
+        """Reset all microarchitectural state (predictors, buffers).
+
+        Called automatically at the start of every simulation so that
+        test cases always start from equal microarchitectural states
+        (the paper's ``σ_IMPL = σ'_IMPL`` requirement).
+        """
+
+    def simulate(
+        self,
+        program: Program,
+        initial_state: Optional[ArchState] = None,
+        max_instructions: int = DEFAULT_MAX_STEPS,
+    ) -> SimulationResult:
+        """Run ``program`` and return its RVFI trace and final state."""
+        state = (
+            initial_state.copy()
+            if initial_state is not None
+            else ArchState(pc=program.base_address)
+        )
+        if initial_state is not None and state.pc != program.base_address:
+            state.pc = program.base_address
+        self.reset()
+        exec_records = self._executor.run(program, state, max_instructions)
+        retire_cycles, total_cycles = self._timing(exec_records, program)
+        if len(retire_cycles) != len(exec_records):
+            raise AssertionError(
+                "timing model produced %d retirements for %d instructions"
+                % (len(retire_cycles), len(exec_records))
+            )
+        records = [
+            RvfiRecord(exec_record=exec_record, retire_cycle=cycle)
+            for exec_record, cycle in zip(exec_records, retire_cycles)
+        ]
+        return SimulationResult(
+            trace=RvfiTrace(records, total_cycles),
+            final_state=state,
+            uarch_state=self._uarch_state(),
+        )
+
+    def _uarch_state(self) -> Dict[str, Hashable]:
+        """Attacker-visible microarchitectural residue after a run.
+
+        Subclasses with stateful attacker-observable components (e.g.
+        a data cache) publish them here.
+        """
+        return {}
+
+    def _timing(self, records: List[ExecRecord], program: Program):
+        """Map the functional trace to (retire cycles, total cycles).
+
+        Subclasses implement the processor-specific timing model here.
+        Retire cycles must be non-decreasing (in-order commit; a
+        multi-wide commit port may retire several instructions in the
+        same cycle).
+        """
+        raise NotImplementedError

@@ -1,0 +1,124 @@
+"""RISC-V Formal Interface (RVFI) retirement records.
+
+The RVFI is the paper's core-agnostic observation point: every core
+model emits one :class:`RvfiRecord` per retired instruction, carrying
+both the architectural payload (used to evaluate contract atoms) and
+the cycle at which the instruction retired (used by the retirement-
+timing attacker).
+
+An :class:`RvfiRecord` wraps the functional
+:class:`~repro.isa.executor.ExecRecord` so the contract layer can
+evaluate atoms against either a pure ISA execution or a
+microarchitectural simulation — mirroring how the paper piggybacks
+atom extraction on the RVFI (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.encoding import encode_instruction
+from repro.isa.executor import ExecRecord
+
+
+@dataclass
+class RvfiRecord:
+    """One RVFI retirement event.
+
+    Field names follow the RVFI specification where applicable
+    (``order``, ``insn``, ``pc_rdata``, ``pc_wdata``, ...); the
+    architectural payload is delegated to the wrapped ``exec_record``.
+    """
+
+    exec_record: ExecRecord
+    retire_cycle: int
+
+    @property
+    def order(self) -> int:
+        return self.exec_record.index
+
+    @property
+    def insn(self) -> int:
+        return encode_instruction(self.exec_record.instruction)
+
+    @property
+    def pc_rdata(self) -> int:
+        return self.exec_record.pc
+
+    @property
+    def pc_wdata(self) -> int:
+        return self.exec_record.next_pc
+
+    @property
+    def rs1_rdata(self) -> int:
+        return self.exec_record.rs1_value
+
+    @property
+    def rs2_rdata(self) -> int:
+        return self.exec_record.rs2_value
+
+    @property
+    def rd_wdata(self) -> int:
+        return self.exec_record.rd_value
+
+    @property
+    def mem_addr(self) -> Optional[int]:
+        return self.exec_record.memory_address
+
+    @property
+    def mem_rdata(self) -> Optional[int]:
+        return self.exec_record.mem_read_data
+
+    @property
+    def mem_wdata(self) -> Optional[int]:
+        return self.exec_record.mem_write_data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "RvfiRecord(order=%d, pc=0x%08x, cycle=%d)" % (
+            self.order,
+            self.pc_rdata,
+            self.retire_cycle,
+        )
+
+
+class RvfiTrace:
+    """The full retirement trace of one program execution."""
+
+    __slots__ = ("records", "total_cycles")
+
+    def __init__(self, records: Sequence[RvfiRecord], total_cycles: int):
+        self.records: Tuple[RvfiRecord, ...] = tuple(records)
+        self.total_cycles = total_cycles
+        if self.records:
+            last = max(record.retire_cycle for record in self.records)
+            if total_cycles < last:
+                raise ValueError(
+                    "total_cycles (%d) earlier than last retirement (%d)"
+                    % (total_cycles, last)
+                )
+
+    @property
+    def retirement_cycles(self) -> Tuple[int, ...]:
+        """The attacker-visible timing signature (§IV-C)."""
+        return tuple(record.retire_cycle for record in self.records)
+
+    @property
+    def exec_records(self) -> List[ExecRecord]:
+        """The architectural trace, as extracted from the RVFI."""
+        return [record.exec_record for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RvfiRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RvfiRecord:
+        return self.records[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "RvfiTrace(%d retirements, %d cycles)" % (
+            len(self.records),
+            self.total_cycles,
+        )

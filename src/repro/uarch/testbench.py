@@ -1,0 +1,103 @@
+"""Testbench: runs programs on cores and validates ISA consistency.
+
+This is the Python counterpart of the paper's Verilog testbench
+(§V-A): it embeds a core, drives a program through it, optionally
+dumps the RVFI signals to a VCD waveform, and can cross-check that the
+core's architectural trace matches a pure ISA-level execution (the
+correctness precondition for piggybacking atom extraction on the
+microarchitectural simulation, §IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.executor import DEFAULT_MAX_STEPS, IsaExecutor
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+from repro.uarch.core import Core, SimulationResult
+
+
+class IsaConsistencyError(AssertionError):
+    """The core's RVFI trace diverged from the ISA-level execution."""
+
+
+class Testbench:
+    """Drives a core model and validates its retirement stream."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, core: Core, check_isa_consistency: bool = False):
+        self.core = core
+        self.check_isa_consistency = check_isa_consistency
+
+    def run(
+        self,
+        program: Program,
+        initial_state: Optional[ArchState] = None,
+        max_instructions: int = DEFAULT_MAX_STEPS,
+        vcd_path: Optional[str] = None,
+    ) -> SimulationResult:
+        """Simulate ``program``; optionally dump the RVFI trace to VCD."""
+        result = self.core.simulate(program, initial_state, max_instructions)
+        self._check_monotone_retirement(result)
+        if self.check_isa_consistency:
+            self._check_against_isa(program, initial_state, max_instructions, result)
+        if vcd_path is not None:
+            from repro.vcd.rvfi_vcd import dump_rvfi_trace
+
+            dump_rvfi_trace(result.trace, vcd_path)
+        return result
+
+    @staticmethod
+    def _check_monotone_retirement(result: SimulationResult) -> None:
+        cycles = result.trace.retirement_cycles
+        for earlier, later in zip(cycles, cycles[1:]):
+            if later < earlier:
+                raise IsaConsistencyError(
+                    "retirement cycles decrease: %r" % (cycles,)
+                )
+
+    @staticmethod
+    def _check_against_isa(
+        program: Program,
+        initial_state: Optional[ArchState],
+        max_instructions: int,
+        result: SimulationResult,
+    ) -> None:
+        state = (
+            initial_state.copy()
+            if initial_state is not None
+            else ArchState(pc=program.base_address)
+        )
+        state.pc = program.base_address
+        isa_records = IsaExecutor().run(program, state, max_instructions)
+        core_records = result.trace.exec_records
+        if len(isa_records) != len(core_records):
+            raise IsaConsistencyError(
+                "retired %d instructions, ISA executed %d"
+                % (len(core_records), len(isa_records))
+            )
+        for isa_record, core_record in zip(isa_records, core_records):
+            if (
+                isa_record.pc != core_record.pc
+                or isa_record.next_pc != core_record.next_pc
+                or isa_record.instruction != core_record.instruction
+                or isa_record.rd_value != core_record.rd_value
+            ):
+                raise IsaConsistencyError(
+                    "divergence at retirement %d: ISA %r vs core %r"
+                    % (isa_record.index, isa_record, core_record)
+                )
+        if state != result.final_state:
+            raise IsaConsistencyError("final architectural states differ")
+
+
+def simulate(
+    core: Core,
+    program: Program,
+    initial_state: Optional[ArchState] = None,
+    max_instructions: int = DEFAULT_MAX_STEPS,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Testbench`."""
+    return Testbench(core).run(program, initial_state, max_instructions)

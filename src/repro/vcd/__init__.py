@@ -1,0 +1,19 @@
+"""Value-change-dump (VCD) waveforms.
+
+The paper's toolchain derives distinguishing atoms from the VCD
+waveform produced by the Verilog simulation (§IV-D).  This package
+provides a writer and parser for the VCD subset needed to round-trip
+RVFI retirement streams through waveform files.
+"""
+
+from repro.vcd.writer import VcdWriter
+from repro.vcd.parser import VcdSignal, parse_vcd
+from repro.vcd.rvfi_vcd import dump_rvfi_trace, load_exec_records
+
+__all__ = [
+    "VcdSignal",
+    "VcdWriter",
+    "dump_rvfi_trace",
+    "load_exec_records",
+    "parse_vcd",
+]

@@ -1,0 +1,117 @@
+"""A parser for the VCD subset produced by :mod:`repro.vcd.writer`
+(and by common simulators, for the constructs we emit)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class VcdSignal:
+    """One declared signal and its change history."""
+
+    name: str
+    width: int
+    identifier: str
+    #: (time, value) pairs in file order; ``None`` marks unknown (x/z).
+    changes: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+
+    def value_at(self, time: int) -> Optional[int]:
+        """The signal's value at ``time`` (last change at or before)."""
+        value: Optional[int] = None
+        for change_time, change_value in self.changes:
+            if change_time > time:
+                break
+            value = change_value
+        return value
+
+
+class VcdParseError(ValueError):
+    """Raised on malformed VCD input."""
+
+
+def parse_vcd(text: str) -> Dict[str, VcdSignal]:
+    """Parse ``text`` into a mapping of signal name to history."""
+    tokens = text.split()
+    signals_by_id: Dict[str, VcdSignal] = {}
+    signals: Dict[str, VcdSignal] = {}
+    position = 0
+    time = 0
+    in_definitions = True
+
+    def skip_directive(start: int) -> int:
+        cursor = start
+        while cursor < len(tokens) and tokens[cursor] != "$end":
+            cursor += 1
+        if cursor >= len(tokens):
+            raise VcdParseError("unterminated directive")
+        return cursor + 1
+
+    while position < len(tokens):
+        token = tokens[position]
+        if in_definitions:
+            if token == "$var":
+                if position + 5 >= len(tokens):
+                    raise VcdParseError("truncated $var")
+                _kind = tokens[position + 1]
+                width = int(tokens[position + 2])
+                identifier = tokens[position + 3]
+                name = tokens[position + 4]
+                if tokens[position + 5] != "$end":
+                    raise VcdParseError("malformed $var for %r" % name)
+                signal = VcdSignal(name=name, width=width, identifier=identifier)
+                signals_by_id[identifier] = signal
+                signals[name] = signal
+                position += 6
+                continue
+            if token == "$enddefinitions":
+                in_definitions = False
+                position = skip_directive(position + 1)
+                continue
+            if token.startswith("$"):
+                position = skip_directive(position + 1)
+                continue
+            raise VcdParseError("unexpected token in header: %r" % token)
+
+        if token.startswith("#"):
+            time = int(token[1:])
+            position += 1
+            continue
+        if token.startswith("b") or token.startswith("B"):
+            literal = token[1:]
+            if position + 1 >= len(tokens):
+                raise VcdParseError("vector change missing identifier")
+            identifier = tokens[position + 1]
+            value: Optional[int]
+            if set(literal) & {"x", "X", "z", "Z"}:
+                value = None
+            else:
+                value = int(literal, 2)
+            _record_change(signals_by_id, identifier, time, value)
+            position += 2
+            continue
+        if token[0] in "01xXzZ":
+            identifier = token[1:]
+            value = None if token[0] in "xXzZ" else int(token[0])
+            _record_change(signals_by_id, identifier, time, value)
+            position += 1
+            continue
+        if token.startswith("$"):  # $dumpvars etc.
+            position += 1
+            continue
+        raise VcdParseError("unexpected token in body: %r" % token)
+
+    return signals
+
+
+def _record_change(
+    signals_by_id: Dict[str, VcdSignal],
+    identifier: str,
+    time: int,
+    value: Optional[int],
+) -> None:
+    signal = signals_by_id.get(identifier)
+    if signal is None:
+        raise VcdParseError("change for undeclared signal: %r" % identifier)
+    signal.changes.append((time, value))

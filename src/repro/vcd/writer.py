@@ -1,0 +1,114 @@
+"""A minimal VCD (IEEE 1364 §18) writer.
+
+Supports scalar and vector wires in a single scope, which is all the
+RVFI dump needs; emitted files load in GTKWave and round-trip through
+:mod:`repro.vcd.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+_IDENTIFIER_ALPHABET = "".join(chr(code) for code in range(33, 127))
+
+
+def _identifier_for(index: int) -> str:
+    """Short printable identifier for signal ``index`` (base-94)."""
+    if index < 0:
+        raise ValueError("negative signal index")
+    digits = []
+    while True:
+        digits.append(_IDENTIFIER_ALPHABET[index % 94])
+        index //= 94
+        if index == 0:
+            break
+    return "".join(reversed(digits))
+
+
+class VcdWriter:
+    """Collects signal declarations and value changes, then renders.
+
+    Usage::
+
+        writer = VcdWriter(timescale="1ns", scope="rvfi")
+        clk = writer.add_signal("clk", width=1)
+        writer.change(0, clk, 1)
+        text = writer.render()
+    """
+
+    def __init__(self, timescale: str = "1ns", scope: str = "top",
+                 date: str = "reproducible", version: str = "repro-vcd"):
+        self.timescale = timescale
+        self.scope = scope
+        self.date = date
+        self.version = version
+        self._signals: List[Tuple[str, int, str]] = []  # (name, width, id)
+        self._names: Dict[str, str] = {}
+        self._changes: Dict[int, List[Tuple[str, int, Optional[int]]]] = {}
+
+    def add_signal(self, name: str, width: int = 1) -> str:
+        """Declare a wire; returns its VCD identifier."""
+        if not 1 <= width <= 64:
+            raise ValueError("signal width out of range: %r" % (width,))
+        if name in self._names:
+            raise ValueError("duplicate signal name: %r" % (name,))
+        identifier = _identifier_for(len(self._signals))
+        self._signals.append((name, width, identifier))
+        self._names[name] = identifier
+        return identifier
+
+    def change(self, time: int, identifier: str, value: Optional[int]) -> None:
+        """Record that ``identifier`` takes ``value`` at ``time``.
+
+        ``None`` renders as all-x (unknown), matching how an RVFI bus
+        is undriven between retirements.
+        """
+        if time < 0:
+            raise ValueError("negative time: %r" % (time,))
+        width = self._width_of(identifier)
+        if value is not None and not 0 <= value < (1 << width):
+            raise ValueError(
+                "value %r does not fit signal of width %d" % (value, width)
+            )
+        self._changes.setdefault(time, []).append((identifier, width, value))
+
+    def change_by_name(self, time: int, name: str, value: Optional[int]) -> None:
+        self.change(time, self._names[name], value)
+
+    def _width_of(self, identifier: str) -> int:
+        for _name, width, candidate in self._signals:
+            if candidate == identifier:
+                return width
+        raise KeyError("unknown signal identifier: %r" % (identifier,))
+
+    def render(self) -> str:
+        """Render the complete VCD document."""
+        lines = [
+            "$date %s $end" % self.date,
+            "$version %s $end" % self.version,
+            "$timescale %s $end" % self.timescale,
+            "$scope module %s $end" % self.scope,
+        ]
+        for name, width, identifier in self._signals:
+            lines.append("$var wire %d %s %s $end" % (width, identifier, name))
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        for time in sorted(self._changes):
+            lines.append("#%d" % time)
+            for identifier, width, value in self._changes[time]:
+                lines.append(_format_change(identifier, width, value))
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as stream:
+            stream.write(self.render())
+
+
+def _format_change(identifier: str, width: int, value: Optional[int]) -> str:
+    if width == 1:
+        if value is None:
+            return "x%s" % identifier
+        return "%d%s" % (value & 1, identifier)
+    if value is None:
+        return "bx %s" % identifier
+    return "b%s %s" % (format(value, "b"), identifier)

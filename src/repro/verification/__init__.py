@@ -1,0 +1,18 @@
+"""Testing-based contract-satisfaction checking.
+
+The dual of synthesis: given a *candidate* contract (hand-written,
+synthesized elsewhere, or ported from another core), check whether a
+core satisfies it by searching for violating test cases — pairs of
+executions the contract calls equivalent but the attacker tells
+apart.  This is the pre-silicon analogue of the black-box validation
+tools (Revizor, Scam-V) the paper cites, built on the same evaluation
+machinery as synthesis.
+"""
+
+from repro.verification.checker import (
+    SatisfactionReport,
+    Violation,
+    check_contract_satisfaction,
+)
+
+__all__ = ["SatisfactionReport", "Violation", "check_contract_satisfaction"]

@@ -1,0 +1,139 @@
+"""Tests for contract atoms and observation functions."""
+
+import pytest
+
+from repro.contracts.atoms import (
+    ContractAtom,
+    LeakageFamily,
+    family_of_source,
+    make_atom,
+    make_observation_function,
+)
+from repro.isa.assembler import assemble
+from repro.isa.executor import execute_program
+from repro.isa.instructions import Opcode
+from repro.isa.state import ArchState
+
+
+def records_for(source, regs=None):
+    program = assemble(source)
+    state = ArchState(pc=program.base_address)
+    for index, value in (regs or {}).items():
+        state.write_register(index, value)
+    return execute_program(program, state)
+
+
+def test_make_atom_fields():
+    atom = make_atom(7, Opcode.DIV, "REG_RS2")
+    assert atom.atom_id == 7
+    assert atom.opcode is Opcode.DIV
+    assert atom.source == "REG_RS2"
+    assert atom.family is LeakageFamily.RL
+    assert atom.name == "div:REG_RS2"
+
+
+def test_pi_matches_opcode_only():
+    atom = make_atom(0, Opcode.DIV, "REG_RS2")
+    records = records_for("div x1, x2, x3\nadd x4, x5, x6")
+    assert atom.applies(records[0])
+    assert not atom.applies(records[1])
+
+
+def test_paper_example_divisor_atom():
+    # (π_DIV, REG_RS2, φ_REG_RS2): exposes the divisor of divisions.
+    atom = make_atom(0, Opcode.DIV, "REG_RS2")
+    records = records_for("div x1, x2, x3", regs={2: 100, 3: 7})
+    assert atom.observe(records[0]) == 7
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("OP", "add"),
+        ("RD", 1),
+        ("RS1", 2),
+        ("RS2", 3),
+        ("REG_RS1", 20),
+        ("REG_RS2", 30),
+        ("REG_RD", 50),
+    ],
+)
+def test_simple_observations_on_add(source, expected):
+    observe = make_observation_function(source)
+    records = records_for("add x1, x2, x3", regs={2: 20, 3: 30})
+    assert observe(records[0]) == expected
+
+
+def test_imm_observation():
+    observe = make_observation_function("IMM")
+    records = records_for("addi x1, x0, -37")
+    assert observe(records[0]) == -37
+
+
+def test_memory_observations():
+    records = records_for(
+        "sw x2, 4(x1)\nlw x3, 4(x1)", regs={1: 0x100, 2: 0xBEEF}
+    )
+    store, load = records
+    assert make_observation_function("MEM_W_ADDR")(store) == 0x104
+    assert make_observation_function("MEM_W_DATA")(store) == 0xBEEF
+    assert make_observation_function("MEM_R_ADDR")(load) == 0x104
+    assert make_observation_function("MEM_R_DATA")(load) == 0xBEEF
+
+
+@pytest.mark.parametrize(
+    "offset,word_aligned,half_aligned",
+    [(0, True, True), (1, False, True), (2, False, True), (3, False, False)],
+)
+def test_alignment_observations(offset, word_aligned, half_aligned):
+    records = records_for("lb x3, 0(x1)", regs={1: 0x100 + offset})
+    assert make_observation_function("IS_WORD_ALIGNED")(records[0]) is word_aligned
+    assert make_observation_function("IS_HALF_ALIGNED")(records[0]) is half_aligned
+
+
+def test_branch_observations():
+    records = records_for("beq x1, x2, 8\nnop\nnop", regs={1: 5, 2: 5})
+    assert make_observation_function("BRANCH_TAKEN")(records[0]) is True
+    assert make_observation_function("NEW_PC")(records[0]) == records[0].pc + 8
+
+
+def test_dependency_observation_within_distance():
+    observe_1 = make_observation_function("RAW_RS1_1")
+    observe_2 = make_observation_function("RAW_RS1_2")
+    records = records_for("addi x2, x0, 1\nnop\nadd x1, x2, x3")
+    consumer = records[2]
+    assert observe_1(consumer) is False     # distance 2 > 1
+    assert observe_2(consumer) is True      # within 2
+
+
+def test_waw_and_war_observations():
+    records = records_for("add x3, x1, x2\naddi x1, x0, 1\naddi x1, x0, 2")
+    assert make_observation_function("RAW_RD_1")(records[1]) is True  # WAR on x1
+    assert make_observation_function("WAW_1")(records[2]) is True
+
+
+def test_family_of_source():
+    assert family_of_source("OP") is LeakageFamily.IL
+    assert family_of_source("REG_RD") is LeakageFamily.RL
+    assert family_of_source("MEM_R_ADDR") is LeakageFamily.ML
+    assert family_of_source("IS_HALF_ALIGNED") is LeakageFamily.AL
+    assert family_of_source("NEW_PC") is LeakageFamily.BL
+    assert family_of_source("RAW_RS2_3") is LeakageFamily.DL
+
+
+def test_unknown_source_rejected():
+    with pytest.raises(ValueError):
+        make_observation_function("BOGUS")
+    with pytest.raises(ValueError):
+        family_of_source("BOGUS_9x")
+
+
+def test_family_ordering():
+    assert LeakageFamily.IL < LeakageFamily.DL
+    assert not LeakageFamily.BL < LeakageFamily.AL
+
+
+def test_atom_is_frozen():
+    atom = make_atom(0, Opcode.ADD, "OP")
+    with pytest.raises(AttributeError):
+        atom.source = "RD"

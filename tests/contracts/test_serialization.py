@@ -1,0 +1,112 @@
+"""Tests for contract serialization and diffing."""
+
+import pytest
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.serialization import (
+    ContractFormatError,
+    contract_from_dict,
+    contract_from_json,
+    contract_to_dict,
+    contract_to_json,
+    diff_contracts,
+    load_contract,
+    save_contract,
+)
+from repro.contracts.template import Contract
+
+
+@pytest.fixture(scope="module")
+def template():
+    return build_riscv_template()
+
+
+@pytest.fixture()
+def contract(template):
+    ids = [atom.atom_id for atom in template
+           if atom.name in ("div:REG_RS2", "beq:BRANCH_TAKEN", "lw:IS_WORD_ALIGNED")]
+    assert len(ids) == 3
+    return Contract(template, ids)
+
+
+def test_dict_roundtrip(template, contract):
+    data = contract_to_dict(contract, metadata={"core": "ibex"})
+    assert data["format"] == "repro-leakage-contract/v1"
+    assert data["metadata"]["core"] == "ibex"
+    assert data["atoms"] == ["beq:BRANCH_TAKEN", "div:REG_RS2", "lw:IS_WORD_ALIGNED"]
+    restored = contract_from_dict(data, template)
+    assert restored == contract
+
+
+def test_json_roundtrip(template, contract):
+    text = contract_to_json(contract)
+    assert contract_from_json(text, template) == contract
+
+
+def test_file_roundtrip(tmp_path, template, contract):
+    path = str(tmp_path / "contract.json")
+    save_contract(contract, path, metadata={"synthesized-from": "5000 cases"})
+    assert load_contract(path, template) == contract
+
+
+def test_survives_template_rebuild(template, contract):
+    # A freshly built template has the same names but is a new object.
+    fresh = build_riscv_template()
+    restored = contract_from_dict(contract_to_dict(contract), fresh)
+    assert {atom.name for atom in restored.atoms} == {
+        atom.name for atom in contract.atoms
+    }
+
+
+def test_rejects_unknown_format(template):
+    with pytest.raises(ContractFormatError):
+        contract_from_dict({"format": "v0", "atoms": []}, template)
+
+
+def test_rejects_missing_atoms_field(template):
+    with pytest.raises(ContractFormatError):
+        contract_from_dict(
+            {"format": "repro-leakage-contract/v1"}, template
+        )
+
+
+def test_rejects_unknown_atom_names(template):
+    with pytest.raises(ContractFormatError) as excinfo:
+        contract_from_dict(
+            {"format": "repro-leakage-contract/v1", "atoms": ["bogus:FOO"]},
+            template,
+        )
+    assert "bogus:FOO" in str(excinfo.value)
+
+
+def test_restriction_to_smaller_template(contract):
+    # Loading into a template lacking the atoms must fail loudly.
+    from repro.contracts.riscv_template import build_riscv_template
+    from repro.isa.instructions import Opcode
+
+    small = build_riscv_template(opcodes=[Opcode.ADD])
+    with pytest.raises(ContractFormatError):
+        contract_from_dict(contract_to_dict(contract), small)
+
+
+class TestDiff:
+    def test_identical(self, template, contract):
+        diff = diff_contracts(contract, contract)
+        assert diff.identical
+        assert len(diff.common) == 3
+
+    def test_asymmetric(self, template, contract):
+        other_ids = [atom.atom_id for atom in template
+                     if atom.name in ("div:REG_RS2", "mul:RAW_RS1_1")]
+        other = Contract(template, other_ids)
+        diff = diff_contracts(contract, other)
+        assert not diff.identical
+        assert diff.common == ("div:REG_RS2",)
+        assert "beq:BRANCH_TAKEN" in diff.only_in_first
+        assert diff.only_in_second == ("mul:RAW_RS1_1",)
+
+    def test_render(self, template, contract):
+        other = Contract(template, [])
+        text = diff_contracts(contract, other).render("ibex", "cva6")
+        assert "only in ibex" in text
+        assert "- beq:BRANCH_TAKEN" in text

@@ -1,0 +1,49 @@
+"""Tests for the multi-process evaluator."""
+
+import pytest
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.evaluation.parallel import evaluate_parallel
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.ibex import IbexCore
+
+
+def sequential_dataset(count, seed):
+    template = build_riscv_template()
+    generator = TestCaseGenerator(template, seed=seed)
+    evaluator = TestCaseEvaluator(IbexCore(), template)
+    return evaluator.evaluate_many(generator.iter_generate(count))
+
+
+def test_empty_count():
+    dataset = evaluate_parallel("ibex", 0, seed=1)
+    assert len(dataset) == 0
+
+
+def test_single_process_matches_sequential():
+    parallel = evaluate_parallel("ibex", 60, seed=9, processes=1, shard_size=25)
+    sequential = sequential_dataset(60, seed=9)
+    assert len(parallel) == len(sequential)
+    for a, b in zip(parallel, sequential):
+        assert a == b
+
+
+def test_multi_process_matches_sequential():
+    parallel = evaluate_parallel("ibex", 120, seed=9, processes=2, shard_size=30)
+    sequential = sequential_dataset(120, seed=9)
+    assert len(parallel) == len(sequential)
+    for a, b in zip(parallel, sequential):
+        assert a == b
+
+
+def test_results_ordered_by_test_id():
+    dataset = evaluate_parallel("ibex", 80, seed=2, processes=2, shard_size=16)
+    ids = [result.test_id for result in dataset]
+    assert ids == sorted(ids) == list(range(80))
+
+
+def test_metadata_fields():
+    dataset = evaluate_parallel("ibex", 10, seed=0, processes=1)
+    assert dataset.core_name == "ibex"
+    assert dataset.attacker_name == "retirement-timing"

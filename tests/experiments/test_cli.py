@@ -1,0 +1,39 @@
+"""Tests for the repro-synthesize command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import _build_parser, main
+
+
+def test_parser_accepts_experiments():
+    parser = _build_parser()
+    for name in ("fig2", "fig3", "table1", "table2", "table3", "all"):
+        arguments = parser.parse_args([name])
+        assert arguments.experiment == name
+
+
+def test_parser_rejects_unknown():
+    parser = _build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table9"])
+
+
+def test_parser_options():
+    parser = _build_parser()
+    arguments = parser.parse_args(
+        ["fig2", "--scale", "0.5", "--results-dir", "/tmp/x", "--no-cache"]
+    )
+    assert arguments.scale == 0.5
+    assert arguments.results_dir == "/tmp/x"
+    assert arguments.no_cache
+
+
+@pytest.mark.slow
+def test_main_runs_table3(tmp_path, capsys):
+    exit_code = main(
+        ["table3", "--scale", "0.05", "--results-dir", str(tmp_path / "out")]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Table III" in output
+    assert (tmp_path / "out" / "table3_runtime.txt").exists()

@@ -1,0 +1,174 @@
+"""Assembler and disassembler tests, including round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import AssemblerError, assemble, assemble_program
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.instructions import Instruction, InstructionFormat, Opcode, OPCODE_INFO, SHIFT_IMMEDIATE_OPCODES
+from repro.isa.program import Program
+
+
+def test_basic_program():
+    program = assemble("addi x1, x0, 5\nadd x2, x1, x1")
+    assert len(program) == 2
+    assert program[0] == Instruction(Opcode.ADDI, rd=1, rs1=0, imm=5)
+    assert program[1] == Instruction(Opcode.ADD, rd=2, rs1=1, rs2=1)
+
+
+def test_abi_names_accepted():
+    program = assemble("add a0, a1, t0")
+    assert program[0] == Instruction(Opcode.ADD, rd=10, rs1=11, rs2=5)
+
+
+def test_memory_operands():
+    program = assemble("lw a0, 8(sp)\nsw a0, -4(sp)")
+    assert program[0] == Instruction(Opcode.LW, rd=10, rs1=2, imm=8)
+    assert program[1] == Instruction(Opcode.SW, rs1=2, rs2=10, imm=-4)
+
+
+def test_labels_forward_and_backward():
+    program = assemble(
+        "start: addi x1, x0, 1\n"
+        "beq x1, x0, end\n"
+        "jal x0, start\n"
+        "end: addi x2, x0, 2"
+    )
+    assert program[1].imm == 8    # branch to end, two instructions ahead
+    assert program[2].imm == -8   # jump back to start
+
+
+def test_label_on_same_line():
+    program = assemble("loop: addi x1, x1, 1\nbne x1, x2, loop")
+    assert program[1].imm == -4
+
+
+def test_comments_stripped():
+    program = assemble(
+        "# leading comment\n"
+        "addi x1, x0, 1  # trailing\n"
+        "add x2, x1, x1  ; alt comment\n"
+        "sub x3, x2, x1  // c-style\n"
+    )
+    assert len(program) == 3
+
+
+def test_pseudo_instructions():
+    program = assemble("nop\nmv x1, x2\nli x3, -5\nj 8\nret\nnot x4, x5")
+    assert program[0] == Instruction(Opcode.ADDI, rd=0, rs1=0, imm=0)
+    assert program[1] == Instruction(Opcode.ADDI, rd=1, rs1=2, imm=0)
+    assert program[2] == Instruction(Opcode.ADDI, rd=3, rs1=0, imm=-5)
+    assert program[3] == Instruction(Opcode.JAL, rd=0, imm=8)
+    assert program[4] == Instruction(Opcode.JALR, rd=0, rs1=1, imm=0)
+    assert program[5] == Instruction(Opcode.XORI, rd=4, rs1=5, imm=-1)
+
+
+def test_jalr_both_syntaxes():
+    a = assemble("jalr x1, x2, 4")[0]
+    b = assemble("jalr x1, 4(x2)")[0]
+    assert a == b == Instruction(Opcode.JALR, rd=1, rs1=2, imm=4)
+
+
+def test_numeric_literals():
+    program = assemble("addi x1, x0, 0x10\naddi x2, x0, 0b101\naddi x3, x0, -0o17")
+    assert program[0].imm == 16
+    assert program[1].imm == 5
+    assert program[2].imm == -15
+
+
+def test_system_instructions():
+    program = assemble("fence\necall\nebreak")
+    assert [instruction.opcode for instruction in program] == [
+        Opcode.FENCE, Opcode.ECALL, Opcode.EBREAK,
+    ]
+
+
+def test_base_address():
+    program = assemble("addi x1, x0, 1", base_address=0x8000)
+    assert program.base_address == 0x8000
+    assert program.address_of(0) == 0x8000
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("addi x1, x0, 1\nbogus x1, x2")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_error_wrong_operand_count():
+    with pytest.raises(AssemblerError):
+        assemble("add x1, x2")
+
+
+def test_error_bad_register():
+    with pytest.raises(AssemblerError):
+        assemble("add x1, x2, q9")
+
+
+def test_error_immediate_out_of_range():
+    with pytest.raises(AssemblerError):
+        assemble("addi x1, x0, 5000")
+
+
+def test_error_duplicate_label():
+    with pytest.raises(AssemblerError):
+        assemble("a: nop\na: nop")
+
+
+def test_error_li_range():
+    with pytest.raises(AssemblerError):
+        assemble("li x1, 4096")
+
+
+def test_assemble_program_list():
+    program = assemble_program(["addi x1, x0, 1", "add x2, x1, x1"])
+    assert len(program) == 2
+
+
+def _operand_strategy():
+    def build(opcode, rd, rs1, rs2, raw):
+        info = OPCODE_INFO[opcode]
+        kwargs = {}
+        if info.has_rd:
+            kwargs["rd"] = rd
+        if info.has_rs1:
+            kwargs["rs1"] = rs1
+        if info.has_rs2:
+            kwargs["rs2"] = rs2
+        if info.has_imm:
+            kwargs["imm"] = _legal_imm(opcode, info.fmt, raw)
+        return Instruction(opcode, **kwargs)
+
+    return st.builds(
+        build,
+        st.sampled_from(sorted(Opcode, key=lambda op: op.value)),
+        st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+        st.integers(0, (1 << 20) - 1),
+    )
+
+
+def _legal_imm(opcode, fmt, raw):
+    if opcode in SHIFT_IMMEDIATE_OPCODES:
+        return raw % 32
+    if fmt in (InstructionFormat.I, InstructionFormat.S):
+        return raw % 4096 - 2048
+    if fmt is InstructionFormat.B:
+        return (raw % 4096 - 2048) * 2
+    if fmt is InstructionFormat.U:
+        return raw % (1 << 20)
+    if fmt is InstructionFormat.J:
+        return (raw % (1 << 20) - (1 << 19)) * 2
+    return 0
+
+
+@given(st.lists(_operand_strategy(), min_size=1, max_size=8))
+def test_disassemble_assemble_roundtrip(instructions):
+    program = Program(instructions)
+    text = "\n".join(disassemble_program(program))
+    assert assemble(text) == program
+
+
+@given(_operand_strategy())
+def test_disassemble_numeric_names_roundtrip(instruction):
+    text = disassemble(instruction, abi=False)
+    assert assemble(text)[0] == instruction

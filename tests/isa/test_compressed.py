@@ -1,0 +1,127 @@
+"""Tests for the RV32C compressed-encoding layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.compressed import (
+    CompressionError,
+    code_size,
+    compress,
+    decompress,
+    is_compressible,
+)
+from repro.isa.instructions import Instruction, Opcode
+
+# (base instruction, canonical 16-bit encoding) pairs cross-checked
+# against the RVC specification / GNU as.
+KNOWN = [
+    (Instruction(Opcode.ADDI, rd=0, rs1=0, imm=0), 0x0001),           # c.nop
+    (Instruction(Opcode.ADDI, rd=8, rs1=8, imm=1), 0x0405),           # c.addi s0, 1
+    (Instruction(Opcode.ADDI, rd=10, rs1=0, imm=-1), 0x557D),         # c.li a0, -1
+    (Instruction(Opcode.ADDI, rd=2, rs1=2, imm=16), 0x0141),          # c.addi16sp 16
+    (Instruction(Opcode.ADDI, rd=8, rs1=2, imm=4), 0x0040),           # c.addi4spn s0, 4
+    (Instruction(Opcode.LUI, rd=10, imm=1), 0x6505),                  # c.lui a0, 1
+    (Instruction(Opcode.SLLI, rd=10, rs1=10, imm=3), 0x050E),         # c.slli a0, 3
+    (Instruction(Opcode.SRLI, rd=8, rs1=8, imm=3), 0x800D),           # c.srli s0, 3
+    (Instruction(Opcode.SRAI, rd=8, rs1=8, imm=3), 0x840D),           # c.srai s0, 3
+    (Instruction(Opcode.ANDI, rd=8, rs1=8, imm=3), 0x880D),           # c.andi s0, 3
+    (Instruction(Opcode.ADD, rd=10, rs1=0, rs2=11), 0x852E),          # c.mv a0, a1
+    (Instruction(Opcode.ADD, rd=10, rs1=10, rs2=11), 0x952E),         # c.add a0, a1
+    (Instruction(Opcode.SUB, rd=8, rs1=8, rs2=9), 0x8C05),            # c.sub s0, s1
+    (Instruction(Opcode.XOR, rd=8, rs1=8, rs2=9), 0x8C25),            # c.xor s0, s1
+    (Instruction(Opcode.OR, rd=8, rs1=8, rs2=9), 0x8C45),             # c.or s0, s1
+    (Instruction(Opcode.AND, rd=8, rs1=8, rs2=9), 0x8C65),            # c.and s0, s1
+    (Instruction(Opcode.LW, rd=9, rs1=8, imm=4), 0x4044),             # c.lw s1, 4(s0)
+    (Instruction(Opcode.SW, rs1=8, rs2=9, imm=4), 0xC044),            # c.sw s1, 4(s0)
+    (Instruction(Opcode.LW, rd=10, rs1=2, imm=8), 0x4522),            # c.lwsp a0, 8
+    (Instruction(Opcode.SW, rs1=2, rs2=10, imm=8), 0xC42A),           # c.swsp a0, 8
+    (Instruction(Opcode.JAL, rd=0, imm=8), 0xA021),                   # c.j 8
+    (Instruction(Opcode.JAL, rd=1, imm=8), 0x2021),                   # c.jal 8
+    (Instruction(Opcode.JALR, rd=0, rs1=10, imm=0), 0x8502),          # c.jr a0
+    (Instruction(Opcode.JALR, rd=1, rs1=10, imm=0), 0x9502),          # c.jalr a0
+    (Instruction(Opcode.BEQ, rs1=8, rs2=0, imm=8), 0xC401),           # c.beqz s0, 8
+    (Instruction(Opcode.BNE, rs1=8, rs2=0, imm=8), 0xE401),           # c.bnez s0, 8
+    (Instruction(Opcode.EBREAK), 0x9002),                             # c.ebreak
+]
+
+
+@pytest.mark.parametrize("instruction,expected", KNOWN, ids=lambda v: hex(v) if isinstance(v, int) else str(v))
+def test_known_compressions(instruction, expected):
+    assert compress(instruction) == expected
+
+
+@pytest.mark.parametrize("instruction,word", KNOWN, ids=lambda v: hex(v) if isinstance(v, int) else str(v))
+def test_known_decompressions(instruction, word):
+    assert decompress(word) == instruction
+
+
+NOT_COMPRESSIBLE = [
+    Instruction(Opcode.ADDI, rd=1, rs1=2, imm=1),      # rd != rs1, rs1 != 0/2
+    Instruction(Opcode.ADDI, rd=8, rs1=8, imm=100),    # imm too wide
+    Instruction(Opcode.ADD, rd=8, rs1=9, rs2=10),      # rd != rs1
+    Instruction(Opcode.SUB, rd=1, rs1=1, rs2=2),       # non-prime registers
+    Instruction(Opcode.LW, rd=1, rs1=3, imm=4),        # non-prime base
+    Instruction(Opcode.LW, rd=8, rs1=8, imm=2),        # misscaled offset
+    Instruction(Opcode.SW, rs1=8, rs2=9, imm=128),     # offset too wide
+    Instruction(Opcode.MUL, rd=8, rs1=8, rs2=9),       # no compressed form
+    Instruction(Opcode.DIV, rd=8, rs1=8, rs2=9),
+    Instruction(Opcode.JAL, rd=5, imm=8),              # link register not ra/zero
+    Instruction(Opcode.JALR, rd=1, rs1=10, imm=4),     # nonzero offset
+    Instruction(Opcode.BEQ, rs1=8, rs2=9, imm=8),      # rs2 != x0
+    Instruction(Opcode.BLT, rs1=8, rs2=0, imm=8),      # no compressed BLT
+    Instruction(Opcode.AUIPC, rd=1, imm=1),
+    Instruction(Opcode.LUI, rd=2, imm=1),              # rd == sp reserved
+    Instruction(Opcode.SLLI, rd=8, rs1=8, imm=0),      # shamt 0 reserved
+    Instruction(Opcode.LB, rd=8, rs1=8, imm=0),        # no compressed LB
+]
+
+
+@pytest.mark.parametrize("instruction", NOT_COMPRESSIBLE, ids=str)
+def test_not_compressible(instruction):
+    assert compress(instruction) is None
+    assert not is_compressible(instruction)
+    assert code_size(instruction) == 4
+
+
+def test_code_size_compressed():
+    assert code_size(Instruction(Opcode.ADD, rd=10, rs1=10, rs2=11)) == 2
+
+
+def test_decompress_rejects_uncompressed():
+    with pytest.raises(CompressionError):
+        decompress(0x0003)  # quadrant 11 = 32-bit instruction
+    with pytest.raises(CompressionError):
+        decompress(0x10000)
+    with pytest.raises(CompressionError):
+        decompress(0x0000)  # defined illegal
+
+
+@given(st.integers(0, 0xFFFF))
+def test_decompress_never_crashes_unexpectedly(word):
+    try:
+        instruction = decompress(word)
+    except CompressionError:
+        return
+    # Whatever decompresses must compress back to the same word or at
+    # least be compressible to *a* canonical encoding that decompresses
+    # to the same instruction (some encodings are non-canonical).
+    recompressed = compress(instruction)
+    if recompressed is not None:
+        assert decompress(recompressed) == instruction
+
+
+@pytest.mark.parametrize("instruction,_word", KNOWN, ids=lambda v: str(v))
+def test_roundtrip_known(instruction, _word):
+    word = compress(instruction)
+    assert word is not None
+    assert decompress(word) == instruction
+
+
+def test_compressibility_depends_on_operands():
+    # The same operation is compressible or not depending on encoding
+    # fields — exactly the property that creates IL leakage through a
+    # compressed fetch unit.
+    small = Instruction(Opcode.ADDI, rd=8, rs1=8, imm=1)
+    large = Instruction(Opcode.ADDI, rd=8, rs1=8, imm=1000)
+    assert is_compressible(small)
+    assert not is_compressible(large)

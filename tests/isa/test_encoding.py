@@ -1,0 +1,146 @@
+"""Encode/decode tests, including hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode_instruction, encode_instruction
+from repro.isa.instructions import (
+    Instruction,
+    InstructionFormat,
+    Opcode,
+    OPCODE_INFO,
+    SHIFT_IMMEDIATE_OPCODES,
+)
+
+# Known-good encodings cross-checked against the RISC-V spec / GNU as.
+KNOWN_ENCODINGS = [
+    (Instruction(Opcode.ADDI, rd=1, rs1=2, imm=10), 0x00A10093),
+    (Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2), 0x002081B3),
+    (Instruction(Opcode.SUB, rd=3, rs1=1, rs2=2), 0x402081B3),
+    (Instruction(Opcode.LUI, rd=5, imm=0x12345), 0x123452B7),
+    (Instruction(Opcode.AUIPC, rd=5, imm=0x12345), 0x12345297),
+    (Instruction(Opcode.LW, rd=6, rs1=7, imm=-4), 0xFFC3A303),
+    (Instruction(Opcode.SW, rs1=7, rs2=6, imm=-4), 0xFE63AE23),
+    (Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=8), 0x00208463),
+    (Instruction(Opcode.BNE, rs1=1, rs2=2, imm=-8), 0xFE209CE3),
+    (Instruction(Opcode.JAL, rd=1, imm=2048), 0x001000EF),
+    (Instruction(Opcode.JALR, rd=1, rs1=5, imm=0), 0x000280E7),
+    (Instruction(Opcode.SLLI, rd=4, rs1=4, imm=3), 0x00321213),
+    (Instruction(Opcode.SRAI, rd=4, rs1=4, imm=3), 0x40325213),
+    (Instruction(Opcode.MUL, rd=10, rs1=11, rs2=12), 0x02C58533),
+    (Instruction(Opcode.DIV, rd=10, rs1=11, rs2=12), 0x02C5C533),
+    (Instruction(Opcode.REMU, rd=10, rs1=11, rs2=12), 0x02C5F533),
+    (Instruction(Opcode.ECALL), 0x00000073),
+    (Instruction(Opcode.EBREAK), 0x00100073),
+]
+
+
+@pytest.mark.parametrize("instruction,word", KNOWN_ENCODINGS)
+def test_known_encodings(instruction, word):
+    assert encode_instruction(instruction) == word
+
+
+@pytest.mark.parametrize("instruction,word", KNOWN_ENCODINGS)
+def test_known_decodings(instruction, word):
+    assert decode_instruction(word) == instruction
+
+
+def _instruction_strategy():
+    def build(opcode, rd, rs1, rs2, imm_bits):
+        info = OPCODE_INFO[opcode]
+        kwargs = {}
+        if info.has_rd:
+            kwargs["rd"] = rd
+        if info.has_rs1:
+            kwargs["rs1"] = rs1
+        if info.has_rs2:
+            kwargs["rs2"] = rs2
+        if info.has_imm:
+            kwargs["imm"] = _immediate_from_bits(opcode, info, imm_bits)
+        return Instruction(opcode, **kwargs)
+
+    return st.builds(
+        build,
+        st.sampled_from(sorted(Opcode, key=lambda op: op.value)),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.integers(0, 31),
+        st.integers(0, (1 << 21) - 1),
+    )
+
+
+def _immediate_from_bits(opcode, info, bits):
+    if opcode in SHIFT_IMMEDIATE_OPCODES:
+        return bits % 32
+    fmt = info.fmt
+    if fmt in (InstructionFormat.I, InstructionFormat.S):
+        return bits % 4096 - 2048
+    if fmt is InstructionFormat.B:
+        return (bits % 4096 - 2048) * 2
+    if fmt is InstructionFormat.U:
+        return bits % (1 << 20)
+    if fmt is InstructionFormat.J:
+        return (bits % (1 << 20) - (1 << 19)) * 2
+    return 0
+
+
+@given(_instruction_strategy())
+def test_roundtrip_property(instruction):
+    word = encode_instruction(instruction)
+    assert 0 <= word <= 0xFFFFFFFF
+    decoded = decode_instruction(word)
+    info = OPCODE_INFO[instruction.opcode]
+    assert decoded.opcode is instruction.opcode
+    if info.has_rd:
+        assert decoded.rd == instruction.rd
+    if info.has_rs1:
+        assert decoded.rs1 == instruction.rs1
+    if info.has_rs2:
+        assert decoded.rs2 == instruction.rs2
+    if info.has_imm:
+        assert decoded.imm == instruction.imm
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_decode_never_crashes_unexpectedly(word):
+    try:
+        instruction = decode_instruction(word)
+    except EncodingError:
+        return
+    # Whatever decodes must re-encode into a decodable word with the
+    # same semantics (fields we do not model, e.g. fence sets, may
+    # canonicalize, so we compare the decoded forms).
+    assert decode_instruction(encode_instruction(instruction)) == instruction
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(EncodingError):
+        decode_instruction(-1)
+    with pytest.raises(EncodingError):
+        decode_instruction(1 << 32)
+
+
+def test_decode_rejects_unknown_major():
+    with pytest.raises(EncodingError):
+        decode_instruction(0x0000007F)  # unused major opcode
+
+
+def test_decode_rejects_bad_funct():
+    with pytest.raises(EncodingError):
+        decode_instruction(0x00000063 | (0b010 << 12))  # branch funct3=010
+    with pytest.raises(EncodingError):
+        # OP with funct7 = 0b1111111
+        decode_instruction((0b1111111 << 25) | 0x33)
+
+
+def test_branch_offset_sign():
+    word = encode_instruction(Instruction(Opcode.BGE, rs1=3, rs2=4, imm=-4096))
+    assert decode_instruction(word).imm == -4096
+    word = encode_instruction(Instruction(Opcode.BGE, rs1=3, rs2=4, imm=4094))
+    assert decode_instruction(word).imm == 4094
+
+
+def test_jal_offset_extremes():
+    for imm in (-1048576, 1048574, 0, 2):
+        word = encode_instruction(Instruction(Opcode.JAL, rd=0, imm=imm))
+        assert decode_instruction(word).imm == imm

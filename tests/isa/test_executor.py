@@ -1,0 +1,296 @@
+"""Semantic tests for the ISA executor."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.executor import (
+    ExecutionLimitExceeded,
+    IsaExecutor,
+    execute_program,
+)
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+
+
+def run_asm(source, regs=None, memory_words=None):
+    """Assemble and run, returning (records, final state)."""
+    program = assemble(source)
+    state = ArchState(pc=program.base_address)
+    if regs:
+        for index, value in regs.items():
+            state.write_register(index, value)
+    if memory_words:
+        for address, value in memory_words.items():
+            state.memory.store_word(address, value)
+    records = execute_program(program, state)
+    return records, state
+
+
+def test_addi_and_add():
+    records, state = run_asm("addi x1, x0, 5\naddi x2, x0, 7\nadd x3, x1, x2")
+    assert state.regs[3] == 12
+    assert len(records) == 3
+    assert records[2].rd_value == 12
+
+
+def test_x0_stays_zero():
+    _records, state = run_asm("addi x0, x0, 55")
+    assert state.regs[0] == 0
+
+
+def test_sub_wraps():
+    _records, state = run_asm("addi x1, x0, 0\naddi x2, x0, 1\nsub x3, x1, x2")
+    assert state.regs[3] == 0xFFFFFFFF
+
+
+def test_logic_ops():
+    _records, state = run_asm(
+        "addi x1, x0, 0b1100\naddi x2, x0, 0b1010\n"
+        "and x3, x1, x2\nor x4, x1, x2\nxor x5, x1, x2"
+    )
+    assert state.regs[3] == 0b1000
+    assert state.regs[4] == 0b1110
+    assert state.regs[5] == 0b0110
+
+
+def test_immediate_logic_sign_extension():
+    _records, state = run_asm("andi x1, x0, -1\nori x2, x0, -1\nxori x3, x0, -1")
+    assert state.regs[1] == 0
+    assert state.regs[2] == 0xFFFFFFFF
+    assert state.regs[3] == 0xFFFFFFFF
+
+
+def test_slt_family():
+    _records, state = run_asm(
+        "addi x1, x0, -1\naddi x2, x0, 1\n"
+        "slt x3, x1, x2\nsltu x4, x1, x2\nslti x5, x1, 0\nsltiu x6, x1, 0"
+    )
+    assert state.regs[3] == 1  # -1 < 1 signed
+    assert state.regs[4] == 0  # 0xFFFFFFFF > 1 unsigned
+    assert state.regs[5] == 1
+    assert state.regs[6] == 0
+
+
+def test_shifts():
+    _records, state = run_asm(
+        "addi x1, x0, -8\n"
+        "slli x2, x1, 1\nsrli x3, x1, 1\nsrai x4, x1, 1\n"
+        "addi x5, x0, 33\nsll x6, x1, x5"  # shift amount masked to 1
+    )
+    assert state.regs[2] == 0xFFFFFFF0
+    assert state.regs[3] == 0x7FFFFFFC
+    assert state.regs[4] == 0xFFFFFFFC
+    assert state.regs[6] == 0xFFFFFFF0
+
+
+def test_lui_auipc():
+    records, state = run_asm("lui x1, 0x12345\nauipc x2, 0x1")
+    assert state.regs[1] == 0x12345000
+    assert state.regs[2] == records[1].pc + 0x1000
+
+
+def test_mul_family():
+    _records, state = run_asm(
+        "addi x1, x0, -3\naddi x2, x0, 5\n"
+        "mul x3, x1, x2\nmulh x4, x1, x2\nmulhu x5, x1, x2\nmulhsu x6, x1, x2"
+    )
+    assert state.regs[3] == (-15) & 0xFFFFFFFF
+    assert state.regs[4] == 0xFFFFFFFF          # high bits of -15
+    assert state.regs[5] == ((0xFFFFFFFD * 5) >> 32)
+    assert state.regs[6] == ((-3 * 5) >> 32) & 0xFFFFFFFF
+
+
+def test_div_semantics():
+    _records, state = run_asm(
+        "addi x1, x0, -7\naddi x2, x0, 2\n"
+        "div x3, x1, x2\nrem x4, x1, x2\ndivu x5, x1, x2\nremu x6, x1, x2"
+    )
+    assert state.regs[3] == (-3) & 0xFFFFFFFF   # trunc toward zero
+    assert state.regs[4] == (-1) & 0xFFFFFFFF
+    assert state.regs[5] == 0xFFFFFFF9 // 2
+    assert state.regs[6] == 0xFFFFFFF9 % 2
+
+
+def test_div_by_zero():
+    _records, state = run_asm(
+        "addi x1, x0, 42\ndiv x2, x1, x0\nrem x3, x1, x0\n"
+        "divu x4, x1, x0\nremu x5, x1, x0"
+    )
+    assert state.regs[2] == 0xFFFFFFFF
+    assert state.regs[3] == 42
+    assert state.regs[4] == 0xFFFFFFFF
+    assert state.regs[5] == 42
+
+
+def test_div_overflow():
+    records, state = run_asm(
+        "lui x1, 0x80000\naddi x2, x0, -1\ndiv x3, x1, x2\nrem x4, x1, x2"
+    )
+    assert state.regs[1] == 0x80000000
+    assert state.regs[3] == 0x80000000
+    assert state.regs[4] == 0
+
+
+def test_loads_and_stores():
+    records, state = run_asm(
+        "addi x1, x0, 0x100\n"
+        "addi x2, x0, -1\n"
+        "sw x2, 0(x1)\n"
+        "lw x3, 0(x1)\n"
+        "lh x4, 0(x1)\nlhu x5, 0(x1)\nlb x6, 0(x1)\nlbu x7, 0(x1)"
+    )
+    assert state.regs[3] == 0xFFFFFFFF
+    assert state.regs[4] == 0xFFFFFFFF  # sign-extended
+    assert state.regs[5] == 0x0000FFFF
+    assert state.regs[6] == 0xFFFFFFFF
+    assert state.regs[7] == 0x000000FF
+    store_record = records[2]
+    assert store_record.mem_write_addr == 0x100
+    assert store_record.mem_write_data == 0xFFFFFFFF
+    load_record = records[3]
+    assert load_record.mem_read_addr == 0x100
+    assert load_record.mem_read_data == 0xFFFFFFFF
+
+
+def test_store_byte_width_data():
+    records, _state = run_asm(
+        "addi x1, x0, 0x100\naddi x2, x0, 0x7d\nsb x2, 1(x1)"
+    )
+    record = records[-1]
+    assert record.mem_write_addr == 0x101
+    assert record.mem_write_data == 0x7D
+
+
+def test_branch_taken_and_not_taken():
+    records, state = run_asm(
+        "addi x1, x0, 1\n"
+        "beq x1, x0, skip\n"   # not taken
+        "addi x2, x0, 2\n"
+        "bne x1, x0, skip\n"   # taken
+        "addi x3, x0, 3\n"     # skipped
+        "skip: addi x4, x0, 4"
+    )
+    assert state.regs[2] == 2
+    assert state.regs[3] == 0
+    assert state.regs[4] == 4
+    assert records[1].branch_taken is False
+    assert records[3].branch_taken is True
+    assert records[3].next_pc == records[3].pc + 8
+
+
+def test_branch_to_next_instruction():
+    # The paper's example: BEQ with offset 4 jumps to the next
+    # instruction whether taken or not; architectural path is identical.
+    records, state = run_asm(
+        "addi x1, x0, 1\nbeq x1, x1, 4\naddi x2, x0, 2"
+    )
+    assert records[1].branch_taken is True
+    assert records[1].next_pc == records[1].pc + 4
+    assert state.regs[2] == 2
+
+
+def test_unsigned_branches():
+    records, _state = run_asm(
+        "addi x1, x0, -1\naddi x2, x0, 1\nbltu x2, x1, 4\nbgeu x1, x2, 4"
+    )
+    assert records[2].branch_taken is True
+    assert records[3].branch_taken is True
+
+
+def test_jal_links_and_jumps():
+    records, state = run_asm(
+        "jal x1, target\naddi x2, x0, 9\ntarget: addi x3, x0, 3"
+    )
+    assert state.regs[2] == 0
+    assert state.regs[3] == 3
+    assert state.regs[1] == records[0].pc + 4
+
+
+def test_jalr_clears_low_bit():
+    records, state = run_asm(
+        "addi x1, x0, 0x100\njalr x2, x1, 13"
+    )
+    assert records[1].next_pc == (0x100 + 13) & ~1
+    assert state.regs[2] == records[1].pc + 4
+
+
+def test_ecall_halts():
+    records, state = run_asm("addi x1, x0, 1\necall\naddi x2, x0, 2")
+    assert len(records) == 2
+    assert state.regs[2] == 0
+
+
+def test_fence_is_noop():
+    records, state = run_asm("fence\naddi x1, x0, 1")
+    assert state.regs[1] == 1
+    assert len(records) == 2
+
+
+def test_fall_through_ends_execution():
+    records, _state = run_asm("addi x1, x0, 1")
+    assert len(records) == 1
+
+
+def test_execution_limit():
+    # Infinite loop: jal x0, 0 jumps to itself.
+    program = Program([Instruction(Opcode.JAL, rd=0, imm=0)])
+    with pytest.raises(ExecutionLimitExceeded):
+        execute_program(program, max_steps=100)
+
+
+def test_dependency_annotations():
+    records, _state = run_asm(
+        "addi x1, x0, 1\n"      # 0: writes x1
+        "addi x2, x0, 2\n"      # 1: writes x2
+        "add x3, x1, x2\n"      # 2: raw rs1 dist 2, raw rs2 dist 1
+        "add x3, x3, x3\n"      # 3: raw both dist 1, waw dist 1
+        "add x4, x1, x1"        # 4: raw rs1 dist 4
+    )
+    assert records[2].raw_rs1_dist == 2
+    assert records[2].raw_rs2_dist == 1
+    assert records[3].raw_rs1_dist == 1
+    assert records[3].raw_rs2_dist == 1
+    assert records[3].waw_dist == 1
+    assert records[4].raw_rs1_dist == 4
+    assert records[4].raw_rs2_dist == 4
+
+
+def test_dependency_window_cutoff():
+    records, _state = run_asm(
+        "addi x1, x0, 1\n"
+        "nop\nnop\nnop\nnop\n"
+        "add x2, x1, x1"
+    )
+    # distance 5 exceeds the default window of 4
+    assert records[5].raw_rs1_dist is None
+
+
+def test_war_dependency():
+    records, _state = run_asm(
+        "add x3, x1, x2\n"   # reads x1
+        "addi x1, x0, 7"     # writes x1 -> WAR distance 1
+    )
+    assert records[1].war_rd_dist == 1
+
+
+def test_x0_dependencies_ignored():
+    records, _state = run_asm("addi x0, x0, 1\nadd x1, x0, x0")
+    assert records[1].raw_rs1_dist is None
+    assert records[1].raw_rs2_dist is None
+
+
+def test_custom_dependency_window():
+    program = assemble("addi x1, x0, 1\nnop\nadd x2, x1, x1")
+    state = ArchState(pc=program.base_address)
+    records = IsaExecutor(dependency_window=1).run(program, state, 100)
+    assert records[2].raw_rs1_dist is None
+
+
+def test_memory_address_property():
+    records, _state = run_asm(
+        "addi x1, x0, 0x200\nsw x1, 4(x1)\nlw x2, 4(x1)"
+    )
+    assert records[1].memory_address == 0x204
+    assert records[2].memory_address == 0x204
+    assert records[0].memory_address is None

@@ -1,0 +1,128 @@
+"""Tests for the sparse memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.memory import SparseMemory
+
+
+def test_default_zero():
+    memory = SparseMemory()
+    assert memory.load_word(0) == 0
+    assert memory.load_byte(12345) == 0
+    assert memory.load_halfword(0xFFFF0000) == 0
+
+
+def test_word_roundtrip_aligned():
+    memory = SparseMemory()
+    memory.store_word(0x100, 0xDEADBEEF)
+    assert memory.load_word(0x100) == 0xDEADBEEF
+
+
+def test_little_endian_bytes():
+    memory = SparseMemory()
+    memory.store_word(0x100, 0x11223344)
+    assert memory.load_byte(0x100) == 0x44
+    assert memory.load_byte(0x101) == 0x33
+    assert memory.load_byte(0x102) == 0x22
+    assert memory.load_byte(0x103) == 0x11
+
+
+def test_halfword_roundtrip():
+    memory = SparseMemory()
+    memory.store_halfword(0x200, 0xABCD)
+    assert memory.load_halfword(0x200) == 0xABCD
+    assert memory.load_byte(0x200) == 0xCD
+    assert memory.load_byte(0x201) == 0xAB
+
+
+def test_misaligned_word_access():
+    memory = SparseMemory()
+    memory.store_word(0x101, 0xCAFEBABE)
+    assert memory.load_word(0x101) == 0xCAFEBABE
+    # Verify the bytes straddle two backing words.
+    assert memory.load_byte(0x101) == 0xBE
+    assert memory.load_byte(0x104) == 0xCA
+
+
+def test_misaligned_halfword_across_word_boundary():
+    memory = SparseMemory()
+    memory.store_halfword(0x103, 0x1234)
+    assert memory.load_halfword(0x103) == 0x1234
+    assert memory.load_byte(0x103) == 0x34
+    assert memory.load_byte(0x104) == 0x12
+
+
+def test_byte_store_preserves_neighbors():
+    memory = SparseMemory()
+    memory.store_word(0x100, 0xFFFFFFFF)
+    memory.store_byte(0x101, 0x00)
+    assert memory.load_word(0x100) == 0xFFFF00FF
+
+
+def test_generic_load_store_widths():
+    memory = SparseMemory()
+    memory.store(0x40, 0xAB, 1)
+    memory.store(0x44, 0xABCD, 2)
+    memory.store(0x48, 0xDEADBEEF, 4)
+    assert memory.load(0x40, 1) == 0xAB
+    assert memory.load(0x44, 2) == 0xABCD
+    assert memory.load(0x48, 4) == 0xDEADBEEF
+
+
+def test_invalid_width_raises():
+    memory = SparseMemory()
+    with pytest.raises(ValueError):
+        memory.load(0, 3)
+    with pytest.raises(ValueError):
+        memory.store(0, 0, 8)
+
+
+def test_address_wraps_32_bits():
+    memory = SparseMemory()
+    memory.store_word(0x1_0000_0004, 7)
+    assert memory.load_word(0x4) == 7
+
+
+def test_copy_is_independent():
+    memory = SparseMemory()
+    memory.store_word(0x100, 1)
+    clone = memory.copy()
+    clone.store_word(0x100, 2)
+    assert memory.load_word(0x100) == 1
+    assert clone.load_word(0x100) == 2
+
+
+def test_initial_image():
+    memory = SparseMemory({0x100: 42, 0x104: 43})
+    assert memory.load_word(0x100) == 42
+    assert memory.load_word(0x104) == 43
+
+
+def test_equality_ignores_zero_words():
+    a = SparseMemory()
+    b = SparseMemory()
+    a.store_word(0x100, 0)  # explicit zero == untouched
+    assert a == b
+    a.store_word(0x104, 9)
+    assert a != b
+
+
+@given(
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 0xFFFFFFFF),
+    st.sampled_from([1, 2, 4]),
+)
+def test_store_load_roundtrip_property(address, value, width):
+    memory = SparseMemory()
+    mask = (1 << (8 * width)) - 1
+    memory.store(address, value, width)
+    assert memory.load(address, width) == value & mask
+
+
+@given(st.integers(0, 0xFFFFFFF0), st.integers(0, 0xFFFFFFFF))
+def test_word_equals_four_bytes_property(address, value):
+    memory = SparseMemory()
+    memory.store_word(address, value)
+    recombined = sum(memory.load_byte(address + i) << (8 * i) for i in range(4))
+    assert recombined == value

@@ -1,0 +1,54 @@
+"""Tests for register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import ABI_NAMES, REGISTER_COUNT, parse_register, register_name
+
+
+def test_register_count():
+    assert REGISTER_COUNT == 32
+    assert len(ABI_NAMES) == 32
+
+
+def test_abi_names_unique():
+    assert len(set(ABI_NAMES)) == 32
+
+
+@pytest.mark.parametrize("index", range(32))
+def test_roundtrip_abi(index):
+    assert parse_register(register_name(index, abi=True)) == index
+
+
+@pytest.mark.parametrize("index", range(32))
+def test_roundtrip_numeric(index):
+    assert parse_register(register_name(index, abi=False)) == index
+
+
+def test_known_names():
+    assert register_name(0) == "zero"
+    assert register_name(1) == "ra"
+    assert register_name(2) == "sp"
+    assert register_name(10) == "a0"
+    assert register_name(10, abi=False) == "x10"
+
+
+def test_fp_alias():
+    assert parse_register("fp") == 8
+    assert parse_register("s0") == 8
+
+
+def test_parse_case_insensitive_and_whitespace():
+    assert parse_register(" A0 ") == 10
+    assert parse_register("X31") == 31
+
+
+def test_parse_unknown_raises():
+    with pytest.raises(ValueError):
+        parse_register("q7")
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(32)
+    with pytest.raises(ValueError):
+        register_name(-1)

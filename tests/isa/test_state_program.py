@@ -1,0 +1,112 @@
+"""Tests for ArchState and Program containers."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import DEFAULT_BASE_ADDRESS, Program
+from repro.isa.state import ArchState
+
+
+def test_state_defaults():
+    state = ArchState()
+    assert state.pc == 0
+    assert state.regs == [0] * 32
+
+
+def test_state_x0_hardwired():
+    state = ArchState()
+    state.write_register(0, 99)
+    assert state.regs[0] == 0
+
+
+def test_state_write_masks_32_bits():
+    state = ArchState()
+    state.write_register(1, 1 << 35 | 5)
+    assert state.regs[1] == 5
+
+
+def test_state_init_regs_masked_and_x0_cleared():
+    regs = [7] * 32
+    state = ArchState(regs=regs)
+    assert state.regs[0] == 0
+    assert state.regs[1] == 7
+
+
+def test_state_init_wrong_reg_count():
+    with pytest.raises(ValueError):
+        ArchState(regs=[0] * 31)
+
+
+def test_state_copy_independent():
+    state = ArchState()
+    state.write_register(5, 1)
+    state.memory.store_word(0x100, 2)
+    clone = state.copy()
+    clone.write_register(5, 9)
+    clone.memory.store_word(0x100, 8)
+    assert state.regs[5] == 1
+    assert state.memory.load_word(0x100) == 2
+
+
+def test_state_equality():
+    a = ArchState(pc=4)
+    b = ArchState(pc=4)
+    assert a == b
+    b.write_register(3, 1)
+    assert a != b
+
+
+def test_program_fetch():
+    nop = Instruction(Opcode.ADDI)
+    program = Program([nop, nop, nop])
+    base = DEFAULT_BASE_ADDRESS
+    assert program.fetch(base) is nop
+    assert program.fetch(base + 8) is nop
+    assert program.fetch(base + 12) is None
+    assert program.fetch(base - 4) is None
+    assert program.fetch(base + 2) is None  # misaligned
+
+
+def test_program_addresses():
+    program = Program([Instruction(Opcode.ADDI)] * 3, base_address=0x2000)
+    assert program.address_of(0) == 0x2000
+    assert program.address_of(2) == 0x2008
+    assert program.end_address == 0x200C
+    with pytest.raises(IndexError):
+        program.address_of(3)
+
+
+def test_program_base_alignment():
+    with pytest.raises(ValueError):
+        Program([], base_address=2)
+
+
+def test_program_replace():
+    nop = Instruction(Opcode.ADDI)
+    add = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+    program = Program([nop, nop])
+    replaced = program.replace(1, add)
+    assert replaced[1] == add
+    assert program[1] == nop  # original untouched
+    assert replaced.base_address == program.base_address
+
+
+def test_program_encoded_words():
+    program = Program([Instruction(Opcode.ADDI, rd=1, rs1=2, imm=10)])
+    assert program.encoded_words() == [0x00A10093]
+
+
+def test_program_equality_and_hash():
+    a = Program([Instruction(Opcode.ADDI)])
+    b = Program([Instruction(Opcode.ADDI)])
+    assert a == b
+    assert hash(a) == hash(b)
+    c = Program([Instruction(Opcode.ADDI)], base_address=0x2000)
+    assert a != c
+
+
+def test_program_iteration():
+    instructions = [Instruction(Opcode.ADDI, imm=i) for i in range(5)]
+    program = Program(instructions)
+    assert list(program) == instructions
+    assert len(program) == 5

@@ -1,0 +1,46 @@
+"""Tests for curve serialization and ASCII rendering."""
+
+from repro.reporting.curves import Series, render_ascii_chart, write_csv
+
+
+def test_series_accessors():
+    series = Series("s", [(1.0, 0.5), (2.0, None)])
+    assert series.xs == [1.0, 2.0]
+    assert series.ys == [0.5, None]
+
+
+def test_write_csv(tmp_path):
+    a = Series("alpha", [(1, 0.25), (2, 0.5)])
+    b = Series("beta", [(1, 1.0), (3, None)])
+    path = tmp_path / "curves.csv"
+    write_csv(str(path), [a, b])
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "x,alpha,beta"
+    assert lines[1] == "1,0.250000,1.000000"
+    assert lines[2] == "2,0.500000,"
+    assert lines[3] == "3,,"
+
+
+def test_ascii_chart_renders_series():
+    series = Series("curve", [(1, 0.0), (50, 0.5), (100, 1.0)])
+    chart = render_ascii_chart([series])
+    assert "curve" in chart
+    assert "*" in chart
+    assert "1.00" in chart and "0.00" in chart
+
+
+def test_ascii_chart_multiple_series_glyphs():
+    a = Series("a", [(1, 0.2)])
+    b = Series("b", [(1, 0.8)])
+    chart = render_ascii_chart([a, b])
+    assert "*" in chart and "o" in chart
+
+
+def test_ascii_chart_log_x():
+    series = Series("s", [(1, 0.1), (10, 0.5), (100, 0.9)])
+    chart = render_ascii_chart([series], log_x=True)
+    assert "s" in chart
+
+
+def test_ascii_chart_empty():
+    assert render_ascii_chart([Series("s", [(1, None)])]) == "(no data)"

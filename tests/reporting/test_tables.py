@@ -1,0 +1,122 @@
+"""Tests for the paper-style contract tables."""
+
+import pytest
+
+from repro.contracts.atoms import LeakageFamily
+from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.template import Contract
+from repro.isa.instructions import InstructionCategory, Opcode
+from repro.reporting.tables import (
+    CellMarker,
+    PAPER_TABLE_1,
+    PAPER_TABLE_2,
+    TABLE_CATEGORIES,
+    TABLE_FAMILIES,
+    contract_summary_grid,
+    grid_agreement,
+    render_contract_table,
+)
+
+
+@pytest.fixture(scope="module")
+def template():
+    return build_riscv_template()
+
+
+def atoms_named(template, *names):
+    ids = []
+    wanted = set(names)
+    for atom in template:
+        if atom.name in wanted:
+            ids.append(atom.atom_id)
+    assert len(ids) == len(names), "missing atoms: %s" % (
+        wanted - {template.atom(i).name for i in ids}
+    )
+    return ids
+
+
+def test_not_applicable_cells(template):
+    grid = contract_summary_grid(Contract(template, []))
+    assert grid[(InstructionCategory.ARITHMETIC, LeakageFamily.ML)] is CellMarker.NOT_APPLICABLE
+    assert grid[(InstructionCategory.ARITHMETIC, LeakageFamily.AL)] is CellMarker.NOT_APPLICABLE
+    assert grid[(InstructionCategory.ARITHMETIC, LeakageFamily.BL)] is CellMarker.NOT_APPLICABLE
+    assert grid[(InstructionCategory.DIVISION, LeakageFamily.ML)] is CellMarker.NOT_APPLICABLE
+    assert grid[(InstructionCategory.LOAD, LeakageFamily.BL)] is CellMarker.NOT_APPLICABLE
+    assert grid[(InstructionCategory.STORE, LeakageFamily.BL)] is CellMarker.NOT_APPLICABLE
+    assert grid[(InstructionCategory.BRANCH, LeakageFamily.ML)] is CellMarker.NOT_APPLICABLE
+
+
+def test_empty_contract_is_all_none_or_na(template):
+    grid = contract_summary_grid(Contract(template, []))
+    assert set(grid.values()) <= {CellMarker.NONE, CellMarker.NOT_APPLICABLE}
+
+
+def test_partial_marker(template):
+    ids = atoms_named(template, "div:REG_RS2")
+    grid = contract_summary_grid(Contract(template, ids))
+    assert grid[(InstructionCategory.DIVISION, LeakageFamily.RL)] is CellMarker.PARTIAL
+
+
+def test_full_marker(template):
+    names = ["%s:BRANCH_TAKEN" % op for op in ("beq", "bne", "blt", "bge", "bltu", "bgeu")]
+    ids = atoms_named(template, *names)
+    grid = contract_summary_grid(Contract(template, ids))
+    assert grid[(InstructionCategory.BRANCH, LeakageFamily.BL)] is CellMarker.FULL
+
+
+def test_full_requires_every_opcode(template):
+    names = ["%s:BRANCH_TAKEN" % op for op in ("beq", "bne", "blt", "bge", "bltu")]
+    ids = atoms_named(template, *names)
+    grid = contract_summary_grid(Contract(template, ids))
+    assert grid[(InstructionCategory.BRANCH, LeakageFamily.BL)] is CellMarker.PARTIAL
+
+
+def test_family_counts_by_any_source(template):
+    # One IS_WORD_ALIGNED atom per load opcode marks AL as FULL even
+    # without IS_HALF_ALIGNED.
+    names = ["%s:IS_WORD_ALIGNED" % op for op in ("lb", "lh", "lw", "lbu", "lhu")]
+    ids = atoms_named(template, *names)
+    grid = contract_summary_grid(Contract(template, ids))
+    assert grid[(InstructionCategory.LOAD, LeakageFamily.AL)] is CellMarker.FULL
+
+
+def test_render_contains_all_rows(template):
+    text = render_contract_table(Contract(template, []), title="T")
+    assert text.startswith("T")
+    for label, _category in TABLE_CATEGORIES:
+        assert label in text
+    for family in TABLE_FAMILIES:
+        assert family.name in text
+    assert "0 atoms selected" in text
+
+
+def test_paper_grids_complete():
+    for reference in (PAPER_TABLE_1, PAPER_TABLE_2):
+        assert len(reference) == len(TABLE_CATEGORIES) * len(TABLE_FAMILIES)
+
+
+def test_paper_table_1_headline_cells():
+    # Loads leak alignment; branches leak taken/not-taken.
+    assert PAPER_TABLE_1[(InstructionCategory.LOAD, LeakageFamily.AL)] is CellMarker.FULL
+    assert PAPER_TABLE_1[(InstructionCategory.BRANCH, LeakageFamily.BL)] is CellMarker.FULL
+    assert PAPER_TABLE_1[(InstructionCategory.STORE, LeakageFamily.AL)] is CellMarker.NONE
+
+
+def test_paper_table_2_headline_cells():
+    # CVA6's memory interface hides accesses entirely.
+    assert PAPER_TABLE_2[(InstructionCategory.LOAD, LeakageFamily.ML)] is CellMarker.NONE
+    assert PAPER_TABLE_2[(InstructionCategory.LOAD, LeakageFamily.AL)] is CellMarker.NONE
+    assert PAPER_TABLE_2[(InstructionCategory.BRANCH, LeakageFamily.DL)] is CellMarker.PARTIAL
+
+
+def test_grid_agreement_perfect():
+    matches, total, mismatches = grid_agreement(PAPER_TABLE_1, PAPER_TABLE_1)
+    assert matches == total
+    assert not mismatches
+
+
+def test_grid_agreement_counts_mismatches():
+    matches, total, mismatches = grid_agreement(PAPER_TABLE_2, PAPER_TABLE_1)
+    assert matches < total
+    assert len(mismatches) == total - matches
+    assert all(":" in text for text in mismatches)

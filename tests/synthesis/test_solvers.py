@@ -1,0 +1,213 @@
+"""Tests for the three solver backends, including cross-checks of
+exactness on randomized instances."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.evaluation.results import EvaluationDataset, TestCaseResult
+from repro.synthesis.ilp import build_ilp_instance
+from repro.synthesis.solvers import (
+    BranchAndBoundSolver,
+    GreedySolver,
+    ScipyMilpSolver,
+)
+
+ALL_SOLVERS = [ScipyMilpSolver(), BranchAndBoundSolver(), GreedySolver()]
+EXACT_SOLVERS = [ScipyMilpSolver(), BranchAndBoundSolver()]
+
+
+def make_instance(entries, allowed=None):
+    dataset = EvaluationDataset(
+        [
+            TestCaseResult(test_id, dist, frozenset(atoms))
+            for test_id, (dist, atoms) in enumerate(entries)
+        ]
+    )
+    return build_ilp_instance(dataset, allowed)
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS, ids=lambda s: s.name)
+class TestAllSolvers:
+    def test_trivial_single_atom(self, solver):
+        instance = make_instance([(True, {3})])
+        result = solver.solve(instance)
+        assert result.selected_atom_ids == {3}
+        assert result.false_positives == 0
+
+    def test_empty_instance(self, solver):
+        instance = make_instance([(False, {1})])
+        result = solver.solve(instance)
+        assert result.selected_atom_ids == frozenset()
+        assert result.false_positives == 0
+
+    def test_coverage_always_satisfied(self, solver):
+        instance = make_instance(
+            [
+                (True, {1, 2}),
+                (True, {2, 3}),
+                (True, {4}),
+                (False, {2}),
+                (False, {4, 1}),
+            ]
+        )
+        result = solver.solve(instance)
+        assert instance.covers_all(result.selected_atom_ids)
+        assert result.false_positives == instance.false_positive_weight(
+            result.selected_atom_ids
+        )
+
+    def test_prefers_precise_atom(self, solver):
+        # Atom 1 covers the leak with no FPs; atom 2 covers it with 3.
+        instance = make_instance(
+            [
+                (True, {1, 2}),
+                (False, {2}),
+                (False, {2}),
+                (False, {2}),
+            ]
+        )
+        result = solver.solve(instance)
+        assert result.selected_atom_ids == {1}
+        assert result.false_positives == 0
+
+    def test_unavoidable_false_positive(self, solver):
+        instance = make_instance(
+            [
+                (True, {1}),
+                (False, {1}),
+            ]
+        )
+        result = solver.solve(instance)
+        assert result.selected_atom_ids == {1}
+        assert result.false_positives == 1
+
+    def test_no_gratuitous_atoms(self, solver):
+        # One atom covers everything; adding others is never better.
+        instance = make_instance(
+            [
+                (True, {7, 8}),
+                (True, {7, 9}),
+            ]
+        )
+        result = solver.solve(instance)
+        assert result.selected_atom_ids == {7}
+
+
+@pytest.mark.parametrize("solver", EXACT_SOLVERS, ids=lambda s: s.name)
+class TestExactSolvers:
+    def test_optimal_flag(self, solver):
+        result = solver.solve(make_instance([(True, {1})]))
+        assert result.optimal
+
+    def test_tradeoff_requires_optimality(self, solver):
+        # Greedy ratio heuristics can be lured into picking atom 5
+        # (covers both constraints, 2 FPs) over {1, 2} (0 FPs).
+        instance = make_instance(
+            [
+                (True, {1, 5}),
+                (True, {2, 5}),
+                (False, {5}),
+                (False, {5}),
+            ]
+        )
+        result = solver.solve(instance)
+        assert result.selected_atom_ids == {1, 2}
+        assert result.false_positives == 0
+
+    def test_minimum_fp_choice_among_overlaps(self, solver):
+        # Covering {1,2} and {2,3}: atom 2 alone covers both but costs
+        # 2 FPs; atoms {1,3} cost 1 FP total... optimal is atom 2? No:
+        # {1,3}: FP sets touching 1: one case; touching 3: none -> 1 FP.
+        instance = make_instance(
+            [
+                (True, {1, 2}),
+                (True, {2, 3}),
+                (False, {2}),
+                (False, {2}),
+                (False, {1}),
+            ]
+        )
+        result = solver.solve(instance)
+        assert result.false_positives == 1
+        assert result.selected_atom_ids == {1, 3}
+
+
+def brute_force_optimum(instance):
+    """Reference optimum by exhaustive search."""
+    atoms = instance.candidate_atom_ids
+    best = None
+    for size in range(len(atoms) + 1):
+        for subset in itertools.combinations(atoms, size):
+            if not instance.covers_all(subset):
+                continue
+            fp = instance.false_positive_weight(subset)
+            key = (fp, size)
+            if best is None or key < best:
+                best = key
+        if best is not None and best[0] == 0:
+            break
+    return best
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_exact_solvers_match_brute_force(seed):
+    rng = random.Random(seed)
+    atom_pool = list(range(1, 9))
+    entries = []
+    for _ in range(rng.randint(2, 6)):
+        entries.append(
+            (True, set(rng.sample(atom_pool, rng.randint(1, 3))))
+        )
+    for _ in range(rng.randint(0, 8)):
+        entries.append(
+            (False, set(rng.sample(atom_pool, rng.randint(1, 3))))
+        )
+    instance = make_instance(entries)
+    expected = brute_force_optimum(instance)
+    assert expected is not None
+    for solver in EXACT_SOLVERS:
+        result = solver.solve(instance)
+        # Both backends are exact in the objective (false positives);
+        # only branch & bound also guarantees the minimum atom count
+        # (scipy minimizes it heuristically via redundancy elimination).
+        assert result.false_positives == expected[0], solver.name
+        if isinstance(solver, BranchAndBoundSolver):
+            assert len(result.selected_atom_ids) == expected[1], solver.name
+        else:
+            assert len(result.selected_atom_ids) >= expected[1], solver.name
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_greedy_feasible_and_not_much_worse(seed):
+    rng = random.Random(100 + seed)
+    atom_pool = list(range(1, 10))
+    entries = [
+        (True, set(rng.sample(atom_pool, rng.randint(1, 3))))
+        for _ in range(rng.randint(2, 7))
+    ] + [
+        (False, set(rng.sample(atom_pool, rng.randint(1, 4))))
+        for _ in range(rng.randint(0, 10))
+    ]
+    instance = make_instance(entries)
+    greedy = GreedySolver().solve(instance)
+    exact = BranchAndBoundSolver().solve(instance)
+    assert instance.covers_all(greedy.selected_atom_ids)
+    assert greedy.false_positives >= exact.false_positives
+    assert greedy.false_positives <= exact.false_positives + len(entries)
+
+
+def test_branch_and_bound_stats():
+    instance = make_instance([(True, {1, 2}), (True, {2, 3})])
+    result = BranchAndBoundSolver().solve(instance)
+    assert result.stats["nodes"] >= 1
+
+
+def test_scipy_stats():
+    # Incomparable atoms (1, 2 vs 5) survive the dominance reduction.
+    instance = make_instance(
+        [(True, {1, 5}), (True, {2, 5}), (False, {5})]
+    )
+    result = ScipyMilpSolver().solve(instance)
+    assert result.stats["variables"] >= 3

@@ -1,0 +1,77 @@
+"""Tests for attacker models."""
+
+from repro.attacker.base import Attacker
+from repro.attacker.cache_state import CacheStateAttacker
+from repro.attacker.retirement import RetirementTimingAttacker, TotalTimeAttacker
+from repro.isa.assembler import assemble
+from repro.isa.state import ArchState
+from repro.uarch.ibex import IbexCore
+
+
+def simulate(source, regs=None):
+    program = assemble(source)
+    state = ArchState(pc=program.base_address)
+    for index, value in (regs or {}).items():
+        state.write_register(index, value)
+    return IbexCore().simulate(program, state)
+
+
+def test_retirement_attacker_observation_is_cycle_sequence():
+    result = simulate("nop\nnop")
+    attacker = RetirementTimingAttacker()
+    assert attacker.observe(result) == result.trace.retirement_cycles
+
+
+def test_retirement_attacker_distinguishes_alignment():
+    attacker = RetirementTimingAttacker()
+    a = simulate("lw x1, 0(x2)", regs={2: 0x100})
+    b = simulate("lw x1, 0(x2)", regs={2: 0x102})
+    assert attacker.distinguishes(a, b)
+
+
+def test_retirement_attacker_ignores_data_values():
+    attacker = RetirementTimingAttacker()
+    a = simulate("add x1, x2, x3", regs={2: 1, 3: 2})
+    b = simulate("add x1, x2, x3", regs={2: 1000, 3: 2000})
+    assert not attacker.distinguishes(a, b)
+
+
+def test_retirement_attacker_sees_intermediate_timing():
+    # Same total time, different per-instruction retirement profile.
+    attacker = RetirementTimingAttacker()
+    total = TotalTimeAttacker()
+    a = simulate("slli x1, x2, 9\nslli x3, x4, 1")
+    b = simulate("slli x1, x2, 1\nslli x3, x4, 9")
+    assert total.observe(a) == total.observe(b)
+    assert attacker.distinguishes(a, b)
+
+
+def test_total_time_attacker_weaker():
+    total = TotalTimeAttacker()
+    a = simulate("slli x1, x2, 1")
+    b = simulate("slli x1, x2, 31")
+    assert total.distinguishes(a, b)
+
+
+def test_cache_attacker_defaults_empty():
+    attacker = CacheStateAttacker()
+    a = simulate("lw x1, 0(x2)", regs={2: 0x100})
+    b = simulate("lw x1, 0(x2)", regs={2: 0x200})
+    assert attacker.observe(a) == ()
+    assert not attacker.distinguishes(a, b)
+
+
+def test_cache_attacker_reads_uarch_state():
+    attacker = CacheStateAttacker()
+    a = simulate("nop")
+    b = simulate("nop")
+    a.uarch_state["dcache_tags"] = (1, None)
+    b.uarch_state["dcache_tags"] = (2, None)
+    assert attacker.distinguishes(a, b)
+
+
+def test_base_attacker_is_abstract():
+    import pytest
+
+    with pytest.raises(NotImplementedError):
+        Attacker().observe(simulate("nop"))

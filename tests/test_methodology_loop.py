@@ -1,0 +1,93 @@
+"""Integration test of the full methodology loop (paper Fig. 1).
+
+Contract atoms + test cases -> evaluation -> synthesis -> false
+positives & distinguishing atoms -> manual refinement -> re-synthesis.
+This mirrors how the paper's authors arrived at the AL/BL/DL families
+and how this reproduction arrived at the IS_ZERO refinement.
+"""
+
+import pytest
+
+from repro.contracts.riscv_template import BASE_FAMILIES, build_riscv_template
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.synthesis.metrics import evaluate_contract, verify_contract_correctness
+from repro.synthesis.ranking import rank_atoms_by_false_positives
+from repro.synthesis.synthesizer import ContractSynthesizer
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.ibex import IbexCore
+
+
+@pytest.mark.slow
+class TestMethodologyLoop:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        template = build_riscv_template()
+        generator = TestCaseGenerator(template, seed=2024)
+        evaluator = TestCaseEvaluator(IbexCore(), template)
+        synthesis_set = evaluator.evaluate_many(generator.iter_generate(1500))
+        held_out = TestCaseEvaluator(IbexCore(), template).evaluate_many(
+            TestCaseGenerator(template, seed=2025).iter_generate(2500)
+        )
+        return template, synthesis_set, held_out
+
+    def test_step_3_and_4_base_template(self, artifacts):
+        """Synthesis on the base template (IL+RL+ML) succeeds but needs
+        coarse atoms, so precision suffers and some leaks are
+        inexpressible."""
+        template, synthesis_set, held_out = artifacts
+        synthesizer = ContractSynthesizer(template)
+        base_ids = template.ids_by_family(BASE_FAMILIES)
+        base_result = synthesizer.synthesize(synthesis_set, allowed_atom_ids=base_ids)
+        assert verify_contract_correctness(
+            base_result.contract, synthesis_set, allowed_atom_ids=base_ids
+        )
+        full_result = synthesizer.synthesize(synthesis_set)
+        base_counts = evaluate_contract(base_result.contract, held_out)
+        full_counts = evaluate_contract(full_result.contract, held_out)
+        # Refined families buy precision (Fig. 2's message).
+        assert full_counts.precision > base_counts.precision
+
+    def test_step_5_refinement_signal(self, artifacts):
+        """The FP ranking points at the coarse atoms — the signal a
+        human expert uses to refine the template (§III-E)."""
+        template, synthesis_set, _held_out = artifacts
+        synthesizer = ContractSynthesizer(template)
+        base_ids = template.ids_by_family(BASE_FAMILIES)
+        base_result = synthesizer.synthesize(synthesis_set, allowed_atom_ids=base_ids)
+        rankings = rank_atoms_by_false_positives(base_result.contract, synthesis_set)
+        assert rankings
+        worst = rankings[0]
+        assert worst.false_positive_count > 0
+        assert worst.example_test_ids  # concrete cases to inspect
+        # The worst offenders under the base template are value atoms
+        # covering branch-outcome or alignment leaks coarsely.
+        coarse_families = {"REG_RS1", "REG_RS2", "REG_RD", "MEM_R_ADDR", "IMM", "OP",
+                           "RD", "RS1", "RS2", "MEM_R_DATA", "MEM_W_ADDR", "MEM_W_DATA"}
+        assert worst.atom_name.split(":")[1] in coarse_families
+
+    def test_refinement_reduces_false_positives(self, artifacts):
+        """Re-synthesis with the refined template strictly reduces the
+        optimal false-positive count on the same test set."""
+        template, synthesis_set, _held_out = artifacts
+        synthesizer = ContractSynthesizer(template)
+        base_ids = template.ids_by_family(BASE_FAMILIES)
+        base_result = synthesizer.synthesize(synthesis_set, allowed_atom_ids=base_ids)
+        full_result = synthesizer.synthesize(synthesis_set)
+        # The full template can express everything the base can, so its
+        # optimum is no worse; on this core it is strictly better.
+        assert full_result.false_positives < base_result.false_positives
+        # And it covers leaks the base template cannot express at all.
+        assert len(full_result.uncoverable_test_ids) <= len(
+            base_result.uncoverable_test_ids
+        )
+
+    def test_final_contract_quality(self, artifacts):
+        """The end product: high sensitivity, solid precision, a
+        correct contract of plausible size."""
+        template, synthesis_set, held_out = artifacts
+        result = ContractSynthesizer(template).synthesize(synthesis_set)
+        counts = evaluate_contract(result.contract, held_out)
+        assert counts.sensitivity >= 0.9
+        assert counts.precision >= 0.6
+        assert 10 <= len(result.contract) <= 120  # paper: 82 atoms
+        assert verify_contract_correctness(result.contract, synthesis_set)

@@ -1,0 +1,156 @@
+"""Tests for the contract-based program-security auditor."""
+
+import pytest
+
+from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.template import Contract
+from repro.isa.assembler import assemble
+from repro.isa.state import ArchState
+from repro.security.audit import audit_program, ground_truth_leakage
+from repro.security.policy import SecurityPolicy, registers
+from repro.uarch.ibex import IbexCore
+
+
+@pytest.fixture(scope="module")
+def template():
+    return build_riscv_template()
+
+
+@pytest.fixture(scope="module")
+def ibex_contract(template):
+    """A contract synthesized for Ibex once per test module."""
+    from repro.evaluation.evaluator import TestCaseEvaluator
+    from repro.synthesis.synthesizer import synthesize
+    from repro.testgen.generator import TestCaseGenerator
+
+    generator = TestCaseGenerator(template, seed=77)
+    evaluator = TestCaseEvaluator(IbexCore(), template)
+    dataset = evaluator.evaluate_many(generator.iter_generate(2500))
+    return synthesize(dataset, template).contract
+
+
+class TestPolicy:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SecurityPolicy()
+
+    def test_rejects_x0(self):
+        with pytest.raises(ValueError):
+            SecurityPolicy(secret_registers=frozenset({0}))
+
+    def test_rejects_misaligned_memory(self):
+        with pytest.raises(ValueError):
+            SecurityPolicy(secret_memory_words=frozenset({0x101}))
+
+    def test_sampling_and_apply(self):
+        import random
+
+        policy = SecurityPolicy(
+            secret_registers=registers(10),
+            secret_memory_words=frozenset({0x100}),
+        )
+        assignment = policy.sample_assignment(random.Random(0))
+        state = policy.apply(ArchState(), assignment)
+        assert state.regs[10] == assignment["registers"][10]
+        assert state.memory.load_word(0x100) == assignment["memory"][0x100]
+
+    def test_value_pool(self):
+        import random
+
+        policy = SecurityPolicy(
+            secret_registers=registers(5), value_pool=(1, 2)
+        )
+        values = {
+            policy.sample_assignment(random.Random(i))["registers"][5]
+            for i in range(20)
+        }
+        assert values <= {1, 2}
+
+
+class TestAudit:
+    def test_branch_on_secret_flagged(self, ibex_contract):
+        program = assemble("beq a0, zero, 8\nnop\nadd a1, a2, a3")
+        policy = SecurityPolicy(
+            secret_registers=registers(10), value_pool=(0, 1)
+        )
+        result = audit_program(program, ibex_contract, policy, samples=8)
+        assert not result.secure
+        assert result.counterexample is not None
+        # The divergence is at the branch (step 0).
+        assert result.counterexample.first_divergence_step == 0
+
+    def test_division_by_secret_flagged(self, ibex_contract):
+        # Nonzero public dividend: with a zero dividend the early-exit
+        # divider is genuinely constant-time and the audit would
+        # rightly report "secure".
+        program = assemble("div a1, a2, a0")
+        base = ArchState()
+        base.write_register(12, 0x4000_0000)
+        policy = SecurityPolicy(secret_registers=registers(10))
+        result = audit_program(
+            program, ibex_contract, policy, base_state=base, samples=8
+        )
+        assert not result.secure
+
+    def test_linear_arithmetic_on_secret_is_safe(self, ibex_contract):
+        # add/xor do not leak operands on Ibex; the contract knows it.
+        program = assemble("add a1, a0, a2\nxor a3, a1, a4\nand a5, a3, a6")
+        policy = SecurityPolicy(secret_registers=registers(10))
+        result = audit_program(program, ibex_contract, policy, samples=12)
+        assert result.secure
+        assert result.samples == 12
+
+    def test_contract_verdicts_sound_on_core(self, ibex_contract):
+        """Whatever the audit clears must be attacker-indistinguishable
+        on the core (on the sampled secrets)."""
+        policy = SecurityPolicy(secret_registers=registers(10))
+        sources = [
+            "add a1, a0, a2\nsub a3, a1, a0",
+            "mul a1, a0, a2",                     # data-independent mult
+            "sll a1, a2, a0",                     # shift amount = secret
+            "lw a1, 0(a0)",                       # address = secret
+            "beq a0, a2, 4\nnop",
+        ]
+        core = IbexCore()
+        for source in sources:
+            program = assemble(source)
+            audit = audit_program(program, ibex_contract, policy, samples=10, seed=3)
+            leaks = ground_truth_leakage(program, core, policy, samples=10, seed=3)
+            if audit.secure:
+                assert not leaks, "contract cleared a leaking program: %r" % source
+
+    def test_requires_two_samples(self, ibex_contract):
+        program = assemble("nop")
+        policy = SecurityPolicy(secret_registers=registers(10))
+        with pytest.raises(ValueError):
+            audit_program(program, ibex_contract, policy, samples=1)
+
+    def test_empty_contract_clears_everything(self, template):
+        empty = Contract(template, [])
+        program = assemble("div a1, a2, a0")
+        policy = SecurityPolicy(secret_registers=registers(10))
+        assert audit_program(program, empty, policy, samples=4).secure
+
+    def test_base_state_fixes_public_inputs(self, ibex_contract):
+        program = assemble("lw a1, 0(a2)")  # address from PUBLIC a2
+        base = ArchState()
+        base.write_register(12, 0x100)
+        policy = SecurityPolicy(secret_registers=registers(10))
+        result = audit_program(
+            program, ibex_contract, policy, base_state=base, samples=6
+        )
+        assert result.secure
+
+
+class TestGroundTruth:
+    def test_branch_on_secret_leaks(self):
+        program = assemble("beq a0, zero, 8\nnop\nadd a1, a2, a3")
+        policy = SecurityPolicy(
+            secret_registers=registers(10), value_pool=(0, 1)
+        )
+        assert ground_truth_leakage(program, IbexCore(), policy, samples=8)
+
+    def test_add_does_not_leak(self):
+        program = assemble("add a1, a0, a2")
+        policy = SecurityPolicy(secret_registers=registers(10))
+        assert not ground_truth_leakage(program, IbexCore(), policy, samples=8)

@@ -1,0 +1,234 @@
+"""Tests for the shared microarchitectural timing components."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import Opcode
+from repro.uarch.components.branch_predictor import (
+    BimodalPredictor,
+    StaticNotTakenPredictor,
+)
+from repro.uarch.components.cache import DirectMappedCache
+from repro.uarch.components.divider import ConstantTimeDivider, EarlyExitDivider
+from repro.uarch.components.memory_interface import (
+    FixedLatencyMemoryPort,
+    WordAlignedMemoryPort,
+    crosses_word_boundary,
+)
+from repro.uarch.components.multiplier import FixedLatencyMultiplier, ZeroSkipMultiplier
+from repro.uarch.components.shifter import BarrelShifter, SerialShifter
+
+
+class TestDividers:
+    def test_constant_divider_is_data_independent(self):
+        divider = ConstantTimeDivider(cycles=18)
+        latencies = {
+            divider.latency(Opcode.DIV, dividend, divisor)
+            for dividend in (0, 1, 0xFFFFFFFF, 12345)
+            for divisor in (0, 1, 7, 0x80000000)
+        }
+        assert latencies == {18}
+
+    def test_constant_divider_validates(self):
+        with pytest.raises(ValueError):
+            ConstantTimeDivider(cycles=0)
+
+    def test_early_exit_div_by_zero_fast(self):
+        divider = EarlyExitDivider()
+        assert divider.latency(Opcode.DIVU, 100, 0) == divider.zero_cycles
+
+    def test_early_exit_trivial_case(self):
+        divider = EarlyExitDivider()
+        assert divider.latency(Opcode.DIVU, 3, 100) == divider.trivial_cycles
+
+    def test_early_exit_depends_on_dividend_magnitude(self):
+        divider = EarlyExitDivider()
+        small = divider.latency(Opcode.DIVU, 0x10, 1)
+        large = divider.latency(Opcode.DIVU, 0x10000000, 1)
+        assert large > small
+
+    def test_early_exit_depends_on_divisor_magnitude(self):
+        divider = EarlyExitDivider()
+        small_divisor = divider.latency(Opcode.DIVU, 0x10000000, 1)
+        large_divisor = divider.latency(Opcode.DIVU, 0x10000000, 0x1000000)
+        assert small_divisor > large_divisor
+
+    def test_signed_uses_magnitude(self):
+        divider = EarlyExitDivider()
+        # -4 / 2 signed: small magnitudes; unsigned sees a huge dividend.
+        signed = divider.latency(Opcode.DIV, (-4) & 0xFFFFFFFF, 2)
+        unsigned = divider.latency(Opcode.DIVU, (-4) & 0xFFFFFFFF, 2)
+        assert signed < unsigned
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_latency_always_positive(self, dividend, divisor):
+        divider = EarlyExitDivider()
+        for opcode in (Opcode.DIV, Opcode.DIVU, Opcode.REM, Opcode.REMU):
+            assert divider.latency(opcode, dividend, divisor) >= 1
+
+
+class TestMultipliers:
+    def test_fixed_latency_per_opcode(self):
+        multiplier = FixedLatencyMultiplier(cycles=3, high_cycles=4)
+        assert multiplier.latency(Opcode.MUL, 5, 7) == 3
+        assert multiplier.latency(Opcode.MULH, 5, 7) == 4
+        assert multiplier.latency(Opcode.MULHSU, 5, 7) == 4
+        assert multiplier.latency(Opcode.MULHU, 5, 7) == 4
+
+    def test_fixed_latency_data_independent(self):
+        multiplier = FixedLatencyMultiplier(cycles=3)
+        assert multiplier.latency(Opcode.MUL, 0, 0) == multiplier.latency(
+            Opcode.MUL, 0xFFFFFFFF, 0xFFFFFFFF
+        )
+
+    def test_fixed_latency_validates(self):
+        with pytest.raises(ValueError):
+            FixedLatencyMultiplier(cycles=0)
+
+    def test_zero_skip(self):
+        multiplier = ZeroSkipMultiplier(cycles=2, zero_cycles=1)
+        assert multiplier.latency(Opcode.MUL, 0, 5) == 1
+        assert multiplier.latency(Opcode.MUL, 5, 0) == 1
+        assert multiplier.latency(Opcode.MUL, 5, 7) == 2
+
+    def test_zero_skip_validates(self):
+        with pytest.raises(ValueError):
+            ZeroSkipMultiplier(cycles=1, zero_cycles=2)
+
+
+class TestShifters:
+    def test_barrel_is_constant(self):
+        shifter = BarrelShifter()
+        assert {shifter.latency(amount) for amount in range(32)} == {1}
+
+    def test_serial_steps(self):
+        shifter = SerialShifter(step=8)
+        assert shifter.latency(0) == 1
+        assert shifter.latency(7) == 1
+        assert shifter.latency(8) == 2
+        assert shifter.latency(31) == 4
+
+    def test_serial_masks_to_five_bits(self):
+        shifter = SerialShifter(step=8)
+        assert shifter.latency(32) == shifter.latency(0)
+        assert shifter.latency(33) == shifter.latency(1)
+
+    def test_serial_validates_step(self):
+        with pytest.raises(ValueError):
+            SerialShifter(step=0)
+        with pytest.raises(ValueError):
+            SerialShifter(step=33)
+
+
+class TestMemoryPorts:
+    def test_crossing_predicate(self):
+        assert not crosses_word_boundary(0x100, 4)
+        assert crosses_word_boundary(0x101, 4)
+        assert crosses_word_boundary(0x102, 4)
+        assert crosses_word_boundary(0x103, 4)
+        assert not crosses_word_boundary(0x102, 2)
+        assert crosses_word_boundary(0x103, 2)
+        assert not crosses_word_boundary(0x103, 1)
+
+    def test_word_aligned_port_splits_misaligned_loads(self):
+        port = WordAlignedMemoryPort(cycles_per_transaction=1)
+        assert port.load_latency(0x100, 4) == 1
+        assert port.load_latency(0x101, 4) == 2
+        assert port.load_latency(0x103, 2) == 2
+        assert port.load_latency(0x103, 1) == 1
+
+    def test_word_aligned_port_store_flat(self):
+        port = WordAlignedMemoryPort(store_cycles=1)
+        assert port.store_latency(0x100, 4) == port.store_latency(0x101, 4) == 1
+
+    def test_fixed_latency_port(self):
+        port = FixedLatencyMemoryPort(load_cycles=2, store_cycles=1)
+        assert port.load_latency(0x100, 4) == port.load_latency(0x103, 4) == 2
+        assert port.store_latency(0x100, 4) == port.store_latency(0x101, 1) == 1
+
+    def test_ports_validate(self):
+        with pytest.raises(ValueError):
+            WordAlignedMemoryPort(cycles_per_transaction=0)
+        with pytest.raises(ValueError):
+            FixedLatencyMemoryPort(load_cycles=0)
+
+
+class TestBranchPredictors:
+    def test_static_not_taken(self):
+        predictor = StaticNotTakenPredictor()
+        assert not predictor.predict(0x100).taken
+        predictor.update(0x100, True, 0x200)
+        assert not predictor.predict(0x100).taken
+
+    def test_bimodal_initial_prediction_not_taken(self):
+        predictor = BimodalPredictor(entries=16)
+        assert not predictor.predict(0x100).taken
+
+    def test_bimodal_learns_taken(self):
+        predictor = BimodalPredictor(entries=16)
+        predictor.update(0x100, True, 0x200)
+        prediction = predictor.predict(0x100)
+        assert prediction.taken and prediction.target == 0x200
+
+    def test_bimodal_counter_saturates_and_decays(self):
+        predictor = BimodalPredictor(entries=16)
+        for _ in range(5):
+            predictor.update(0x100, True, 0x200)
+        predictor.update(0x100, False, 0x104)
+        assert predictor.predict(0x100).taken  # still above threshold
+        predictor.update(0x100, False, 0x104)
+        predictor.update(0x100, False, 0x104)
+        assert not predictor.predict(0x100).taken
+
+    def test_bimodal_btb_tag_mismatch_means_not_taken(self):
+        predictor = BimodalPredictor(entries=16)
+        predictor.update(0x100, True, 0x200)
+        aliased = 0x100 + 16 * 4  # same index, different pc
+        assert not predictor.predict(aliased).taken
+
+    def test_bimodal_reset(self):
+        predictor = BimodalPredictor(entries=16)
+        predictor.update(0x100, True, 0x200)
+        predictor.reset()
+        assert not predictor.predict(0x100).taken
+
+    def test_bimodal_validates(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=3)
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=16, initial_counter=7)
+
+
+class TestDirectMappedCache:
+    def test_miss_then_hit(self):
+        cache = DirectMappedCache(line_size=16, line_count=4, hit_cycles=1, miss_cycles=10)
+        assert cache.access(0x100) == 10
+        assert cache.access(0x104) == 1  # same line
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(line_size=16, line_count=4)
+        cache.access(0x100)
+        cache.access(0x100 + 16 * 4)  # maps to the same index
+        assert not cache.contains(0x100)
+        assert cache.contains(0x100 + 16 * 4)
+
+    def test_final_state_exposes_tags(self):
+        cache = DirectMappedCache(line_size=16, line_count=4)
+        cache.access(0x0)
+        state = cache.final_state()
+        assert len(state) == 4
+        assert state[0] is not None
+
+    def test_reset(self):
+        cache = DirectMappedCache()
+        cache.access(0x100)
+        cache.reset()
+        assert not cache.contains(0x100)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_validates_geometry(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(line_size=3)
+        with pytest.raises(ValueError):
+            DirectMappedCache(line_count=0)

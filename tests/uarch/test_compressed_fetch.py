@@ -1,0 +1,102 @@
+"""Tests for the RV32IMC compressed-fetch timing mode of IbexCore."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+from repro.uarch.ibex import IbexConfig, IbexCore
+
+
+def cycles(program, regs=None, compressed=True):
+    state = ArchState(pc=program.base_address)
+    for index, value in (regs or {}).items():
+        state.write_register(index, value)
+    core = IbexCore(IbexConfig(compressed_fetch=compressed))
+    return core.simulate(program, state).cycles
+
+
+def test_all_uncompressed_instructions_unaffected():
+    # MUL has no compressed form; layout stays word aligned.
+    program = assemble("mul x1, x2, x3\nmul x4, x5, x6")
+    assert cycles(program, compressed=True) == cycles(program, compressed=False)
+
+
+def test_straddling_instruction_pays_penalty():
+    # A compressed ADD shifts the following MUL to a half-word
+    # boundary: the MUL straddles a fetch group.
+    compressible = Program([
+        Instruction(Opcode.ADD, rd=10, rs1=10, rs2=11),   # c.add (2 bytes)
+        Instruction(Opcode.MUL, rd=12, rs1=13, rs2=14),   # offset 2: straddles
+    ])
+    uncompressible = Program([
+        Instruction(Opcode.ADD, rd=10, rs1=11, rs2=12),   # rd != rs1: 4 bytes
+        Instruction(Opcode.MUL, rd=12, rs1=13, rs2=14),   # offset 4: aligned
+    ])
+    assert cycles(compressible) == cycles(uncompressible) + 1
+
+
+def test_two_compressed_realign():
+    # Two compressed instructions consume a full fetch group, so the
+    # third (uncompressed) instruction is aligned again.
+    program = Program([
+        Instruction(Opcode.ADD, rd=10, rs1=10, rs2=11),
+        Instruction(Opcode.ADD, rd=12, rs1=12, rs2=13),
+        Instruction(Opcode.MUL, rd=14, rs1=15, rs2=16),
+    ])
+    baseline = Program([
+        Instruction(Opcode.ADD, rd=10, rs1=11, rs2=12),
+        Instruction(Opcode.ADD, rd=12, rs1=13, rs2=14),
+        Instruction(Opcode.MUL, rd=14, rs1=15, rs2=16),
+    ])
+    assert cycles(program) == cycles(baseline)
+
+
+def test_immediate_size_becomes_timing_relevant():
+    """The IL channel: a small immediate compresses, a large one does
+    not, shifting the alignment of the next uncompressed instruction."""
+    small_imm = Program([
+        Instruction(Opcode.ADDI, rd=8, rs1=8, imm=1),      # compressible
+        Instruction(Opcode.MUL, rd=12, rs1=13, rs2=14),
+    ])
+    large_imm = Program([
+        Instruction(Opcode.ADDI, rd=8, rs1=8, imm=1000),   # not compressible
+        Instruction(Opcode.MUL, rd=12, rs1=13, rs2=14),
+    ])
+    assert cycles(small_imm) != cycles(large_imm)
+    # Without the compressed fetch unit, the immediate is invisible.
+    assert cycles(small_imm, compressed=False) == cycles(large_imm, compressed=False)
+
+
+def test_register_choice_becomes_timing_relevant():
+    # SUB compresses only for x8..x15 (prime) registers.
+    prime = Program([
+        Instruction(Opcode.SUB, rd=8, rs1=8, rs2=9),
+        Instruction(Opcode.MUL, rd=12, rs1=13, rs2=14),
+    ])
+    non_prime = Program([
+        Instruction(Opcode.SUB, rd=16, rs1=16, rs2=17),
+        Instruction(Opcode.MUL, rd=12, rs1=13, rs2=14),
+    ])
+    assert cycles(prime) != cycles(non_prime)
+
+
+def test_synthesis_discovers_il_atoms_with_compressed_fetch():
+    """End to end: enabling the RV32IMC fetch unit makes instruction-
+    leakage atoms appear in the synthesized contract."""
+    from repro.contracts.atoms import LeakageFamily
+    from repro.contracts.riscv_template import build_riscv_template
+    from repro.evaluation.evaluator import TestCaseEvaluator
+    from repro.synthesis.synthesizer import synthesize
+    from repro.testgen.generator import TestCaseGenerator
+
+    template = build_riscv_template()
+    generator = TestCaseGenerator(template, seed=31)
+    core = IbexCore(IbexConfig(compressed_fetch=True))
+    evaluator = TestCaseEvaluator(core, template)
+    dataset = evaluator.evaluate_many(generator.iter_generate(400))
+    contract = synthesize(dataset, template).contract
+
+    il_atoms = [atom for atom in contract.atoms if atom.family is LeakageFamily.IL]
+    assert il_atoms, "compressed fetch must surface IL leakage"

@@ -1,0 +1,202 @@
+"""Behavioural tests for the CVA6-like core."""
+
+from repro.isa.assembler import assemble
+from repro.isa.state import ArchState
+from repro.uarch.cva6 import CVA6Config, CVA6Core
+
+
+def simulate(source, regs=None, core=None):
+    program = assemble(source)
+    state = ArchState(pc=program.base_address)
+    for index, value in (regs or {}).items():
+        state.write_register(index, value)
+    core = core if core is not None else CVA6Core()
+    return core.simulate(program, state)
+
+
+def cycles(source, regs=None, core=None):
+    return simulate(source, regs, core).cycles
+
+
+def test_deeper_pipeline_than_ibex():
+    from repro.uarch.ibex import IbexCore
+
+    program = assemble("add x1, x2, x3")
+    assert CVA6Core().simulate(program).cycles > IbexCore().simulate(program).cycles
+
+
+def test_pipelined_alu_throughput():
+    # After the pipeline fills, ALU instructions retire once per cycle.
+    result = simulate("add x1, x2, x3\nadd x4, x5, x6\nadd x7, x8, x9")
+    retire = result.trace.retirement_cycles
+    assert retire[1] - retire[0] == 1
+    assert retire[2] - retire[1] == 1
+
+
+def test_retirement_non_decreasing_dual_commit():
+    result = simulate(
+        "div x1, x2, x3\nmul x4, x5, x6\nlw x7, 0(x8)\nbeq x0, x0, 4\nnop",
+        regs={2: 100, 3: 3, 8: 0x200},
+    )
+    sequence = result.trace.retirement_cycles
+    assert all(b >= a for a, b in zip(sequence, sequence[1:]))
+
+
+def test_commit_width_bounds_same_cycle_retirements():
+    result = simulate("\n".join("add x1, x2, x3" for _ in range(8)))
+    sequence = result.trace.retirement_cycles
+    from collections import Counter
+
+    assert max(Counter(sequence).values()) <= CVA6Config().commit_width
+
+
+class TestMemoryInterface:
+    """Table II: CVA6 shows no memory or alignment leakage."""
+
+    def test_load_alignment_independent(self):
+        timings = {
+            cycles("lw x1, 0(x2)", regs={2: 0x100 + offset}) for offset in range(4)
+        }
+        assert len(timings) == 1
+
+    def test_load_address_independent(self):
+        assert cycles("lw x1, 0(x2)", regs={2: 0x100}) == cycles(
+            "lw x1, 0(x2)", regs={2: 0xF000}
+        )
+
+    def test_store_alignment_and_data_independent(self):
+        timings = {
+            cycles("sw x3, 0(x2)", regs={2: 0x100 + offset, 3: data})
+            for offset in range(4)
+            for data in (0, 0xFFFFFFFF)
+        }
+        assert len(timings) == 1
+
+
+class TestBranchPrediction:
+    def test_taken_branch_mispredicts_first_time(self):
+        taken = cycles("beq x1, x2, 8\nnop\nnop")
+        not_taken = cycles("bne x1, x2, 8\nnop\nnop")
+        assert taken > not_taken
+
+    def test_taken_same_target_still_leaks(self):
+        taken = cycles("beq x1, x1, 4\nnop")
+        not_taken = cycles("bne x1, x1, 4\nnop")
+        assert taken > not_taken
+
+    def test_predictor_state_reset_between_runs(self):
+        core = CVA6Core()
+        first = cycles("beq x1, x1, 4\nnop", core=core)
+        second = cycles("beq x1, x1, 4\nnop", core=core)
+        assert first == second
+
+    def test_jal_cheaper_than_mispredicted_jalr(self):
+        jal = cycles("jal x1, 8\nnop\nadd x2, x3, x4")
+        jalr = cycles("jalr x1, x5, 0\nnop\nadd x2, x3, x4",
+                      regs={5: 0x1000 + 8})
+        assert jal < jalr
+
+
+class TestDependencyDistances:
+    """§V-C: dependency effects reach distances up to n = 4."""
+
+    def _branch_after_div(self, distance, dependent):
+        # The branch is *taken* in both variants (so it mispredicts and
+        # flushes); only whether it reads the divider result differs.
+        destination = "x2" if dependent else "x6"
+        filler = "\n".join("add x%d, x0, x0" % (10 + i) for i in range(distance - 1))
+        body = "div %s, x3, x4\n" % destination
+        if filler:
+            body += filler + "\n"
+        body += "beq x2, x5, 4\nnop"
+        # x2/x5 preset so the branch is taken either way; the division
+        # 0x40000000/1 also produces 0x40000000, keeping values equal.
+        return cycles(body, regs={2: 0x40000000, 3: 0x40000000, 4: 1, 5: 0x40000000})
+
+    def test_branch_dependency_distance_1(self):
+        assert self._branch_after_div(1, True) > self._branch_after_div(1, False)
+
+    def test_branch_dependency_distance_4(self):
+        assert self._branch_after_div(4, True) > self._branch_after_div(4, False)
+
+    def test_branch_dependency_effect_shrinks_with_distance(self):
+        effect = [
+            self._branch_after_div(distance, True)
+            - self._branch_after_div(distance, False)
+            for distance in (1, 2, 3, 4)
+        ]
+        assert all(a >= b for a, b in zip(effect, effect[1:]))
+        assert effect[0] > 0
+
+    def test_alu_dependency_distance_1_hidden_by_forwarding(self):
+        dependent = cycles("add x2, x3, x4\nadd x1, x2, x5")
+        independent = cycles("add x7, x3, x4\nadd x1, x2, x5")
+        assert dependent == independent
+
+    def test_mul_consumer_stalls_at_distance_1(self):
+        dependent = cycles("mul x2, x3, x4\nadd x1, x2, x5", regs={3: 2, 4: 3})
+        independent = cycles("mul x7, x3, x4\nadd x1, x2, x5", regs={3: 2, 4: 3})
+        assert dependent > independent
+
+    def test_store_does_not_stall_on_operands(self):
+        dependent = cycles(
+            "div x2, x3, x4\nsw x2, 0(x5)", regs={3: 0x40000000, 4: 1, 5: 0x100}
+        )
+        independent = cycles(
+            "div x6, x3, x4\nsw x2, 0(x5)", regs={3: 0x40000000, 4: 1, 5: 0x100}
+        )
+        assert dependent == independent
+
+
+class TestExecutionUnits:
+    def test_divider_operand_dependent(self):
+        fast = cycles("div x1, x2, x3", regs={2: 4, 3: 2})
+        slow = cycles("div x1, x2, x3", regs={2: 0x40000000, 3: 1})
+        assert slow > fast
+
+    def test_div_vs_divu_differ_on_negative_operands(self):
+        negative = (-64) & 0xFFFFFFFF
+        signed = cycles("div x1, x2, x3", regs={2: negative, 3: 2})
+        unsigned = cycles("divu x1, x2, x3", regs={2: negative, 3: 2})
+        assert signed != unsigned
+
+    def test_rem_shares_early_exit_divider(self):
+        fast = cycles("rem x1, x2, x3", regs={2: 4, 3: 2})
+        slow = cycles("rem x1, x2, x3", regs={2: 0x40000000, 3: 1})
+        assert slow > fast
+
+    def test_multiplier_zero_skip(self):
+        zero = cycles("mul x1, x2, x3", regs={2: 0, 3: 5})
+        nonzero = cycles("mul x1, x2, x3", regs={2: 7, 3: 5})
+        assert zero < nonzero
+
+    def test_mul_variants_share_latency(self):
+        low = cycles("mul x1, x2, x3", regs={2: 3, 3: 5})
+        high = cycles("mulh x1, x2, x3", regs={2: 3, 3: 5})
+        assert low == high
+
+    def test_shifter_coarse_serial(self):
+        small = cycles("slli x1, x2, 1", regs={2: 5})
+        large = cycles("slli x1, x2, 17", regs={2: 5})
+        assert large > small
+
+    def test_structural_hazard_back_to_back_div(self):
+        pair = cycles(
+            "div x1, x2, x3\ndiv x4, x5, x6",
+            regs={2: 0x40000000, 3: 1, 5: 0x40000000, 6: 1},
+        )
+        single = cycles("div x1, x2, x3", regs={2: 0x40000000, 3: 1})
+        # The second division waits for the divider: far more than +1.
+        assert pair > single + 1
+
+
+class TestConfigurability:
+    def test_custom_frontend_depth(self):
+        deep = CVA6Core(CVA6Config(frontend_depth=6))
+        shallow = CVA6Core(CVA6Config(frontend_depth=2))
+        program = "add x1, x2, x3"
+        assert cycles(program, core=deep) > cycles(program, core=shallow)
+
+    def test_final_state_correct(self):
+        result = simulate("addi x1, x0, 2\nmul x2, x1, x1")
+        assert result.final_state.regs[2] == 4

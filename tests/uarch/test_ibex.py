@@ -1,0 +1,213 @@
+"""Behavioural tests for the Ibex-like core: each documented timing
+artifact (DESIGN.md §5) must be observable in retirement timing."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.state import ArchState
+from repro.uarch.ibex import IbexConfig, IbexCore
+
+
+def cycles(source, regs=None):
+    """Total cycle count of running ``source`` on a fresh Ibex core."""
+    program = assemble(source)
+    state = ArchState(pc=program.base_address)
+    for index, value in (regs or {}).items():
+        state.write_register(index, value)
+    return IbexCore().simulate(program, state).cycles
+
+
+def retire_cycles(source, regs=None):
+    program = assemble(source)
+    state = ArchState(pc=program.base_address)
+    for index, value in (regs or {}).items():
+        state.write_register(index, value)
+    return IbexCore().simulate(program, state).trace.retirement_cycles
+
+
+def test_single_alu_instruction():
+    assert retire_cycles("add x1, x2, x3") == (2,)
+
+
+def test_alu_sequence_one_per_cycle():
+    assert retire_cycles("add x1, x2, x3\nadd x4, x5, x6\nadd x7, x8, x9") == (2, 3, 4)
+
+
+def test_simulation_returns_final_state():
+    program = assemble("addi x1, x0, 5")
+    result = IbexCore().simulate(program)
+    assert result.final_state.regs[1] == 5
+    assert result.retired_instructions == 1
+
+
+def test_initial_state_not_mutated():
+    program = assemble("addi x1, x1, 5")
+    state = ArchState(pc=program.base_address)
+    state.write_register(1, 1)
+    result = IbexCore().simulate(program, state)
+    assert state.regs[1] == 1
+    assert result.final_state.regs[1] == 6
+
+
+class TestAlignmentLeakage:
+    """Paper finding #1: loads leak address alignment; stores do not."""
+
+    def test_aligned_vs_misaligned_word_load(self):
+        aligned = cycles("lw x1, 0(x2)", regs={2: 0x100})
+        misaligned = cycles("lw x1, 0(x2)", regs={2: 0x102})
+        assert misaligned > aligned
+
+    def test_halfword_crossing_word_boundary(self):
+        fits = cycles("lh x1, 0(x2)", regs={2: 0x102})
+        crosses = cycles("lh x1, 0(x2)", regs={2: 0x103})
+        assert crosses > fits
+
+    def test_byte_load_alignment_independent(self):
+        timings = {cycles("lb x1, 0(x2)", regs={2: 0x100 + offset}) for offset in range(4)}
+        assert len(timings) == 1
+
+    def test_store_alignment_independent(self):
+        timings = {cycles("sw x1, 0(x2)", regs={2: 0x100 + offset}) for offset in range(4)}
+        assert len(timings) == 1
+
+    def test_load_address_value_does_not_leak_beyond_alignment(self):
+        a = cycles("lw x1, 0(x2)", regs={2: 0x100})
+        b = cycles("lw x1, 0(x2)", regs={2: 0x2000})
+        assert a == b
+
+
+class TestBranchLeakage:
+    """Paper finding #2: taken branches are slower even when the target
+    equals the fall-through pc."""
+
+    def test_taken_slower_than_not_taken(self):
+        taken = cycles("beq x1, x2, 8\nnop\nnop")
+        not_taken = cycles("bne x1, x2, 8\nnop\nnop")
+        assert taken > not_taken
+
+    def test_taken_branch_to_next_instruction_still_pays(self):
+        # beq x1, x1, 4 branches to the very next instruction.
+        same_target_taken = cycles("beq x1, x1, 4\nnop")
+        not_taken = cycles("bne x1, x1, 4\nnop")
+        assert same_target_taken > not_taken
+
+    def test_branch_target_does_not_change_timing(self):
+        near = retire_cycles("beq x1, x1, 4\nnop")[0]
+        # Jump over one instruction: different target, same retire cycle
+        # for the branch itself.
+        far = retire_cycles("beq x1, x1, 8\nnop\nnop")[0]
+        assert near == far
+
+
+class TestDividerLeakage:
+    def test_div_operand_dependent(self):
+        fast = cycles("div x1, x2, x3", regs={2: 4, 3: 2})
+        slow = cycles("div x1, x2, x3", regs={2: 0x40000000, 3: 1})
+        assert slow > fast
+
+    def test_div_by_zero_fast_path(self):
+        zero = cycles("div x1, x2, x3", regs={2: 0x40000000, 3: 0})
+        normal = cycles("div x1, x2, x3", regs={2: 0x40000000, 3: 1})
+        assert zero < normal
+
+    def test_rem_constant_time(self):
+        timings = {
+            cycles("rem x1, x2, x3", regs={2: dividend, 3: divisor})
+            for dividend in (0, 5, 0xFFFFFFFF)
+            for divisor in (0, 3, 0x10000)
+        }
+        assert len(timings) == 1
+
+
+class TestShifterLeakage:
+    def test_immediate_shift_amount_leaks(self):
+        small = cycles("slli x1, x2, 1", regs={2: 5})
+        large = cycles("slli x1, x2, 31", regs={2: 5})
+        assert large > small
+
+    def test_register_shift_amount_leaks(self):
+        small = cycles("sll x1, x2, x3", regs={2: 5, 3: 1})
+        large = cycles("sll x1, x2, x3", regs={2: 5, 3: 31})
+        assert large > small
+
+    def test_shift_operand_value_does_not_leak(self):
+        a = cycles("slli x1, x2, 4", regs={2: 0})
+        b = cycles("slli x1, x2, 4", regs={2: 0xFFFFFFFF})
+        assert a == b
+
+
+class TestMultiplierLeakage:
+    def test_mul_vs_mulh_latency_differs(self):
+        low = cycles("mul x1, x2, x3", regs={2: 3, 3: 5})
+        high = cycles("mulh x1, x2, x3", regs={2: 3, 3: 5})
+        assert high > low
+
+    def test_mul_data_independent(self):
+        a = cycles("mul x1, x2, x3", regs={2: 0, 3: 0})
+        b = cycles("mul x1, x2, x3", regs={2: 0xFFFFFFFF, 3: 0xFFFFFFFF})
+        assert a == b
+
+
+class TestDependencyLeakage:
+    """Distance-1 RAW hazards into non-forwarded units stall."""
+
+    def test_mul_stalls_on_distance_1_dependency(self):
+        dependent = cycles("addi x2, x0, 3\nmul x1, x2, x3")
+        independent = cycles("addi x5, x0, 3\nmul x1, x2, x3")
+        assert dependent > independent
+
+    def test_mul_distance_2_no_stall(self):
+        distance_2 = cycles("addi x2, x0, 3\nnop\nmul x1, x2, x3")
+        independent = cycles("addi x5, x0, 3\nnop\nmul x1, x2, x3")
+        assert distance_2 == independent
+
+    def test_add_does_not_stall(self):
+        dependent = cycles("addi x2, x0, 3\nadd x1, x2, x3")
+        independent = cycles("addi x5, x0, 3\nadd x1, x2, x3")
+        assert dependent == independent
+
+    def test_shift_stalls_on_dependency(self):
+        dependent = cycles("addi x2, x0, 3\nslli x1, x2, 1")
+        independent = cycles("addi x5, x0, 3\nslli x1, x2, 1")
+        assert dependent > independent
+
+    def test_div_stalls_but_rem_does_not(self):
+        div_dep = cycles("addi x2, x0, 8\ndiv x1, x2, x3", regs={3: 2})
+        div_indep = cycles("addi x5, x0, 8\ndiv x1, x2, x3", regs={2: 8, 3: 2})
+        assert div_dep > div_indep
+        rem_dep = cycles("addi x2, x0, 8\nrem x1, x2, x3", regs={3: 2})
+        rem_indep = cycles("addi x5, x0, 8\nrem x1, x2, x3", regs={2: 8, 3: 2})
+        assert rem_dep == rem_indep
+
+    def test_load_consumer_does_not_stall(self):
+        dependent = cycles("addi x2, x0, 0x100\nlw x1, 0(x2)")
+        independent = cycles("addi x5, x0, 0x100\nlw x1, 0(x2)", regs={2: 0x100})
+        assert dependent == independent
+
+
+class TestConfigurability:
+    def test_custom_penalty(self):
+        config = IbexConfig(taken_branch_penalty=5)
+        program = assemble("beq x1, x1, 4\nnop")
+        slow = IbexCore(config).simulate(program).cycles
+        fast = IbexCore().simulate(program).cycles
+        assert slow > fast
+
+    def test_barrel_shifter_config_removes_leak(self):
+        config = IbexConfig(shifter_step=32)  # one step covers all amounts
+        a = IbexCore(config).simulate(assemble("slli x1, x2, 1")).cycles
+        b = IbexCore(config).simulate(assemble("slli x1, x2, 31")).cycles
+        assert a == b
+
+    def test_retirement_strictly_increasing(self):
+        program = assemble(
+            "div x1, x2, x3\nmul x4, x5, x6\nlw x7, 0(x8)\nbeq x0, x0, 4\nnop"
+        )
+        state = ArchState(pc=program.base_address)
+        state.write_register(2, 100)
+        state.write_register(3, 3)
+        state.write_register(8, 0x200)
+        result = IbexCore().simulate(program, state)
+        cycles_sequence = result.trace.retirement_cycles
+        assert all(b > a for a, b in zip(cycles_sequence, cycles_sequence[1:]))
+        assert result.cycles >= cycles_sequence[-1]

@@ -1,0 +1,125 @@
+"""Tests for RVFI records/traces and the testbench."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.executor import ExecRecord
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.state import ArchState
+from repro.uarch.core import Core
+from repro.uarch.cva6 import CVA6Core
+from repro.uarch.ibex import IbexCore
+from repro.uarch.rvfi import RvfiRecord, RvfiTrace
+from repro.uarch.testbench import IsaConsistencyError, Testbench, simulate
+
+
+def test_rvfi_record_fields():
+    program = assemble("addi x1, x0, 42")
+    result = IbexCore().simulate(program)
+    record = result.trace[0]
+    assert record.order == 0
+    assert record.pc_rdata == program.base_address
+    assert record.pc_wdata == program.base_address + 4
+    assert record.rd_wdata == 42
+    assert record.insn == program.encoded_words()[0]
+    assert record.mem_addr is None
+
+
+def test_rvfi_memory_fields():
+    program = assemble("sw x2, 0(x1)\nlw x3, 0(x1)")
+    state = ArchState(pc=program.base_address)
+    state.write_register(1, 0x100)
+    state.write_register(2, 0xABCD)
+    result = IbexCore().simulate(program, state)
+    store, load = result.trace[0], result.trace[1]
+    assert store.mem_addr == 0x100 and store.mem_wdata == 0xABCD
+    assert load.mem_addr == 0x100 and load.mem_rdata == 0xABCD
+
+
+def test_trace_retirement_cycles_and_len():
+    program = assemble("nop\nnop\nnop")
+    trace = IbexCore().simulate(program).trace
+    assert len(trace) == 3
+    assert len(trace.retirement_cycles) == 3
+    assert list(trace)[0] is trace[0]
+
+
+def test_trace_validates_total_cycles():
+    record = RvfiRecord(
+        exec_record=ExecRecord(
+            index=0, pc=0, next_pc=4, instruction=Instruction(Opcode.ADDI)
+        ),
+        retire_cycle=10,
+    )
+    with pytest.raises(ValueError):
+        RvfiTrace([record], total_cycles=5)
+
+
+def test_trace_exec_records_roundtrip():
+    program = assemble("addi x1, x0, 1\nadd x2, x1, x1")
+    trace = IbexCore().simulate(program).trace
+    records = trace.exec_records
+    assert [r.index for r in records] == [0, 1]
+    assert records[1].rd_value == 2
+
+
+@pytest.mark.parametrize("core_class", [IbexCore, CVA6Core])
+def test_testbench_isa_consistency_passes(core_class):
+    source = (
+        "addi x1, x0, 7\n"
+        "slli x2, x1, 4\n"
+        "mul x3, x2, x1\n"
+        "div x4, x3, x1\n"
+        "sw x4, 0(x2)\n"
+        "lw x5, 0(x2)\n"
+        "beq x5, x4, 8\n"
+        "addi x6, x0, 1\n"
+        "addi x7, x0, 2"
+    )
+    program = assemble(source)
+    bench = Testbench(core_class(), check_isa_consistency=True)
+    result = bench.run(program)
+    assert result.retired_instructions == len(result.trace)
+
+
+def test_testbench_detects_broken_timing():
+    class BrokenCore(Core):
+        name = "broken"
+
+        def _timing(self, records, program):
+            return [len(records) - i for i in range(len(records))], len(records)
+
+    program = assemble("nop\nnop")
+    with pytest.raises(IsaConsistencyError):
+        Testbench(BrokenCore()).run(program)
+
+
+def test_testbench_detects_wrong_retirement_count():
+    class DroppingCore(Core):
+        name = "dropping"
+
+        def _timing(self, records, program):
+            return [i + 1 for i in range(len(records) - 1)], len(records)
+
+    program = assemble("nop\nnop")
+    with pytest.raises(AssertionError):
+        Testbench(DroppingCore()).run(program)
+
+
+def test_simulate_helper():
+    program = assemble("addi x1, x0, 3")
+    result = simulate(IbexCore(), program)
+    assert result.final_state.regs[1] == 3
+
+
+def test_same_initial_uarch_state_determinism():
+    # Two simulations of the same program must be cycle-identical
+    # (predictor and buffers reset per run).
+    program = assemble("beq x1, x1, 4\nmul x2, x3, x4\ndiv x5, x6, x7")
+    state = ArchState(pc=program.base_address)
+    for index in range(1, 8):
+        state.write_register(index, index * 1000)
+    for core in (IbexCore(), CVA6Core()):
+        first = core.simulate(program, state).trace.retirement_cycles
+        second = core.simulate(program, state).trace.retirement_cycles
+        assert first == second

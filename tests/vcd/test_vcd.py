@@ -1,0 +1,209 @@
+"""Tests for the VCD writer, parser, and RVFI round-trip."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.state import ArchState
+from repro.uarch.cva6 import CVA6Core
+from repro.uarch.ibex import IbexCore
+from repro.vcd.parser import VcdParseError, parse_vcd
+from repro.vcd.rvfi_vcd import dump_rvfi_trace, load_exec_records
+from repro.vcd.writer import VcdWriter, _identifier_for
+
+
+class TestWriter:
+    def test_basic_document_structure(self):
+        writer = VcdWriter(scope="rvfi")
+        clk = writer.add_signal("clk", 1)
+        bus = writer.add_signal("bus", 32)
+        writer.change(0, clk, 0)
+        writer.change(1, clk, 1)
+        writer.change(1, bus, 0xDEAD)
+        text = writer.render()
+        assert "$scope module rvfi $end" in text
+        assert "$var wire 1 %s clk $end" % clk in text
+        assert "$var wire 32 %s bus $end" % bus in text
+        assert "#0" in text and "#1" in text
+        assert "b%s %s" % (format(0xDEAD, "b"), bus) in text
+
+    def test_unknown_value(self):
+        writer = VcdWriter()
+        sig = writer.add_signal("s", 8)
+        writer.change(0, sig, None)
+        assert "bx %s" % sig in writer.render()
+
+    def test_change_by_name(self):
+        writer = VcdWriter()
+        writer.add_signal("a", 1)
+        writer.change_by_name(3, "a", 1)
+        assert "#3" in writer.render()
+
+    def test_validation(self):
+        writer = VcdWriter()
+        sig = writer.add_signal("a", 4)
+        with pytest.raises(ValueError):
+            writer.add_signal("a", 1)       # duplicate
+        with pytest.raises(ValueError):
+            writer.change(0, sig, 16)       # does not fit
+        with pytest.raises(ValueError):
+            writer.change(-1, sig, 0)       # negative time
+        with pytest.raises(ValueError):
+            writer.add_signal("b", 0)       # zero width
+        with pytest.raises(KeyError):
+            writer.change(0, "zz", 0)       # unknown id
+
+    def test_identifier_generation(self):
+        seen = {_identifier_for(index) for index in range(500)}
+        assert len(seen) == 500
+        assert _identifier_for(0) == "!"
+
+    def test_save(self, tmp_path):
+        writer = VcdWriter()
+        sig = writer.add_signal("x", 1)
+        writer.change(0, sig, 1)
+        path = tmp_path / "out.vcd"
+        writer.save(str(path))
+        assert path.read_text().startswith("$date")
+
+
+class TestParser:
+    def test_roundtrip_writer_parser(self):
+        writer = VcdWriter()
+        clk = writer.add_signal("clk", 1)
+        bus = writer.add_signal("bus", 16)
+        writer.change(0, clk, 0)
+        writer.change(5, clk, 1)
+        writer.change(5, bus, 1234)
+        signals = parse_vcd(writer.render())
+        assert signals["clk"].changes == [(0, 0), (5, 1)]
+        assert signals["bus"].changes == [(5, 1234)]
+        assert signals["bus"].width == 16
+
+    def test_value_at(self):
+        writer = VcdWriter()
+        sig = writer.add_signal("s", 8)
+        writer.change(0, sig, 1)
+        writer.change(10, sig, 2)
+        parsed = parse_vcd(writer.render())["s"]
+        assert parsed.value_at(0) == 1
+        assert parsed.value_at(9) == 1
+        assert parsed.value_at(10) == 2
+        assert parsed.value_at(100) == 2
+
+    def test_x_values_parse_to_none(self):
+        writer = VcdWriter()
+        scalar = writer.add_signal("a", 1)
+        vector = writer.add_signal("b", 8)
+        writer.change(0, scalar, None)
+        writer.change(0, vector, None)
+        signals = parse_vcd(writer.render())
+        assert signals["a"].changes == [(0, None)]
+        assert signals["b"].changes == [(0, None)]
+
+    def test_rejects_undeclared_signal(self):
+        with pytest.raises(VcdParseError):
+            parse_vcd("$enddefinitions $end\n#0\n1?")
+
+    def test_rejects_unterminated_directive(self):
+        with pytest.raises(VcdParseError):
+            parse_vcd("$date forever")
+
+
+class TestRvfiRoundTrip:
+    SOURCE = (
+        "addi x1, x0, 0x102\n"
+        "lw x2, 0(x1)\n"
+        "sw x1, 2(x1)\n"
+        "slli x3, x1, 9\n"
+        "mul x4, x3, x1\n"
+        "div x5, x4, x1\n"
+        "beq x5, x5, 4\n"
+        "add x6, x5, x4"
+    )
+
+    @pytest.mark.parametrize("core_class", [IbexCore, CVA6Core])
+    def test_exec_records_roundtrip(self, core_class, tmp_path):
+        program = assemble(self.SOURCE)
+        state = ArchState(pc=program.base_address)
+        result = core_class().simulate(program, state)
+        path = str(tmp_path / "trace.vcd")
+        dump_rvfi_trace(result.trace, path)
+        records, cycles = load_exec_records(path)
+
+        original = result.trace.exec_records
+        assert cycles == sorted(result.trace.retirement_cycles)
+        assert len(records) == len(original)
+        for restored, reference in zip(records, original):
+            assert restored.instruction == reference.instruction
+            assert restored.pc == reference.pc
+            assert restored.next_pc == reference.next_pc
+            assert restored.rs1_value == reference.rs1_value
+            assert restored.rs2_value == reference.rs2_value
+            assert restored.rd_value == reference.rd_value
+            assert restored.mem_read_addr == reference.mem_read_addr
+            assert restored.mem_write_addr == reference.mem_write_addr
+            assert restored.branch_taken == reference.branch_taken
+            assert restored.raw_rs1_dist == reference.raw_rs1_dist
+            assert restored.raw_rs2_dist == reference.raw_rs2_dist
+            assert restored.waw_dist == reference.waw_dist
+
+    def test_same_distinguishing_atoms_via_vcd(self, tmp_path):
+        """The full §IV-D path: waveform in, distinguishing atoms out."""
+        from repro.contracts.observations import distinguishing_atoms
+        from repro.contracts.riscv_template import build_riscv_template
+
+        template = build_riscv_template()
+        core = IbexCore()
+        program_a = assemble("addi x2, x0, 0x100\nlw x1, 0(x2)")
+        program_b = assemble("addi x2, x0, 0x102\nlw x1, 0(x2)")
+        result_a = core.simulate(program_a)
+        result_b = core.simulate(program_b)
+        direct = distinguishing_atoms(
+            template,
+            result_a.trace.exec_records,
+            result_b.trace.exec_records,
+        )
+        path_a, path_b = str(tmp_path / "a.vcd"), str(tmp_path / "b.vcd")
+        dump_rvfi_trace(result_a.trace, path_a)
+        dump_rvfi_trace(result_b.trace, path_b)
+        records_a, _cycles = load_exec_records(path_a)
+        records_b, _cycles = load_exec_records(path_b)
+        via_vcd = distinguishing_atoms(template, records_a, records_b)
+        assert via_vcd == direct
+
+    def test_taken_branch_to_next_pc_reconstructed(self, tmp_path):
+        # The corner the paper highlights: BEQ +4 is taken but its
+        # pc_wdata equals pc+4; reconstruction must still say "taken".
+        program = assemble("beq x1, x1, 4\nnop")
+        result = IbexCore().simulate(program)
+        path = str(tmp_path / "branch.vcd")
+        dump_rvfi_trace(result.trace, path)
+        records, _cycles = load_exec_records(path)
+        assert records[0].branch_taken is True
+
+    DUAL_COMMIT_SOURCE = "div x1, x2, x3\nadd x4, x5, x6"
+
+    def _dual_commit_result(self):
+        # A slow division followed by an independent add: the add's
+        # result waits on the in-order commit and shares the division's
+        # commit cycle through the second commit port.
+        program = assemble(self.DUAL_COMMIT_SOURCE)
+        state = ArchState(pc=program.base_address)
+        state.write_register(2, 0x40000000)
+        state.write_register(3, 1)
+        return CVA6Core().simulate(program, state)
+
+    def test_dual_commit_uses_second_channel(self, tmp_path):
+        result = self._dual_commit_result()
+        cycles = result.trace.retirement_cycles
+        assert len(set(cycles)) < len(cycles)  # some cycle retires two
+        path = str(tmp_path / "dual.vcd")
+        dump_rvfi_trace(result.trace, path)
+        records, restored_cycles = load_exec_records(path)
+        assert len(records) == 2
+        assert restored_cycles == sorted(cycles)
+
+    def test_nret_overflow_raises(self, tmp_path):
+        result = self._dual_commit_result()
+        with pytest.raises(ValueError):
+            dump_rvfi_trace(result.trace, str(tmp_path / "x.vcd"), nret=1)
