@@ -10,7 +10,11 @@ import random
 
 import pytest
 
-from repro.contracts.observations import distinguishing_atoms
+from repro.contracts.compiled import compile_template
+from repro.contracts.observations import (
+    distinguishing_atoms,
+    distinguishing_atoms_reference,
+)
 from repro.contracts.riscv_template import build_riscv_template
 from repro.isa.assembler import assemble
 from repro.isa.executor import execute_program
@@ -76,6 +80,33 @@ def test_bench_atom_extraction(benchmark, template, test_case):
     assert isinstance(atoms, frozenset)
 
 
+def test_bench_atom_extraction_reference(benchmark, template, test_case):
+    """Reference (closure-per-atom) path — paired with
+    ``test_bench_atom_extraction`` to measure the fast-path speedup."""
+    records_a = execute_program(
+        test_case.program_a, test_case.initial_state.copy()
+    )
+    records_b = execute_program(
+        test_case.program_b, test_case.initial_state.copy()
+    )
+    atoms = benchmark(
+        distinguishing_atoms_reference, template, records_a, records_b
+    )
+    assert isinstance(atoms, frozenset)
+
+
+def test_bench_atom_extraction_fastpath_matches_reference(template, test_case):
+    """Not a benchmark: pins the pairing of the two benchmarks above."""
+    records_a = execute_program(
+        test_case.program_a, test_case.initial_state.copy()
+    )
+    records_b = execute_program(
+        test_case.program_b, test_case.initial_state.copy()
+    )
+    fast = compile_template(template).distinguishing_atoms(records_a, records_b)
+    assert fast == distinguishing_atoms_reference(template, records_a, records_b)
+
+
 def test_bench_test_case_generation(benchmark, template):
     generator = TestCaseGenerator(template, seed=9)
     counter = [0]
@@ -99,6 +130,25 @@ def test_bench_end_to_end_test_case(benchmark, template):
 
     generator = TestCaseGenerator(template, seed=17)
     evaluator = TestCaseEvaluator(IbexCore(), template)
+    rng = random.Random(0)
+    atoms = list(template)
+
+    def evaluate_one():
+        atom = atoms[rng.randrange(len(atoms))]
+        case = generator.generate_for_atom(atom, 0, rng)
+        return evaluator.evaluate(case)
+
+    result = benchmark(evaluate_one)
+    assert result is not None
+
+
+def test_bench_end_to_end_test_case_reference(benchmark, template):
+    """End-to-end evaluation with the fast path disabled — paired with
+    ``test_bench_end_to_end_test_case`` to measure the speedup."""
+    from repro.evaluation.evaluator import TestCaseEvaluator
+
+    generator = TestCaseGenerator(template, seed=17)
+    evaluator = TestCaseEvaluator(IbexCore(), template, use_fastpath=False)
     rng = random.Random(0)
     atoms = list(template)
 

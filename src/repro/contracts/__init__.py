@@ -7,11 +7,14 @@ of atoms; and any subset of the template is a candidate contract.
 """
 
 from repro.contracts.atoms import ContractAtom, LeakageFamily
+from repro.contracts.compiled import CompiledTemplate, compile_template
 from repro.contracts.template import Contract, ContractTemplate
 from repro.contracts.observations import (
     atom_observation_trace,
     contract_observation_trace,
+    contract_observation_trace_reference,
     distinguishing_atoms,
+    distinguishing_atoms_reference,
 )
 from repro.contracts.riscv_template import (
     BASE_FAMILIES,
@@ -21,6 +24,7 @@ from repro.contracts.riscv_template import (
 
 __all__ = [
     "BASE_FAMILIES",
+    "CompiledTemplate",
     "Contract",
     "ContractAtom",
     "ContractTemplate",
@@ -28,5 +32,9 @@ __all__ = [
     "LeakageFamily",
     "atom_observation_trace",
     "build_riscv_template",
+    "compile_template",
+    "contract_observation_trace",
+    "contract_observation_trace_reference",
     "distinguishing_atoms",
+    "distinguishing_atoms_reference",
 ]

@@ -34,8 +34,12 @@ class LeakageFamily(enum.Enum):
     DL = "data-dependency"
 
     def __lt__(self, other: "LeakageFamily") -> bool:
-        order = list(type(self))
-        return order.index(self) < order.index(other)
+        return _FAMILY_RANK[self] < _FAMILY_RANK[other]
+
+
+#: Declaration-order rank table; avoids rebuilding the member list on
+#: every comparison (LeakageFamily sorts appear in reporting hot loops).
+_FAMILY_RANK = {family: rank for rank, family in enumerate(LeakageFamily)}
 
 
 #: Observation functions map a retirement record to a hashable value.

@@ -1,0 +1,316 @@
+"""Columnar (compiled) observation extraction — the evaluation fast path.
+
+The reference semantics in :mod:`repro.contracts.observations` invoke
+one observation closure per (atom, record) pair; with ~30 atoms per
+opcode that is the dominant cost of test-case evaluation.  This module
+compiles a :class:`~repro.contracts.template.ContractTemplate` once
+into a columnar form:
+
+- every :class:`~repro.isa.executor.ExecRecord` is lowered to a single
+  *feature row* — one tuple holding the value of every simple leakage
+  source plus the dependency-window booleans — so that each atom
+  observation becomes an indexed lookup into that row instead of a
+  closure call;
+- each opcode maps to parallel tuples ``(atom_ids, slots, sources)``
+  giving, for every applicable atom, the feature-row slot its
+  observation lives in.
+
+On top of the rows, :meth:`CompiledTemplate.distinguishing_atoms` is a
+*diff-aware merge* over two executions: aligned records with identical
+``(opcode, feature row)`` pairs — the overwhelmingly common case, since
+a test-case pair differs in one targeted operand — are skipped without
+touching any atom; only divergent positions expand into per-slot
+comparisons.  Control-flow divergence (different opcodes at the same
+retirement index) and unequal trace lengths mark every atom applicable
+to the unmatched records as distinguishing, which is exactly the
+reference semantics because observation traces embed the retirement
+index of every observation.
+
+The reference implementation remains the oracle; equivalence is
+asserted in ``tests/contracts/test_compiled_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.contracts.atoms import DEPENDENCY_SOURCES, SIMPLE_SOURCES
+from repro.contracts.template import ContractTemplate
+from repro.isa.executor import ExecRecord
+from repro.isa.instructions import Opcode
+
+#: Fixed feature-row layout for the distance-independent sources.  The
+#: order is arbitrary but frozen: slot ``i`` of every feature row holds
+#: the observation of ``SIMPLE_SLOT_ORDER[i]``.
+SIMPLE_SLOT_ORDER: Tuple[str, ...] = (
+    "OP",
+    "RD",
+    "RS1",
+    "RS2",
+    "IMM",
+    "REG_RS1",
+    "REG_RS2",
+    "REG_RD",
+    "IS_ZERO_RS1",
+    "IS_ZERO_RS2",
+    "MEM_R_ADDR",
+    "MEM_R_DATA",
+    "MEM_W_ADDR",
+    "MEM_W_DATA",
+    "IS_WORD_ALIGNED",
+    "IS_HALF_ALIGNED",
+    "BRANCH_TAKEN",
+    "NEW_PC",
+)
+
+_SIMPLE_SLOT = {source: slot for slot, source in enumerate(SIMPLE_SLOT_ORDER)}
+_SIMPLE_COUNT = len(SIMPLE_SLOT_ORDER)
+
+#: Dependency attributes in feature-row order; mirrors the values of
+#: :data:`repro.contracts.atoms.DEPENDENCY_SOURCES`.
+_DEP_PREFIX_ORDER: Tuple[str, ...] = ("RAW_RS1", "RAW_RS2", "RAW_RD", "WAW")
+
+
+class _DependencyRows(dict):
+    """Memoized ``distance -> (d<=1, d<=2, ..., d<=max)`` bool tuples.
+
+    Dependency distances take a handful of values (``None`` or
+    ``1..window``), so the window booleans of a whole evaluation run
+    collapse to a few shared tuples.
+    """
+
+    def __init__(self, max_distance: int):
+        super().__init__()
+        self.max_distance = max_distance
+        self[None] = (False,) * max_distance
+
+    def __missing__(self, distance):
+        row = tuple(distance <= n for n in range(1, self.max_distance + 1))
+        self[distance] = row
+        return row
+
+
+def _slot_of_source(source: str, max_distance: int) -> int:
+    """Feature-row slot holding the observation of ``source``."""
+    slot = _SIMPLE_SLOT.get(source)
+    if slot is not None:
+        return slot
+    prefix, _, suffix = source.rpartition("_")
+    if prefix in DEPENDENCY_SOURCES and suffix.isdigit():
+        distance = int(suffix)
+        if not 1 <= distance <= max_distance:
+            raise ValueError(
+                "dependency distance %d outside compiled window %d"
+                % (distance, max_distance)
+            )
+        prefix_index = _DEP_PREFIX_ORDER.index(prefix)
+        return _SIMPLE_COUNT + prefix_index * max_distance + (distance - 1)
+    raise ValueError("unknown leakage source: %r" % (source,))
+
+
+def _template_max_distance(template: ContractTemplate) -> int:
+    """Largest dependency distance appearing in ``template``."""
+    max_distance = 0
+    for atom in template:
+        if atom.source in SIMPLE_SOURCES:
+            continue
+        suffix = atom.source.rpartition("_")[2]
+        if suffix.isdigit():
+            max_distance = max(max_distance, int(suffix))
+    return max_distance
+
+
+class CompiledTemplate:
+    """A contract template lowered to columnar feature-row form."""
+
+    def __init__(self, template: ContractTemplate):
+        self.template = template
+        self.max_distance = _template_max_distance(template)
+        self._dep_rows = _DependencyRows(self.max_distance)
+        #: opcode -> (atom_ids, slots, sources) parallel tuples.
+        self._by_opcode: Dict[Opcode, Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[str, ...]]] = {}
+        grouped: Dict[Opcode, List[Tuple[int, int, str]]] = {}
+        for atom in template:
+            slot = _slot_of_source(atom.source, self.max_distance)
+            grouped.setdefault(atom.opcode, []).append(
+                (atom.atom_id, slot, atom.source)
+            )
+        for opcode, entries in grouped.items():
+            self._by_opcode[opcode] = (
+                tuple(entry[0] for entry in entries),
+                tuple(entry[1] for entry in entries),
+                tuple(entry[2] for entry in entries),
+            )
+        #: contract.atom_ids -> per-opcode (source, slot) pairs, for
+        #: :meth:`contract_observation_trace`.
+        self._contract_plans: Dict[FrozenSet[int], dict] = {}
+
+    # ------------------------------------------------------------------
+    # Row extraction
+
+    def feature_row(self, record: ExecRecord) -> Tuple[Hashable, ...]:
+        """Lower one retirement record to its feature row.
+
+        Slot values are exactly the observation values the reference
+        ``φ`` closures produce, so ``row[slot_of(source)]`` equals
+        ``make_observation_function(source)(record)`` for every source.
+        """
+        instruction = record.instruction
+        rs1_value = record.rs1_value
+        rs2_value = record.rs2_value
+        mem_read_addr = record.mem_read_addr
+        mem_write_addr = record.mem_write_addr
+        address = mem_read_addr if mem_read_addr is not None else mem_write_addr
+        dep_rows = self._dep_rows
+        return (
+            instruction.opcode.value,
+            instruction.rd,
+            instruction.rs1,
+            instruction.rs2,
+            instruction.imm,
+            rs1_value,
+            rs2_value,
+            record.rd_value,
+            rs1_value == 0,
+            rs2_value == 0,
+            mem_read_addr,
+            record.mem_read_data,
+            mem_write_addr,
+            record.mem_write_data,
+            address is not None and (address & 0x3) == 0,
+            address is not None and (address & 0x3) != 0x3,
+            record.branch_taken,
+            record.next_pc,
+            *dep_rows[record.raw_rs1_dist],
+            *dep_rows[record.raw_rs2_dist],
+            *dep_rows[record.war_rd_dist],
+            *dep_rows[record.waw_dist],
+        )
+
+    def feature_rows(self, records: Sequence[ExecRecord]) -> List[Tuple[Hashable, ...]]:
+        """The columnar form of a whole execution."""
+        feature_row = self.feature_row
+        return [feature_row(record) for record in records]
+
+    # ------------------------------------------------------------------
+    # Extraction APIs (reference-equivalent)
+
+    def atom_traces(
+        self, records: Sequence[ExecRecord]
+    ) -> Dict[int, List[Tuple[int, Hashable]]]:
+        """Per-atom observation traces, equal to the reference
+        ``_observation_map`` output."""
+        traces: Dict[int, List[Tuple[int, Hashable]]] = {}
+        by_opcode = self._by_opcode
+        feature_row = self.feature_row
+        for index, record in enumerate(records):
+            entry = by_opcode.get(record.instruction.opcode)
+            if entry is None:
+                continue
+            row = feature_row(record)
+            atom_ids, slots, _ = entry
+            for position in range(len(atom_ids)):
+                traces.setdefault(atom_ids[position], []).append(
+                    (index, row[slots[position]])
+                )
+        return traces
+
+    def distinguishing_atoms(
+        self,
+        records_a: Sequence[ExecRecord],
+        records_b: Sequence[ExecRecord],
+    ) -> FrozenSet[int]:
+        """Diff-aware merge computing the distinguishing-atom set.
+
+        Sound per-position comparison: every observation carries its
+        retirement index, so an atom's traces differ iff its
+        contribution differs at some index — present-vs-absent
+        (opcode/length divergence) or unequal observation values.
+        """
+        by_opcode = self._by_opcode
+        feature_row = self.feature_row
+        distinguishing = set()
+        length_a, length_b = len(records_a), len(records_b)
+        aligned = length_a if length_a <= length_b else length_b
+        for index in range(aligned):
+            record_a = records_a[index]
+            record_b = records_b[index]
+            opcode_a = record_a.instruction.opcode
+            opcode_b = record_b.instruction.opcode
+            if opcode_a is opcode_b:
+                entry = by_opcode.get(opcode_a)
+                if entry is None:
+                    continue
+                row_a = feature_row(record_a)
+                row_b = feature_row(record_b)
+                if row_a == row_b:
+                    continue
+                atom_ids, slots, _ = entry
+                for position in range(len(atom_ids)):
+                    if row_a[slots[position]] != row_b[slots[position]]:
+                        distinguishing.add(atom_ids[position])
+            else:
+                # Control-flow divergence: atoms of either opcode apply
+                # on exactly one side, so all of them distinguish.
+                entry = by_opcode.get(opcode_a)
+                if entry is not None:
+                    distinguishing.update(entry[0])
+                entry = by_opcode.get(opcode_b)
+                if entry is not None:
+                    distinguishing.update(entry[0])
+        longer = records_a if length_a > length_b else records_b
+        for index in range(aligned, len(longer)):
+            entry = by_opcode.get(longer[index].instruction.opcode)
+            if entry is not None:
+                distinguishing.update(entry[0])
+        return frozenset(distinguishing)
+
+    def contract_observation_trace(self, contract, records: Sequence[ExecRecord]):
+        """Fast ``CTR_S(ISA*(σ))``, equal to the reference trace."""
+        if contract.template is not self.template:
+            raise ValueError("contract was built from a different template")
+        plan = self._contract_plans.get(contract.atom_ids)
+        if plan is None:
+            plan = {}
+            for opcode, (atom_ids, slots, sources) in self._by_opcode.items():
+                pairs = tuple(
+                    (sources[position], slots[position])
+                    for position in range(len(atom_ids))
+                    if atom_ids[position] in contract.atom_ids
+                )
+                if pairs:
+                    plan[opcode] = pairs
+            if len(self._contract_plans) >= 128:
+                self._contract_plans.clear()
+            self._contract_plans[contract.atom_ids] = plan
+        feature_row = self.feature_row
+        empty: FrozenSet = frozenset()
+        trace = []
+        for record in records:
+            pairs = plan.get(record.instruction.opcode)
+            if not pairs:
+                trace.append(empty)
+                continue
+            row = feature_row(record)
+            trace.append(frozenset((source, row[slot]) for source, slot in pairs))
+        return tuple(trace)
+
+
+_COMPILED_CACHE: "weakref.WeakKeyDictionary[ContractTemplate, CompiledTemplate]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_template(template: ContractTemplate) -> CompiledTemplate:
+    """The (cached) compiled form of ``template``.
+
+    Keyed on template identity so that evaluators, the module-level
+    fast paths in :mod:`repro.contracts.observations`, and forked
+    worker processes all share one compilation per template object.
+    """
+    compiled = _COMPILED_CACHE.get(template)
+    if compiled is None:
+        compiled = CompiledTemplate(template)
+        _COMPILED_CACHE[template] = compiled
+    return compiled

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
 
 from repro.contracts.atoms import ContractAtom
+from repro.contracts.compiled import compile_template
 from repro.contracts.template import ContractTemplate
 from repro.isa.executor import ExecRecord
 
@@ -47,7 +48,9 @@ def _observation_map(
     return traces
 
 
-def contract_observation_trace(contract, records: Sequence[ExecRecord]):
+def contract_observation_trace(
+    contract, records: Sequence[ExecRecord], use_fastpath: bool = True
+):
     """The leakage trace ``CTR_S(ISA*(σ))`` of a whole contract.
 
     Returns, per execution step, the frozen set of ``(τ, observation)``
@@ -55,7 +58,20 @@ def contract_observation_trace(contract, records: Sequence[ExecRecord]):
     §II-D.  A program handles secrets safely w.r.t. the contract iff
     this trace is identical for all secret values; that is exactly the
     check performed by ``examples/audit_constant_time.py``.
+
+    Routed through the compiled columnar engine by default;
+    ``use_fastpath=False`` selects the reference implementation.
     """
+    if use_fastpath:
+        return compile_template(contract.template).contract_observation_trace(
+            contract, records
+        )
+    return contract_observation_trace_reference(contract, records)
+
+
+def contract_observation_trace_reference(contract, records: Sequence[ExecRecord]):
+    """Reference (per-closure) implementation — the equivalence oracle
+    for :meth:`CompiledTemplate.contract_observation_trace`."""
     template = contract.template
     selected = contract.atom_ids
     trace = []
@@ -73,12 +89,28 @@ def distinguishing_atoms(
     template: ContractTemplate,
     records_a: Sequence[ExecRecord],
     records_b: Sequence[ExecRecord],
+    use_fastpath: bool = True,
 ) -> FrozenSet[int]:
     """All atoms of ``template`` that distinguish the two executions.
 
     This is the per-test-case output of the paper's test-case
     evaluation phase (§III-C): ``distinguishing(t) ⊆ T``.
+
+    Routed through the compiled diff-aware merge by default;
+    ``use_fastpath=False`` selects the reference implementation.
     """
+    if use_fastpath:
+        return compile_template(template).distinguishing_atoms(records_a, records_b)
+    return distinguishing_atoms_reference(template, records_a, records_b)
+
+
+def distinguishing_atoms_reference(
+    template: ContractTemplate,
+    records_a: Sequence[ExecRecord],
+    records_b: Sequence[ExecRecord],
+) -> FrozenSet[int]:
+    """Reference implementation — the equivalence oracle for
+    :meth:`CompiledTemplate.distinguishing_atoms`."""
     traces_a = _observation_map(template, records_a)
     traces_b = _observation_map(template, records_b)
     distinguishing = set()

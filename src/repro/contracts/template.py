@@ -112,7 +112,6 @@ class Contract:
         """
         grouped: Dict[Tuple[InstructionCategory, LeakageFamily], List[ContractAtom]] = {}
         for atom in self.atoms:
-            key = (atom.opcode, atom.family)
             category = _category_of(atom.opcode)
             grouped.setdefault((category, atom.family), []).append(atom)
         return grouped

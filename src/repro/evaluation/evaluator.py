@@ -18,7 +18,8 @@ from typing import Iterable, Optional
 
 from repro.attacker.base import Attacker
 from repro.attacker.retirement import RetirementTimingAttacker
-from repro.contracts.observations import distinguishing_atoms
+from repro.contracts.compiled import compile_template
+from repro.contracts.observations import distinguishing_atoms_reference
 from repro.contracts.template import ContractTemplate
 from repro.evaluation.results import EvaluationDataset, TestCaseResult
 from repro.testgen.testcase import TestCase
@@ -35,13 +36,20 @@ class TestCaseEvaluator:
         core: Core,
         template: ContractTemplate,
         attacker: Optional[Attacker] = None,
+        use_fastpath: bool = True,
     ):
         self.core = core
         self.template = template
         self.attacker = attacker if attacker is not None else RetirementTimingAttacker()
+        self._compiled = compile_template(template) if use_fastpath else None
         self.simulation_seconds = 0.0
         self.extraction_seconds = 0.0
         self.simulated_test_cases = 0
+
+    @property
+    def use_fastpath(self) -> bool:
+        """Whether extraction runs through the compiled engine."""
+        return self._compiled is not None
 
     def reset_timers(self) -> None:
         self.simulation_seconds = 0.0
@@ -56,11 +64,17 @@ class TestCaseEvaluator:
         attacker_distinguishable = self.attacker.distinguishes(result_a, result_b)
         after_simulation = time.perf_counter()
 
-        atom_ids = distinguishing_atoms(
-            self.template,
-            result_a.trace.exec_records,
-            result_b.trace.exec_records,
-        )
+        if self._compiled is not None:
+            atom_ids = self._compiled.distinguishing_atoms(
+                result_a.trace.exec_records,
+                result_b.trace.exec_records,
+            )
+        else:
+            atom_ids = distinguishing_atoms_reference(
+                self.template,
+                result_a.trace.exec_records,
+                result_b.trace.exec_records,
+            )
         after_extraction = time.perf_counter()
 
         self.simulation_seconds += after_simulation - start

@@ -26,12 +26,16 @@ from repro.testgen.generator import GeneratorConfig, TestCaseGenerator
 _worker_state = {}
 
 
-def _initialize_worker(core_name: str, seed: int, max_distance: int) -> None:
+def _initialize_worker(
+    core_name: str, seed: int, max_distance: int, use_fastpath: bool = True
+) -> None:
     from repro.experiments.runner import build_core
 
     template = build_riscv_template(max_distance=max_distance)
     _worker_state["generator"] = TestCaseGenerator(template, seed=seed)
-    _worker_state["evaluator"] = TestCaseEvaluator(build_core(core_name), template)
+    _worker_state["evaluator"] = TestCaseEvaluator(
+        build_core(core_name), template, use_fastpath=use_fastpath
+    )
 
 
 def _evaluate_shard(shard: Tuple[int, int]) -> List[tuple]:
@@ -59,10 +63,18 @@ def evaluate_parallel(
     processes: Optional[int] = None,
     shard_size: int = 250,
     max_distance: int = 4,
+    use_fastpath: bool = True,
 ) -> EvaluationDataset:
     """Evaluate ``count`` generated test cases on ``core_name`` using a
     process pool.  Equivalent to the sequential evaluator for the same
-    ``seed`` (results ordered by test id)."""
+    ``seed`` (results ordered by test id).
+
+    Shards are streamed with ``imap_unordered`` — workers never idle
+    waiting for a slow sibling shard, and the final sort by test id
+    restores the deterministic order — with the chunk size tuned so
+    each worker receives a handful of batches (pipelining against
+    stragglers without per-shard IPC overhead).
+    """
     if count <= 0:
         return EvaluationDataset([], core_name=core_name)
     processes = processes or min(multiprocessing.cpu_count(), 8)
@@ -71,16 +83,19 @@ def evaluate_parallel(
         for start in range(0, count, shard_size)
     ]
     if processes == 1 or len(shards) == 1:
-        _initialize_worker(core_name, seed, max_distance)
+        _initialize_worker(core_name, seed, max_distance, use_fastpath)
         shard_results = [_evaluate_shard(shard) for shard in shards]
     else:
+        chunksize = max(1, len(shards) // (processes * 4))
         context = multiprocessing.get_context("fork")
         with context.Pool(
             processes,
             initializer=_initialize_worker,
-            initargs=(core_name, seed, max_distance),
+            initargs=(core_name, seed, max_distance, use_fastpath),
         ) as pool:
-            shard_results = pool.map(_evaluate_shard, shards)
+            shard_results = list(
+                pool.imap_unordered(_evaluate_shard, shards, chunksize=chunksize)
+            )
 
     rows = [row for shard in shard_results for row in shard]
     rows.sort(key=lambda row: row[0])

@@ -15,9 +15,9 @@ paper extracts architectural state from RVFI retirement events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Instruction, Opcode, OPCODE_INFO
 from repro.isa.program import Program
 from repro.isa.state import ArchState
 
@@ -37,13 +37,17 @@ def _signed(value: int) -> int:
     return value - 0x1_0000_0000 if value & _SIGN_BIT else value
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecRecord:
     """Architectural facts about one retired instruction.
 
     ``index`` is the retirement order (0-based).  Dependency distances
     are ``None`` when there is no conflicting instruction within
     :attr:`IsaExecutor.dependency_window` earlier retirements.
+
+    ``__slots__``-backed: one record is allocated per retired
+    instruction of every simulation, so construction cost and memory
+    footprint are on the evaluation hot path.
     """
 
     index: int
@@ -90,49 +94,70 @@ def annotate_dependency_distances(records: List["ExecRecord"], window: int = 4) 
     last_writer: Dict[int, int] = {}
     last_reader: Dict[int, int] = {}
     for record in records:
-        _annotate_record_dependencies(record, last_writer, last_reader, window)
-        _update_dependency_maps(record, last_writer, last_reader)
+        _annotate_record(
+            record,
+            OPCODE_INFO[record.instruction.opcode],
+            last_writer,
+            last_reader,
+            window,
+        )
 
 
-def _annotate_record_dependencies(
+def _annotate_record(
     record: "ExecRecord",
+    info,
     last_writer: Dict[int, int],
     last_reader: Dict[int, int],
     window: int,
 ) -> None:
-    info = record.instruction.info
-    index = record.index
+    """Annotate one record's dependency distances and fold it into the
+    reader/writer maps — a single pass per retirement.
 
-    def distance(event_index: Optional[int]) -> Optional[int]:
-        if event_index is None:
-            return None
-        dist = index - event_index
-        return dist if dist <= window else None
-
-    if info.has_rs1 and record.instruction.rs1 != 0:
-        record.raw_rs1_dist = distance(last_writer.get(record.instruction.rs1))
-    if info.has_rs2 and record.instruction.rs2 != 0:
-        record.raw_rs2_dist = distance(last_writer.get(record.instruction.rs2))
-    written = record.instruction.written_register
-    if written is not None:
-        record.war_rd_dist = distance(last_reader.get(written))
-        record.waw_dist = distance(last_writer.get(written))
-
-
-def _update_dependency_maps(
-    record: "ExecRecord",
-    last_writer: Dict[int, int],
-    last_reader: Dict[int, int],
-) -> None:
+    Distances are computed against the maps *before* this record's own
+    accesses are added, so a register both read and written by the
+    same instruction never reports a self-dependency.  Applicable
+    fields are always (re)assigned — possibly to ``None`` — so
+    re-annotating already-annotated records (e.g. with a smaller
+    window) never leaves stale distances behind.
+    """
     instruction = record.instruction
-    info = instruction.info
-    if info.has_rs1 and instruction.rs1 != 0:
-        last_reader[instruction.rs1] = record.index
-    if info.has_rs2 and instruction.rs2 != 0:
-        last_reader[instruction.rs2] = record.index
-    written = instruction.written_register
+    index = record.index
+    reads_rs1 = info.has_rs1 and instruction.rs1 != 0
+    reads_rs2 = info.has_rs2 and instruction.rs2 != 0
+    written = instruction.rd if info.has_rd and instruction.rd != 0 else None
+    if reads_rs1:
+        event = last_writer.get(instruction.rs1)
+        record.raw_rs1_dist = (
+            index - event
+            if event is not None and index - event <= window
+            else None
+        )
+    if reads_rs2:
+        event = last_writer.get(instruction.rs2)
+        record.raw_rs2_dist = (
+            index - event
+            if event is not None and index - event <= window
+            else None
+        )
     if written is not None:
-        last_writer[written] = record.index
+        event = last_reader.get(written)
+        record.war_rd_dist = (
+            index - event
+            if event is not None and index - event <= window
+            else None
+        )
+        event = last_writer.get(written)
+        record.waw_dist = (
+            index - event
+            if event is not None and index - event <= window
+            else None
+        )
+    if reads_rs1:
+        last_reader[instruction.rs1] = index
+    if reads_rs2:
+        last_reader[instruction.rs2] = index
+    if written is not None:
+        last_writer[written] = index
 
 
 class IsaExecutor:
@@ -161,118 +186,273 @@ class IsaExecutor:
         last_writer: Dict[int, int] = {}
         last_reader: Dict[int, int] = {}
         window = self.dependency_window
+        dispatch = _DISPATCH
+        instructions = program.instructions
+        base_address = program.base_address
+        code_limit = 4 * len(instructions)
+        regs = state.regs
 
         while True:
-            instruction = program.fetch(state.pc)
-            if instruction is None:
+            # Inlined Program.fetch: the bounds check runs once per
+            # retired instruction of every simulation.
+            offset = state.pc - base_address
+            if offset < 0 or offset & 0x3 or offset >= code_limit:
                 return records
+            instruction = instructions[offset >> 2]
             if len(records) >= max_steps:
                 raise ExecutionLimitExceeded(
                     "program exceeded %d retired instructions" % max_steps
                 )
-            record = self._step(state, instruction, len(records))
-            _annotate_record_dependencies(record, last_writer, last_reader, window)
-            _update_dependency_maps(record, last_writer, last_reader)
+            handler, info, is_terminal = dispatch[instruction.opcode]
+            pc = state.pc
+            rs1_value = regs[instruction.rs1] if info.has_rs1 else 0
+            rs2_value = regs[instruction.rs2] if info.has_rs2 else 0
+            record = ExecRecord(
+                len(records),
+                pc,
+                (pc + 4) & _MASK32,
+                instruction,
+                rs1_value,
+                rs2_value,
+            )
+            result = handler(state, record, instruction, rs1_value, rs2_value)
+            if result is not None and info.has_rd:
+                state.write_register(instruction.rd, result)
+                record.rd_value = regs[instruction.rd]
+            _annotate_record(record, info, last_writer, last_reader, window)
             records.append(record)
-            if instruction.opcode in (Opcode.ECALL, Opcode.EBREAK):
+            if is_terminal:
                 return records
             state.pc = record.next_pc
 
-    def _step(self, state: ArchState, instruction: Instruction, index: int) -> ExecRecord:
-        """Execute one instruction, returning its retirement record."""
-        opcode = instruction.opcode
+    def step(self, state: ArchState, instruction: Instruction, index: int) -> ExecRecord:
+        """Execute one instruction, returning its retirement record.
+
+        Single-instruction entry point (``run`` inlines the same
+        sequence); dispatch is one per-opcode table lookup (see
+        :data:`_DISPATCH`) instead of an if/elif opcode chain.
+        """
+        handler, info, _ = _DISPATCH[instruction.opcode]
         pc = state.pc
-        rs1_value = state.regs[instruction.rs1] if instruction.info.has_rs1 else 0
-        rs2_value = state.regs[instruction.rs2] if instruction.info.has_rs2 else 0
-        imm = instruction.imm
+        rs1_value = state.regs[instruction.rs1] if info.has_rs1 else 0
+        rs2_value = state.regs[instruction.rs2] if info.has_rs2 else 0
         record = ExecRecord(
-            index=index,
-            pc=pc,
-            next_pc=(pc + 4) & _MASK32,
-            instruction=instruction,
-            rs1_value=rs1_value,
-            rs2_value=rs2_value,
+            index,
+            pc,
+            (pc + 4) & _MASK32,
+            instruction,
+            rs1_value,
+            rs2_value,
         )
-
-        result: Optional[int] = None
-        if opcode is Opcode.ADDI:
-            result = (rs1_value + imm) & _MASK32
-        elif opcode is Opcode.ADD:
-            result = (rs1_value + rs2_value) & _MASK32
-        elif opcode is Opcode.SUB:
-            result = (rs1_value - rs2_value) & _MASK32
-        elif opcode is Opcode.ANDI:
-            result = rs1_value & (imm & _MASK32)
-        elif opcode is Opcode.ORI:
-            result = rs1_value | (imm & _MASK32)
-        elif opcode is Opcode.XORI:
-            result = rs1_value ^ (imm & _MASK32)
-        elif opcode is Opcode.AND:
-            result = rs1_value & rs2_value
-        elif opcode is Opcode.OR:
-            result = rs1_value | rs2_value
-        elif opcode is Opcode.XOR:
-            result = rs1_value ^ rs2_value
-        elif opcode is Opcode.SLTI:
-            result = 1 if _signed(rs1_value) < imm else 0
-        elif opcode is Opcode.SLTIU:
-            result = 1 if rs1_value < (imm & _MASK32) else 0
-        elif opcode is Opcode.SLT:
-            result = 1 if _signed(rs1_value) < _signed(rs2_value) else 0
-        elif opcode is Opcode.SLTU:
-            result = 1 if rs1_value < rs2_value else 0
-        elif opcode is Opcode.SLLI:
-            result = (rs1_value << imm) & _MASK32
-        elif opcode is Opcode.SRLI:
-            result = rs1_value >> imm
-        elif opcode is Opcode.SRAI:
-            result = (_signed(rs1_value) >> imm) & _MASK32
-        elif opcode is Opcode.SLL:
-            result = (rs1_value << (rs2_value & 0x1F)) & _MASK32
-        elif opcode is Opcode.SRL:
-            result = rs1_value >> (rs2_value & 0x1F)
-        elif opcode is Opcode.SRA:
-            result = (_signed(rs1_value) >> (rs2_value & 0x1F)) & _MASK32
-        elif opcode is Opcode.LUI:
-            result = (imm << 12) & _MASK32
-        elif opcode is Opcode.AUIPC:
-            result = (pc + (imm << 12)) & _MASK32
-        elif opcode is Opcode.MUL:
-            result = (rs1_value * rs2_value) & _MASK32
-        elif opcode is Opcode.MULH:
-            result = ((_signed(rs1_value) * _signed(rs2_value)) >> 32) & _MASK32
-        elif opcode is Opcode.MULHSU:
-            result = ((_signed(rs1_value) * rs2_value) >> 32) & _MASK32
-        elif opcode is Opcode.MULHU:
-            result = ((rs1_value * rs2_value) >> 32) & _MASK32
-        elif opcode in (Opcode.DIV, Opcode.DIVU, Opcode.REM, Opcode.REMU):
-            result = _divide(opcode, rs1_value, rs2_value)
-        elif opcode in (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU):
-            result = _load(state, record, opcode, rs1_value, imm)
-        elif opcode in (Opcode.SB, Opcode.SH, Opcode.SW):
-            _store(state, record, opcode, rs1_value, rs2_value, imm)
-        elif opcode in (
-            Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
-        ):
-            taken = _branch_condition(opcode, rs1_value, rs2_value)
-            record.branch_taken = taken
-            if taken:
-                record.next_pc = (pc + imm) & _MASK32
-        elif opcode is Opcode.JAL:
-            result = (pc + 4) & _MASK32
-            record.next_pc = (pc + imm) & _MASK32
-        elif opcode is Opcode.JALR:
-            result = (pc + 4) & _MASK32
-            record.next_pc = (rs1_value + imm) & _MASK32 & ~0x1
-        elif opcode in (Opcode.FENCE, Opcode.ECALL, Opcode.EBREAK):
-            pass
-        else:  # pragma: no cover - enum is exhaustive
-            raise AssertionError("unhandled opcode: %r" % (opcode,))
-
-        if result is not None and instruction.info.has_rd:
+        result = handler(state, record, instruction, rs1_value, rs2_value)
+        if result is not None and info.has_rd:
             state.write_register(instruction.rd, result)
             record.rd_value = state.regs[instruction.rd]
         return record
+
+
+#: Per-opcode instruction semantics.  Each handler receives the
+#: mutable retirement record (``pc``/``next_pc`` pre-filled with the
+#: fall-through values) and returns the rd result, or ``None`` when the
+#: opcode writes no register.
+OpcodeHandler = Callable[
+    [ArchState, ExecRecord, Instruction, int, int], Optional[int]
+]
+
+_HANDLERS: Dict[Opcode, OpcodeHandler] = {}
+
+
+def _handles(*opcodes: Opcode):
+    def register(handler: OpcodeHandler) -> OpcodeHandler:
+        for opcode in opcodes:
+            _HANDLERS[opcode] = handler
+        return handler
+
+    return register
+
+
+@_handles(Opcode.ADDI)
+def _exec_addi(state, record, instruction, rs1_value, rs2_value):
+    return (rs1_value + instruction.imm) & _MASK32
+
+
+@_handles(Opcode.ADD)
+def _exec_add(state, record, instruction, rs1_value, rs2_value):
+    return (rs1_value + rs2_value) & _MASK32
+
+
+@_handles(Opcode.SUB)
+def _exec_sub(state, record, instruction, rs1_value, rs2_value):
+    return (rs1_value - rs2_value) & _MASK32
+
+
+@_handles(Opcode.ANDI)
+def _exec_andi(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value & (instruction.imm & _MASK32)
+
+
+@_handles(Opcode.ORI)
+def _exec_ori(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value | (instruction.imm & _MASK32)
+
+
+@_handles(Opcode.XORI)
+def _exec_xori(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value ^ (instruction.imm & _MASK32)
+
+
+@_handles(Opcode.AND)
+def _exec_and(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value & rs2_value
+
+
+@_handles(Opcode.OR)
+def _exec_or(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value | rs2_value
+
+
+@_handles(Opcode.XOR)
+def _exec_xor(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value ^ rs2_value
+
+
+@_handles(Opcode.SLTI)
+def _exec_slti(state, record, instruction, rs1_value, rs2_value):
+    return 1 if _signed(rs1_value) < instruction.imm else 0
+
+
+@_handles(Opcode.SLTIU)
+def _exec_sltiu(state, record, instruction, rs1_value, rs2_value):
+    return 1 if rs1_value < (instruction.imm & _MASK32) else 0
+
+
+@_handles(Opcode.SLT)
+def _exec_slt(state, record, instruction, rs1_value, rs2_value):
+    return 1 if _signed(rs1_value) < _signed(rs2_value) else 0
+
+
+@_handles(Opcode.SLTU)
+def _exec_sltu(state, record, instruction, rs1_value, rs2_value):
+    return 1 if rs1_value < rs2_value else 0
+
+
+@_handles(Opcode.SLLI)
+def _exec_slli(state, record, instruction, rs1_value, rs2_value):
+    return (rs1_value << instruction.imm) & _MASK32
+
+
+@_handles(Opcode.SRLI)
+def _exec_srli(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value >> instruction.imm
+
+
+@_handles(Opcode.SRAI)
+def _exec_srai(state, record, instruction, rs1_value, rs2_value):
+    return (_signed(rs1_value) >> instruction.imm) & _MASK32
+
+
+@_handles(Opcode.SLL)
+def _exec_sll(state, record, instruction, rs1_value, rs2_value):
+    return (rs1_value << (rs2_value & 0x1F)) & _MASK32
+
+
+@_handles(Opcode.SRL)
+def _exec_srl(state, record, instruction, rs1_value, rs2_value):
+    return rs1_value >> (rs2_value & 0x1F)
+
+
+@_handles(Opcode.SRA)
+def _exec_sra(state, record, instruction, rs1_value, rs2_value):
+    return (_signed(rs1_value) >> (rs2_value & 0x1F)) & _MASK32
+
+
+@_handles(Opcode.LUI)
+def _exec_lui(state, record, instruction, rs1_value, rs2_value):
+    return (instruction.imm << 12) & _MASK32
+
+
+@_handles(Opcode.AUIPC)
+def _exec_auipc(state, record, instruction, rs1_value, rs2_value):
+    return (record.pc + (instruction.imm << 12)) & _MASK32
+
+
+@_handles(Opcode.MUL)
+def _exec_mul(state, record, instruction, rs1_value, rs2_value):
+    return (rs1_value * rs2_value) & _MASK32
+
+
+@_handles(Opcode.MULH)
+def _exec_mulh(state, record, instruction, rs1_value, rs2_value):
+    return ((_signed(rs1_value) * _signed(rs2_value)) >> 32) & _MASK32
+
+
+@_handles(Opcode.MULHSU)
+def _exec_mulhsu(state, record, instruction, rs1_value, rs2_value):
+    return ((_signed(rs1_value) * rs2_value) >> 32) & _MASK32
+
+
+@_handles(Opcode.MULHU)
+def _exec_mulhu(state, record, instruction, rs1_value, rs2_value):
+    return ((rs1_value * rs2_value) >> 32) & _MASK32
+
+
+@_handles(Opcode.DIV, Opcode.DIVU, Opcode.REM, Opcode.REMU)
+def _exec_divide(state, record, instruction, rs1_value, rs2_value):
+    return _divide(instruction.opcode, rs1_value, rs2_value)
+
+
+@_handles(Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU)
+def _exec_load(state, record, instruction, rs1_value, rs2_value):
+    return _load(state, record, instruction.opcode, rs1_value, instruction.imm)
+
+
+@_handles(Opcode.SB, Opcode.SH, Opcode.SW)
+def _exec_store(state, record, instruction, rs1_value, rs2_value):
+    _store(state, record, instruction.opcode, rs1_value, rs2_value, instruction.imm)
+    return None
+
+
+@_handles(
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
+)
+def _exec_branch(state, record, instruction, rs1_value, rs2_value):
+    taken = _branch_condition(instruction.opcode, rs1_value, rs2_value)
+    record.branch_taken = taken
+    if taken:
+        record.next_pc = (record.pc + instruction.imm) & _MASK32
+    return None
+
+
+@_handles(Opcode.JAL)
+def _exec_jal(state, record, instruction, rs1_value, rs2_value):
+    record.next_pc = (record.pc + instruction.imm) & _MASK32
+    return (record.pc + 4) & _MASK32
+
+
+@_handles(Opcode.JALR)
+def _exec_jalr(state, record, instruction, rs1_value, rs2_value):
+    record.next_pc = (rs1_value + instruction.imm) & _MASK32 & ~0x1
+    return (record.pc + 4) & _MASK32
+
+
+@_handles(Opcode.FENCE, Opcode.ECALL, Opcode.EBREAK)
+def _exec_system(state, record, instruction, rs1_value, rs2_value):
+    return None
+
+
+assert set(_HANDLERS) == set(Opcode), "dispatch table must cover every opcode"
+
+#: opcode -> (handler, static metadata, terminates-execution) — one
+#: dict lookup per retired instruction covers dispatch, operand
+#: applicability, and the ECALL/EBREAK stop check.
+_DISPATCH = {
+    opcode: (
+        handler,
+        OPCODE_INFO[opcode],
+        opcode in (Opcode.ECALL, Opcode.EBREAK),
+    )
+    for opcode, handler in _HANDLERS.items()
+}
 
 
 def _divide(opcode: Opcode, dividend: int, divisor: int) -> int:

@@ -223,12 +223,14 @@ class Instruction:
 
     def __post_init__(self) -> None:
         info = OPCODE_INFO[self.opcode]
-        for field_name in ("rd", "rs1", "rs2"):
-            value = getattr(self, field_name)
-            if not 0 <= value <= 31:
-                raise ValueError(
-                    "%s out of range for %s: %r" % (field_name, self.opcode.name, value)
-                )
+        if not (0 <= self.rd <= 31 and 0 <= self.rs1 <= 31 and 0 <= self.rs2 <= 31):
+            for field_name in ("rd", "rs1", "rs2"):
+                value = getattr(self, field_name)
+                if not 0 <= value <= 31:
+                    raise ValueError(
+                        "%s out of range for %s: %r"
+                        % (field_name, self.opcode.name, value)
+                    )
         if info.has_imm:
             self._validate_immediate(info)
 

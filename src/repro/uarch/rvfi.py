@@ -22,13 +22,15 @@ from repro.isa.encoding import encode_instruction
 from repro.isa.executor import ExecRecord
 
 
-@dataclass
+@dataclass(slots=True)
 class RvfiRecord:
     """One RVFI retirement event.
 
     Field names follow the RVFI specification where applicable
     (``order``, ``insn``, ``pc_rdata``, ``pc_wdata``, ...); the
     architectural payload is delegated to the wrapped ``exec_record``.
+    One record is allocated per retired instruction of every
+    simulation, hence the ``__slots__`` backing.
     """
 
     exec_record: ExecRecord
