@@ -19,16 +19,13 @@ the contract's verdicts against actual retirement timing.
 
 import sys
 
-from repro.attacker.retirement import RetirementTimingAttacker
+from repro.attacker import ATTACKER_REGISTRY
 from repro.contracts.observations import contract_observation_trace
-from repro.contracts.riscv_template import build_riscv_template
-from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.isa.assembler import assemble
 from repro.isa.executor import execute_program
 from repro.isa.state import ArchState
-from repro.synthesis.synthesizer import synthesize
-from repro.testgen.generator import TestCaseGenerator
-from repro.uarch.ibex import IbexCore
+from repro.pipeline import SynthesisPipeline
+from repro.uarch import CORE_REGISTRY
 
 # secret in a0; inputs in a1 (a), a2 (b); result in a3.
 BRANCHING = """
@@ -88,15 +85,18 @@ def audit(name, source, contract, core, attacker):
 
 def main() -> int:
     print("synthesizing a contract for the Ibex-like core ...")
-    template = build_riscv_template()
-    generator = TestCaseGenerator(template, seed=7)
-    evaluator = TestCaseEvaluator(IbexCore(), template)
-    dataset = evaluator.evaluate_many(generator.iter_generate(2500))
-    contract = synthesize(dataset, template).contract
+    contract = (
+        SynthesisPipeline()
+        .core("ibex")
+        .attacker("retirement-timing")
+        .budget(2500, seed=7)
+        .run()
+        .contract
+    )
     print("contract has %d atoms\n" % len(contract))
 
-    core = IbexCore()
-    attacker = RetirementTimingAttacker()
+    core = CORE_REGISTRY.create("ibex")
+    attacker = ATTACKER_REGISTRY.create("retirement-timing")
     leaky_verdict, leaky_actual = audit("branching", BRANCHING, contract, core, attacker)
     safe_verdict, safe_actual = audit("branchless", BRANCHLESS, contract, core, attacker)
 

@@ -12,21 +12,20 @@ shows dependency leakage at larger distances.
 import sys
 
 from repro.contracts.atoms import LeakageFamily
-from repro.contracts.riscv_template import build_riscv_template
-from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.isa.instructions import InstructionCategory
+from repro.pipeline import SynthesisPipeline
 from repro.reporting.tables import contract_summary_grid, render_contract_table
-from repro.synthesis.synthesizer import synthesize
-from repro.testgen.generator import TestCaseGenerator
-from repro.uarch.cva6 import CVA6Core
-from repro.uarch.ibex import IbexCore
 
 
-def synthesize_for(core, template, count, seed=11):
-    generator = TestCaseGenerator(template, seed=seed)
-    evaluator = TestCaseEvaluator(core, template)
-    dataset = evaluator.evaluate_many(generator.iter_generate(count))
-    return synthesize(dataset, template).contract
+def synthesize_for(core_name, count, seed=11):
+    result = (
+        SynthesisPipeline()
+        .core(core_name)
+        .template("riscv-rv32im")
+        .budget(count, seed)
+        .run()
+    )
+    return result.contract
 
 
 def dependency_distances(contract):
@@ -40,12 +39,11 @@ def dependency_distances(contract):
 
 def main() -> int:
     count = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    template = build_riscv_template()
 
     contracts = {}
-    for core in (IbexCore(), CVA6Core()):
-        print("synthesizing for %s (%d test cases) ..." % (core.name, count))
-        contracts[core.name] = synthesize_for(core, template, count)
+    for core_name in ("ibex", "cva6"):
+        print("synthesizing for %s (%d test cases) ..." % (core_name, count))
+        contracts[core_name] = synthesize_for(core_name, count)
 
     for name, contract in contracts.items():
         print()

@@ -14,57 +14,57 @@ import sys
 import tempfile
 import os
 
-from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.riscv_template import TEMPLATE_REGISTRY
 from repro.contracts.serialization import (
     diff_contracts,
     load_contract,
     save_contract,
 )
-from repro.evaluation.evaluator import TestCaseEvaluator
-from repro.synthesis.synthesizer import synthesize
-from repro.testgen.generator import TestCaseGenerator
-from repro.uarch.cva6 import CVA6Core
-from repro.uarch.ibex import IbexCore
+from repro.pipeline import SynthesisPipeline
+from repro.uarch import CORE_REGISTRY
 from repro.verification.checker import check_contract_satisfaction
 
 
-def synthesize_contract(core, template, count, seed=21):
-    generator = TestCaseGenerator(template, seed=seed)
-    evaluator = TestCaseEvaluator(core, template)
-    dataset = evaluator.evaluate_many(generator.iter_generate(count))
-    return synthesize(dataset, template).contract
+def synthesize_contract(core_name, count, seed=21):
+    return (
+        SynthesisPipeline()
+        .core(core_name)
+        .template("riscv-rv32im")
+        .budget(count, seed)
+        .run()
+        .contract
+    )
 
 
 def main() -> int:
     count = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    template = build_riscv_template()
 
     print("synthesizing a contract for ibex (%d test cases) ..." % count)
-    ibex_contract = synthesize_contract(IbexCore(), template, count)
+    ibex_contract = synthesize_contract("ibex", count)
 
     path = os.path.join(tempfile.mkdtemp(prefix="repro-port-"), "ibex.json")
     save_contract(ibex_contract, path, metadata={"core": "ibex"})
     print("saved %d atoms to %s" % (len(ibex_contract), path))
 
-    restored = load_contract(path, build_riscv_template())
+    restored = load_contract(path, TEMPLATE_REGISTRY.create("riscv-rv32im"))
     print("reloaded contract: %d atoms" % len(restored))
 
     print("\nchecking the ibex contract against ibex itself ...")
     self_report = check_contract_satisfaction(
-        restored, IbexCore(), test_cases=count, seed=500
+        restored, CORE_REGISTRY.create("ibex"), test_cases=count, seed=500
     )
     print(self_report.render())
 
     print("\nchecking the ibex contract against cva6 ...")
     ported_report = check_contract_satisfaction(
-        restored, CVA6Core(), test_cases=count, seed=500
+        restored, CORE_REGISTRY.create("cva6"), test_cases=count, seed=500
     )
     print(ported_report.render())
 
     if not ported_report.satisfied:
         print("\nas expected: leakage contracts are per-microarchitecture.")
         print("synthesizing a native cva6 contract and diffing:")
-        cva6_contract = synthesize_contract(CVA6Core(), template, count)
+        cva6_contract = synthesize_contract("cva6", count)
         print(diff_contracts(restored, cva6_contract).render("ibex", "cva6"))
     return 0
 

@@ -1,10 +1,17 @@
 #!/usr/bin/env python3
 """Precision and sensitivity curves (Figures 2 and 3) at example scale.
 
-Evaluates one synthesis corpus and one held-out corpus on the Ibex-like
-core, then sweeps the synthesis-set size for all four cumulative
-template refinements (Fig. 2) and plots the full-template sensitivity
-curve (Fig. 3).  Use ``REPRO_SCALE`` or the CLI for larger budgets.
+Evaluates one synthesis corpus and one held-out corpus (both through
+the shared :mod:`repro.pipeline` dataset cache), then sweeps the
+synthesis-set size for all four cumulative template refinements
+(Fig. 2) and plots the full-template sensitivity curve (Fig. 3).
+
+Usage::
+
+    python examples/precision_curves.py [scale] [core-name]
+
+``core-name`` is any registered core (``repro-synthesize list``); use
+``REPRO_SCALE`` or the CLI for larger budgets.
 """
 
 import sys
@@ -17,15 +24,16 @@ from repro.experiments.fig3 import run_fig3
 
 def main() -> int:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.4
+    core_name = sys.argv[2] if len(sys.argv) > 2 else "ibex"
     config = ExperimentConfig(
         scale=scale, results_dir=tempfile.mkdtemp(prefix="repro-curves-")
     )
     print(
-        "synthesis budget: %d test cases, evaluation budget: %d\n"
-        % (config.synthesis_test_cases, config.evaluation_test_cases)
+        "synthesis budget: %d test cases, evaluation budget: %d (core: %s)\n"
+        % (config.synthesis_test_cases, config.evaluation_test_cases, core_name)
     )
 
-    fig2 = run_fig2(config)
+    fig2 = run_fig2(config, core_name=core_name)
     print(fig2.render())
     print()
     for series in fig2.series:
@@ -34,7 +42,7 @@ def main() -> int:
               % (series.label, "n/a" if final is None else "%.3f" % final))
 
     print()
-    fig3 = run_fig3(config)
+    fig3 = run_fig3(config, core_name=core_name)
     print(fig3.render())
     print("\nCSV outputs in %s/" % config.results_dir)
     return 0

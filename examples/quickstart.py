@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Quickstart: synthesize a leakage contract for the Ibex-like core.
 
-The five-step pipeline of the paper, end to end:
+The five-step pipeline of the paper — generate atom-targeted test
+cases, evaluate them on the core, synthesize the most precise correct
+contract via ILP, verify it, and report — behind the single public
+entry point, :class:`repro.pipeline.SynthesisPipeline`:
 
-1. build the RISC-V contract template (892 atoms),
-2. generate atom-targeted test cases,
-3. evaluate them on the core (attacker distinguishability + atoms),
-4. synthesize the most precise correct contract via ILP,
-5. render the paper-style contract table.
+    result = (SynthesisPipeline()
+              .core("ibex")                  # any CORE_REGISTRY name
+              .attacker("retirement-timing") # any ATTACKER_REGISTRY name
+              .template("riscv-rv32im")
+              .budget(count, seed)
+              .solver("scipy-milp")          # any SOLVER_REGISTRY name
+              .run())
 
 Run with::
 
@@ -16,49 +21,38 @@ Run with::
 
 import sys
 
-from repro.contracts.riscv_template import build_riscv_template
-from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.pipeline import SynthesisPipeline, describe_registries
 from repro.reporting.tables import render_contract_table
 from repro.synthesis.ranking import format_ranking, rank_atoms_by_false_positives
-from repro.synthesis.synthesizer import synthesize
-from repro.testgen.generator import TestCaseGenerator
-from repro.uarch.ibex import IbexCore
 
 
 def main() -> int:
     count = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
 
-    print("1. building the RV32IM contract template ...")
-    template = build_riscv_template()
-    print("   %d atoms across %s" % (
-        len(template),
-        ", ".join(family.name for family in
-                  sorted({atom.family for atom in template})),
-    ))
+    print("available plugins:\n")
+    print(describe_registries())
 
-    print("2. generating %d atom-targeted test cases ..." % count)
-    generator = TestCaseGenerator(template, seed=2024)
-
-    print("3. evaluating on the Ibex-like core ...")
-    evaluator = TestCaseEvaluator(IbexCore(), template)
-    dataset = evaluator.evaluate_many(generator.iter_generate(count))
+    print("\nrunning the pipeline (%d test cases, Ibex-like core) ..." % count)
+    result = (
+        SynthesisPipeline()
+        .core("ibex")
+        .attacker("retirement-timing")
+        .template("riscv-rv32im")
+        .budget(count, seed=2024)
+        .solver("scipy-milp")
+        .run()
+    )
+    print(result.render())
     print(
-        "   %d of %d test cases are attacker distinguishable"
-        % (len(dataset.distinguishable), len(dataset))
+        "\n%d of %d test cases are attacker distinguishable"
+        % (len(result.dataset.distinguishable), len(result.dataset))
     )
 
-    print("4. synthesizing the most precise contract (ILP) ...")
-    result = synthesize(dataset, template)
-    print(
-        "   %d atoms selected, %d false positives on the synthesis set"
-        % (result.atom_count, result.false_positives)
-    )
-
-    print("5. contract table (paper notation):\n")
+    print("\ncontract table (paper notation):\n")
     print(render_contract_table(result.contract))
     print("\nTop false-positive atoms (refinement candidates, §III-E):")
     print(format_ranking(
-        rank_atoms_by_false_positives(result.contract, dataset), top=5
+        rank_atoms_by_false_positives(result.contract, result.dataset), top=5
     ))
     return 0
 

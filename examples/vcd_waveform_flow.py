@@ -14,15 +14,15 @@ import tempfile
 import os
 
 from repro.contracts.observations import distinguishing_atoms
-from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.riscv_template import TEMPLATE_REGISTRY
 from repro.testgen.generator import TestCaseGenerator
-from repro.uarch.ibex import IbexCore
+from repro.uarch import CORE_REGISTRY
 from repro.uarch.testbench import Testbench
 from repro.vcd.rvfi_vcd import load_exec_records
 
 
 def main() -> int:
-    template = build_riscv_template()
+    template = TEMPLATE_REGISTRY.create("riscv-rv32im")
     generator = TestCaseGenerator(template, seed=3)
     # Aim at the paper's headline Ibex leak: load alignment.
     atom = next(atom for atom in template if atom.name == "lw:IS_WORD_ALIGNED")
@@ -31,7 +31,7 @@ def main() -> int:
     test_case = generator.generate_for_atom(atom, 0, random.Random(5))
     print("test case targets %s" % atom.name)
 
-    bench = Testbench(IbexCore(), check_isa_consistency=True)
+    bench = Testbench(CORE_REGISTRY.create("ibex"), check_isa_consistency=True)
     directory = tempfile.mkdtemp(prefix="repro-vcd-")
     path_a = os.path.join(directory, "program_a.vcd")
     path_b = os.path.join(directory, "program_b.vcd")

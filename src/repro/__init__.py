@@ -19,6 +19,9 @@ The package is organized bottom-up:
   the refinement ranking.
 - :mod:`repro.vcd`, :mod:`repro.reporting`, :mod:`repro.experiments` —
   waveforms, tables/figures, and the paper's experiment drivers.
+- :mod:`repro.pipeline` — the public entry point: the
+  :class:`~repro.pipeline.SynthesisPipeline` builder and the plugin
+  registries for cores, attackers, solvers, and templates.
 """
 
 __version__ = "1.0.0"

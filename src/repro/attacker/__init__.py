@@ -4,13 +4,37 @@ An attacker maps a microarchitectural execution to an observation;
 two executions are attacker distinguishable iff their observations
 differ.  The paper's evaluation uses the retirement-timing attacker;
 the cache-state attacker is provided for extension experiments.
+
+Attacker models are published through :data:`ATTACKER_REGISTRY` — the
+single source of truth for name-to-attacker construction used by the
+pipeline API and the CLI.  Names match each class's ``name`` attribute.
 """
 
+from repro.registry import Registry
 from repro.attacker.base import Attacker
 from repro.attacker.retirement import RetirementTimingAttacker, TotalTimeAttacker
 from repro.attacker.cache_state import CacheStateAttacker
 
+#: All registered attacker models, keyed by ``Attacker.name``.
+ATTACKER_REGISTRY = Registry("attacker", "microarchitectural attacker models")
+ATTACKER_REGISTRY.register(
+    RetirementTimingAttacker.name,
+    RetirementTimingAttacker,
+    description="per-instruction retirement cycles (the paper's model)",
+)
+ATTACKER_REGISTRY.register(
+    TotalTimeAttacker.name,
+    TotalTimeAttacker,
+    description="end-to-end execution time only (ablation attacker)",
+)
+ATTACKER_REGISTRY.register(
+    CacheStateAttacker.name,
+    CacheStateAttacker,
+    description="final data-cache tag state (Flush+Reload-style)",
+)
+
 __all__ = [
+    "ATTACKER_REGISTRY",
     "Attacker",
     "CacheStateAttacker",
     "RetirementTimingAttacker",

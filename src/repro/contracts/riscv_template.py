@@ -36,6 +36,7 @@ from repro.isa.instructions import (
     Opcode,
     OPCODE_INFO,
 )
+from repro.registry import Registry
 
 #: The paper's base template (§IV-A) and its final refinement.
 BASE_FAMILIES = (LeakageFamily.IL, LeakageFamily.RL, LeakageFamily.ML)
@@ -152,3 +153,40 @@ def cumulative_family_sets(
     ordered = list(families)
     base_length = len(BASE_FAMILIES)
     return [tuple(ordered[:count]) for count in range(base_length, len(ordered) + 1)]
+
+
+def restriction_label(families: Iterable[LeakageFamily]) -> str:
+    """The canonical name of a family restriction (``"IL+RL+ML"``)."""
+    return "+".join(family.name for family in families)
+
+
+#: All registered contract templates, keyed by ``ContractTemplate.name``.
+TEMPLATE_REGISTRY = Registry("template", "contract templates")
+TEMPLATE_REGISTRY.register(
+    "riscv-rv32im",
+    build_riscv_template,
+    description="the paper's RV32IM template (IL/RL/ML/AL/BL/DL)",
+)
+TEMPLATE_REGISTRY.register(
+    "riscv-rv32im-zref",
+    lambda: build_riscv_template(zero_value_atoms=True),
+    description="RV32IM template plus IS_ZERO operand refinement atoms",
+)
+
+#: Template restrictions (family subsets), keyed by canonical label.
+#: ``create(name)`` returns the tuple of :class:`LeakageFamily` values;
+#: synthesis turns it into allowed atom ids via ``template.restrict``.
+RESTRICTION_REGISTRY = Registry("restriction", "template family restrictions")
+RESTRICTION_REGISTRY.register(
+    "base", lambda: BASE_FAMILIES, description="the base template (IL+RL+ML)"
+)
+RESTRICTION_REGISTRY.register(
+    "full", lambda: FULL_FAMILIES, description="all six leakage families"
+)
+for _families in cumulative_family_sets():
+    RESTRICTION_REGISTRY.register(
+        restriction_label(_families),
+        (lambda captured: lambda: captured)(_families),
+        description="cumulative refinement through %s" % _families[-1].name,
+    )
+del _families

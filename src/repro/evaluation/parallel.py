@@ -27,14 +27,30 @@ _worker_state = {}
 
 
 def _initialize_worker(
-    core_name: str, seed: int, max_distance: int, use_fastpath: bool = True
+    core_name: str,
+    seed: int,
+    max_distance: int,
+    use_fastpath: bool = True,
+    template_name: Optional[str] = None,
+    attacker_name: Optional[str] = None,
 ) -> None:
-    from repro.experiments.runner import build_core
+    from repro.attacker import ATTACKER_REGISTRY
+    from repro.contracts.riscv_template import TEMPLATE_REGISTRY
+    from repro.uarch import CORE_REGISTRY
 
-    template = build_riscv_template(max_distance=max_distance)
+    if template_name is None:
+        template = build_riscv_template(max_distance=max_distance)
+    else:
+        template = TEMPLATE_REGISTRY.create(template_name)
+    attacker = (
+        ATTACKER_REGISTRY.create(attacker_name) if attacker_name is not None else None
+    )
     _worker_state["generator"] = TestCaseGenerator(template, seed=seed)
     _worker_state["evaluator"] = TestCaseEvaluator(
-        build_core(core_name), template, use_fastpath=use_fastpath
+        CORE_REGISTRY.create(core_name),
+        template,
+        attacker=attacker,
+        use_fastpath=use_fastpath,
     )
 
 
@@ -64,6 +80,8 @@ def evaluate_parallel(
     shard_size: int = 250,
     max_distance: int = 4,
     use_fastpath: bool = True,
+    template_name: Optional[str] = None,
+    attacker_name: Optional[str] = None,
 ) -> EvaluationDataset:
     """Evaluate ``count`` generated test cases on ``core_name`` using a
     process pool.  Equivalent to the sequential evaluator for the same
@@ -74,7 +92,17 @@ def evaluate_parallel(
     restores the deterministic order — with the chunk size tuned so
     each worker receives a handful of batches (pipelining against
     stragglers without per-shard IPC overhead).
+
+    ``template_name`` and ``attacker_name`` are registry names resolved
+    inside each worker (instances cannot cross the fork cheaply);
+    ``template_name`` supersedes ``max_distance``, so passing both is
+    an error.
     """
+    if template_name is not None and max_distance != 4:
+        raise ValueError(
+            "pass either template_name or max_distance, not both: a "
+            "registered template fixes its own dependency distance"
+        )
     if count <= 0:
         return EvaluationDataset([], core_name=core_name)
     processes = processes or min(multiprocessing.cpu_count(), 8)
@@ -83,7 +111,9 @@ def evaluate_parallel(
         for start in range(0, count, shard_size)
     ]
     if processes == 1 or len(shards) == 1:
-        _initialize_worker(core_name, seed, max_distance, use_fastpath)
+        _initialize_worker(
+            core_name, seed, max_distance, use_fastpath, template_name, attacker_name
+        )
         shard_results = [_evaluate_shard(shard) for shard in shards]
     else:
         chunksize = max(1, len(shards) // (processes * 4))
@@ -91,7 +121,14 @@ def evaluate_parallel(
         with context.Pool(
             processes,
             initializer=_initialize_worker,
-            initargs=(core_name, seed, max_distance, use_fastpath),
+            initargs=(
+                core_name,
+                seed,
+                max_distance,
+                use_fastpath,
+                template_name,
+                attacker_name,
+            ),
         ) as pool:
             shard_results = list(
                 pool.imap_unordered(_evaluate_shard, shards, chunksize=chunksize)
@@ -111,6 +148,6 @@ def evaluate_parallel(
     return EvaluationDataset(
         results,
         core_name=core_name,
-        template_name="riscv-rv32im",
-        attacker_name="retirement-timing",
+        template_name=template_name or "riscv-rv32im",
+        attacker_name=attacker_name or "retirement-timing",
     )

@@ -1,10 +1,13 @@
 """Command-line entry point: ``repro-synthesize``.
 
-Runs the paper's experiments end-to-end::
+Runs the paper's experiments end-to-end, lists the plugin registries,
+or runs an ad-hoc synthesis pipeline::
 
     repro-synthesize fig2
     repro-synthesize table1 --scale 2
     repro-synthesize all --results-dir results
+    repro-synthesize list
+    repro-synthesize run --core cva6 --attacker cache-state --count 500
 """
 
 from __future__ import annotations
@@ -18,8 +21,10 @@ from repro.experiments.contract_tables import run_table1, run_table2
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.table3 import run_table3
+from repro.pipeline import SynthesisPipeline, describe_registries
 
 _EXPERIMENTS = ("fig2", "fig3", "table1", "table2", "table3")
+_COMMANDS = _EXPERIMENTS + ("all", "list", "run")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -30,8 +35,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=_EXPERIMENTS + ("all",),
-        help="which figure/table to regenerate",
+        choices=_COMMANDS,
+        help="which figure/table to regenerate, 'all' for every "
+        "experiment, 'list' to print the plugin registries, or 'run' "
+        "for an ad-hoc pipeline",
     )
     parser.add_argument(
         "--scale",
@@ -49,15 +56,98 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not cache or reuse evaluated datasets",
     )
+    pipeline_group = parser.add_argument_group(
+        "pipeline plugins", "registry names (see 'repro-synthesize list')"
+    )
+    pipeline_group.add_argument(
+        "--core",
+        default=None,
+        help="core model for fig2/fig3/table3/run (default: ibex)",
+    )
+    pipeline_group.add_argument(
+        "--attacker",
+        default=None,
+        help="attacker model (default: retirement-timing)",
+    )
+    pipeline_group.add_argument(
+        "--solver",
+        default=None,
+        help="ILP solver backend (default: scipy-milp)",
+    )
+    run_group = parser.add_argument_group("ad-hoc pipeline ('run' only)")
+    run_group.add_argument(
+        "--template",
+        default=None,
+        help="contract template (default: riscv-rv32im)",
+    )
+    run_group.add_argument(
+        "--restrict",
+        default=None,
+        help="template restriction, e.g. 'base' or 'IL+RL+ML+AL'",
+    )
+    run_group.add_argument(
+        "--count", type=int, default=1000, help="test-case budget (default: 1000)"
+    )
+    run_group.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    run_group.add_argument(
+        "--verify",
+        type=int,
+        default=None,
+        metavar="N",
+        help="verify with N fresh directed test cases (default: check "
+        "the synthesized contract against the evaluated dataset)",
+    )
     return parser
+
+
+def _run_pipeline(arguments) -> int:
+    """The ``run`` subcommand: one ad-hoc pipeline, fully printed."""
+    from repro.reporting.tables import render_contract_table
+
+    pipeline = SynthesisPipeline().budget(arguments.count, arguments.seed)
+    if arguments.core:
+        pipeline.core(arguments.core)
+    if arguments.attacker:
+        pipeline.attacker(arguments.attacker)
+    if arguments.solver:
+        pipeline.solver(arguments.solver)
+    if arguments.template:
+        pipeline.template(arguments.template)
+    if arguments.restrict:
+        pipeline.restrict(arguments.restrict)
+    if arguments.verify is not None:
+        pipeline.verify(arguments.verify)
+    if not arguments.no_cache:
+        config = ExperimentConfig(results_dir=arguments.results_dir)
+        pipeline.cache_dir(config.cache_dir())
+    result = pipeline.run()
+    print(result.render())
+    print()
+    print(render_contract_table(result.contract))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
+    if arguments.experiment == "list":
+        print(describe_registries())
+        return 0
+    if arguments.experiment == "run":
+        return _run_pipeline(arguments)
+
     kwargs = {"results_dir": arguments.results_dir, "cache": not arguments.no_cache}
     if arguments.scale is not None:
         kwargs["scale"] = arguments.scale
+    if arguments.attacker is not None:
+        kwargs["attacker"] = arguments.attacker
+    if arguments.solver is not None:
+        kwargs["solver"] = arguments.solver
     config = ExperimentConfig(**kwargs)
+    core_kwargs = {}
+    if arguments.core is not None:
+        core_kwargs["core_name"] = arguments.core
 
     names = (
         list(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
@@ -65,15 +155,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         print("== %s ==" % name)
         if name == "fig2":
-            print(run_fig2(config).render())
+            print(run_fig2(config, **core_kwargs).render())
         elif name == "fig3":
-            print(run_fig3(config).render())
+            print(run_fig3(config, **core_kwargs).render())
         elif name == "table1":
             print(run_table1(config).render())
         elif name == "table2":
             print(run_table2(config).render())
         elif name == "table3":
-            print(run_table3(config).render())
+            print(
+                run_table3(
+                    config,
+                    core_names=[arguments.core] if arguments.core else None,
+                ).render()
+            )
         print()
     print("results written to %s/" % config.results_dir)
     return 0

@@ -41,10 +41,22 @@ class ExperimentConfig:
     #: Where datasets are cached and results written.
     results_dir: str = "results"
     cache: bool = True
+    #: Pipeline plugins (registry names) shared by every driver.  The
+    #: defaults reproduce the paper; the CLI's ``--attacker`` and
+    #: ``--solver`` flags override them.
+    attacker: str = "retirement-timing"
+    solver: str = "scipy-milp"
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        # Fail fast on unknown plugin names (the registries raise a
+        # ValueError listing the registered choices).
+        from repro.attacker import ATTACKER_REGISTRY
+        from repro.synthesis import SOLVER_REGISTRY
+
+        ATTACKER_REGISTRY.get(self.attacker)
+        SOLVER_REGISTRY.get(self.solver)
         self.synthesis_test_cases = _scaled(self.synthesis_test_cases, self.scale)
         self.evaluation_test_cases = _scaled(self.evaluation_test_cases, self.scale)
         self.cva6_synthesis_test_cases = _scaled(

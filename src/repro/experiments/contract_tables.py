@@ -13,7 +13,7 @@ from typing import List, Optional
 
 from repro.contracts.template import Contract
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import evaluate_dataset, shared_template
+from repro.experiments.runner import experiment_pipeline, shared_template
 from repro.reporting.tables import (
     Grid,
     PAPER_TABLE_1,
@@ -24,7 +24,6 @@ from repro.reporting.tables import (
 )
 from repro.synthesis.metrics import evaluate_contract, verify_contract_correctness
 from repro.synthesis.ranking import AtomRanking, format_ranking, rank_atoms_by_false_positives
-from repro.synthesis.synthesizer import ContractSynthesizer
 
 
 @dataclass
@@ -79,16 +78,19 @@ def _run_contract_table(
     output_stem: str,
 ) -> ContractTableResult:
     template = shared_template()
-    cache_dir = config.cache_dir()
-    synthesis_set, _evaluator = evaluate_dataset(
-        core_name, template, synthesis_count, config.synthesis_seed, cache_dir
+    pipeline = experiment_pipeline(
+        config, core_name, template, synthesis_count, config.synthesis_seed
     )
-    evaluation_set, _evaluator = evaluate_dataset(
-        core_name, template, config.evaluation_test_cases,
-        config.evaluation_seed, cache_dir,
-    )
+    # verify_contract_correctness below already re-checks the contract
+    # against its synthesis set; skip the pipeline's own check.
+    pipeline_result = pipeline.verify(0).run()
+    synthesis_set = pipeline_result.dataset
+    evaluation_set = experiment_pipeline(
+        config, core_name, template,
+        config.evaluation_test_cases, config.evaluation_seed,
+    ).evaluate()
 
-    synthesis_result = ContractSynthesizer(template).synthesize(synthesis_set)
+    synthesis_result = pipeline_result.synthesis
     contract = synthesis_result.contract
     if not verify_contract_correctness(contract, synthesis_set):
         raise AssertionError("synthesized contract violates its own test set")

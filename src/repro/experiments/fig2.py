@@ -19,10 +19,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.contracts.atoms import LeakageFamily
 from repro.contracts.riscv_template import cumulative_family_sets
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import evaluate_dataset, shared_template
+from repro.experiments.runner import experiment_pipeline, shared_template
 from repro.reporting.curves import Series, render_ascii_chart, write_csv
 from repro.synthesis.metrics import evaluate_contract
-from repro.synthesis.synthesizer import ContractSynthesizer
 
 
 def _family_label(families: Tuple[LeakageFamily, ...]) -> str:
@@ -59,18 +58,18 @@ def run_fig2(
     """Run the Figure 2 experiment."""
     config = config if config is not None else ExperimentConfig()
     template = shared_template()
-    cache_dir = config.cache_dir()
 
-    synthesis_set, _evaluator = evaluate_dataset(
-        core_name, template, config.synthesis_test_cases,
-        config.synthesis_seed, cache_dir,
+    synthesis_pipeline = experiment_pipeline(
+        config, core_name, template,
+        config.synthesis_test_cases, config.synthesis_seed,
     )
-    evaluation_set, _evaluator = evaluate_dataset(
-        core_name, template, config.evaluation_test_cases,
-        config.evaluation_seed, cache_dir,
-    )
+    synthesis_set = synthesis_pipeline.evaluate()
+    evaluation_set = experiment_pipeline(
+        config, core_name, template,
+        config.evaluation_test_cases, config.evaluation_seed,
+    ).evaluate()
 
-    synthesizer = ContractSynthesizer(template)
+    synthesizer = synthesis_pipeline.synthesizer()
     prefixes = config.synthesis_prefixes()
     series: List[Series] = []
     for families in cumulative_family_sets():

@@ -14,10 +14,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import evaluate_dataset, shared_template
+from repro.experiments.runner import experiment_pipeline, shared_template
 from repro.reporting.curves import Series, render_ascii_chart, write_csv
 from repro.synthesis.metrics import evaluate_contract
-from repro.synthesis.synthesizer import ContractSynthesizer
 
 
 @dataclass
@@ -56,18 +55,18 @@ def run_fig3(
     """Run the Figure 3 experiment."""
     config = config if config is not None else ExperimentConfig()
     template = shared_template()
-    cache_dir = config.cache_dir()
 
-    synthesis_set, _evaluator = evaluate_dataset(
-        core_name, template, config.synthesis_test_cases,
-        config.synthesis_seed, cache_dir,
+    synthesis_pipeline = experiment_pipeline(
+        config, core_name, template,
+        config.synthesis_test_cases, config.synthesis_seed,
     )
-    evaluation_set, _evaluator = evaluate_dataset(
-        core_name, template, config.evaluation_test_cases,
-        config.evaluation_seed, cache_dir,
-    )
+    synthesis_set = synthesis_pipeline.evaluate()
+    evaluation_set = experiment_pipeline(
+        config, core_name, template,
+        config.evaluation_test_cases, config.evaluation_seed,
+    ).evaluate()
 
-    synthesizer = ContractSynthesizer(template)
+    synthesizer = synthesis_pipeline.synthesizer()
     prefixes = config.sensitivity_prefixes()
     points: List[Tuple[float, Optional[float]]] = []
     for prefix in prefixes:

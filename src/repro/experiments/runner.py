@@ -1,38 +1,57 @@
-"""Shared plumbing for experiment drivers: cores, datasets, caching."""
+"""Shared plumbing for experiment drivers — a thin layer over
+:mod:`repro.pipeline`.
+
+The drivers describe *what* to run (core, attacker, solver, budget,
+seed); the pipeline does the running and the dataset caching.  Core
+construction goes through :data:`repro.uarch.CORE_REGISTRY`, so
+``uarch/`` is the single source of truth for available cores.
+"""
 
 from __future__ import annotations
 
-import os
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
+from repro.attacker.base import Attacker
 from repro.contracts.riscv_template import build_riscv_template
 from repro.contracts.template import ContractTemplate
 from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.evaluation.results import EvaluationDataset
-from repro.testgen.generator import TestCaseGenerator
+from repro.pipeline import SynthesisPipeline
+from repro.uarch import CORE_REGISTRY
 from repro.uarch.core import Core
-from repro.uarch.cva6 import CVA6Core
-from repro.uarch.ibex import IbexCore
-
-_CORES = {
-    "ibex": IbexCore,
-    "cva6": CVA6Core,
-}
 
 
 def build_core(name: str) -> Core:
-    """Instantiate a core model by name (``ibex`` or ``cva6``)."""
-    try:
-        return _CORES[name]()
-    except KeyError:
-        raise ValueError(
-            "unknown core %r (available: %s)" % (name, ", ".join(sorted(_CORES)))
-        )
+    """Instantiate a registered core model by name."""
+    return CORE_REGISTRY.create(name)
 
 
 def shared_template() -> ContractTemplate:
     """The full RV32IM template used by all experiments."""
     return build_riscv_template()
+
+
+def experiment_pipeline(
+    config,
+    core_name: str,
+    template: Union[str, ContractTemplate],
+    count: int,
+    seed: int,
+    progress_every: Optional[int] = None,
+) -> SynthesisPipeline:
+    """A pipeline configured the way the experiment drivers share it:
+    attacker/solver from the :class:`ExperimentConfig`, dataset cache
+    under the results directory."""
+    return (
+        SynthesisPipeline()
+        .core(core_name)
+        .attacker(config.attacker)
+        .solver(config.solver)
+        .template(template)
+        .budget(count, seed)
+        .cache_dir(config.cache_dir())
+        .progress(progress_every)
+    )
 
 
 def evaluate_dataset(
@@ -42,6 +61,7 @@ def evaluate_dataset(
     seed: int,
     cache_dir: Optional[str] = None,
     progress_every: Optional[int] = None,
+    attacker: Optional[Union[str, Attacker]] = None,
 ) -> Tuple[EvaluationDataset, Optional[TestCaseEvaluator]]:
     """Generate and evaluate ``count`` test cases on ``core_name``.
 
@@ -50,21 +70,14 @@ def evaluate_dataset(
     mirrors the paper's reuse of one big evaluated corpus across all
     synthesis-set sweeps.
     """
-    cache_path = None
-    if cache_dir is not None:
-        cache_path = os.path.join(
-            cache_dir,
-            "%s-%s-seed%d-n%d.json" % (core_name, template.name, seed, count),
-        )
-        if os.path.exists(cache_path):
-            return EvaluationDataset.load(cache_path), None
-
-    core = build_core(core_name)
-    generator = TestCaseGenerator(template, seed=seed)
-    evaluator = TestCaseEvaluator(core, template)
-    dataset = evaluator.evaluate_many(
-        generator.iter_generate(count), progress_every=progress_every
+    pipeline = (
+        SynthesisPipeline()
+        .core(core_name)
+        .template(template)
+        .budget(count, seed)
+        .cache_dir(cache_dir)
+        .progress(progress_every)
     )
-    if cache_path is not None:
-        dataset.save(cache_path)
-    return dataset, evaluator
+    if attacker is not None:
+        pipeline.attacker(attacker)
+    return pipeline.evaluate_with_stats()

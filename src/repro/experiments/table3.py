@@ -13,16 +13,11 @@ simulation, while contract computation is comparable.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.contracts.riscv_template import build_riscv_template
-from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import build_core
-from repro.synthesis.synthesizer import ContractSynthesizer
-from repro.testgen.generator import TestCaseGenerator
+from repro.pipeline import SynthesisPipeline
 
 
 @dataclass
@@ -100,31 +95,27 @@ def run_table3(
 
     timings = []
     for core_name in core_names:
-        overall_start = time.perf_counter()
-
-        setup_start = time.perf_counter()
-        core = build_core(core_name)
-        template = build_riscv_template()
-        generator = TestCaseGenerator(template, seed=config.synthesis_seed)
-        evaluator = TestCaseEvaluator(core, template)
-        compilation_seconds = time.perf_counter() - setup_start
-
-        dataset = evaluator.evaluate_many(generator.iter_generate(count))
-
-        synthesis_start = time.perf_counter()
-        ContractSynthesizer(template).synthesize(dataset)
-        contract_seconds = time.perf_counter() - synthesis_start
-
-        overall_seconds = time.perf_counter() - overall_start
+        # No cache and no verification budget: every phase is measured
+        # live, exactly as the paper times its toolchain.
+        result = (
+            SynthesisPipeline()
+            .core(core_name)
+            .attacker(config.attacker)
+            .solver(config.solver)
+            .budget(count, config.synthesis_seed)
+            .verify(0)
+            .run()
+        )
+        phases = result.timings
         timings.append(
             CoreTiming(
                 core_name=core_name,
                 test_cases=count,
-                compilation_seconds=compilation_seconds,
-                simulation_per_test_case=evaluator.simulation_seconds / count,
-                extraction_per_test_case=evaluator.extraction_seconds / count,
-                contract_computation_seconds=contract_seconds,
-                overall_seconds=overall_seconds,
+                compilation_seconds=phases.setup_seconds,
+                simulation_per_test_case=phases.simulation_seconds / count,
+                extraction_per_test_case=phases.extraction_seconds / count,
+                contract_computation_seconds=phases.synthesis_seconds,
+                overall_seconds=phases.total_seconds,
             )
         )
 

@@ -1,0 +1,476 @@
+"""The synthesis pipeline: generate → evaluate → synthesize → verify.
+
+:class:`SynthesisPipeline` is the single public entry point to the
+toolchain.  Every axis is configured by registry name (or by passing an
+instance directly), and :meth:`SynthesisPipeline.run` returns a
+:class:`PipelineResult` bundling the evaluated dataset, the synthesis
+result, the verification report, and per-phase wall-clock timings.
+
+The pipeline also owns dataset caching: evaluated corpora are keyed by
+core, template, attacker, seed, budget, and extraction engine, so two
+pipelines that would produce different datasets can never collide on a
+cache file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.attacker import ATTACKER_REGISTRY
+from repro.attacker.base import Attacker
+from repro.contracts.atoms import LeakageFamily
+from repro.contracts.riscv_template import (
+    RESTRICTION_REGISTRY,
+    TEMPLATE_REGISTRY,
+    restriction_label,
+)
+from repro.contracts.template import Contract, ContractTemplate
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.evaluation.results import EvaluationDataset
+from repro.synthesis import SOLVER_REGISTRY
+from repro.synthesis.solvers import IlpSolver
+from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch import CORE_REGISTRY
+from repro.uarch.core import Core
+from repro.verification.checker import (
+    SatisfactionReport,
+    check_contract_satisfaction,
+    check_dataset_satisfaction,
+)
+
+#: Configuration values may be registry names or ready-made instances.
+CoreLike = Union[str, Core]
+AttackerLike = Union[str, Attacker]
+SolverLike = Union[str, IlpSolver]
+TemplateLike = Union[str, ContractTemplate]
+RestrictionLike = Union[str, Iterable[LeakageFamily]]
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per pipeline phase (Table III's columns)."""
+
+    #: Core/template/generator/evaluator construction (the paper's
+    #: "testbench compilation" phase).
+    setup_seconds: float = 0.0
+    #: The whole generate+evaluate phase (zero on a cache hit).
+    evaluation_seconds: float = 0.0
+    #: Simulation and atom-extraction shares of the evaluation phase,
+    #: from the evaluator's accumulators.
+    simulation_seconds: float = 0.0
+    extraction_seconds: float = 0.0
+    synthesis_seconds: float = 0.0
+    verification_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: Whether the dataset came from the cache (timers then exclude
+    #: simulation/extraction).
+    cache_hit: bool = False
+
+    def render(self) -> str:
+        parts = [
+            "setup %.3fs" % self.setup_seconds,
+            "evaluate %.3fs%s"
+            % (
+                self.evaluation_seconds,
+                " (cached)"
+                if self.cache_hit
+                else " (sim %.3fs, extract %.3fs)"
+                % (self.simulation_seconds, self.extraction_seconds),
+            ),
+            "synthesize %.3fs" % self.synthesis_seconds,
+            "verify %.3fs" % self.verification_seconds,
+            "total %.3fs" % self.total_seconds,
+        ]
+        return ", ".join(parts)
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    core_name: str
+    attacker_name: str
+    solver_name: str
+    template_name: str
+    restriction: Optional[str]
+    dataset: EvaluationDataset
+    synthesis: SynthesisResult
+    verification: Optional[SatisfactionReport]
+    timings: PhaseTimings
+
+    @property
+    def contract(self) -> Contract:
+        return self.synthesis.contract
+
+    @property
+    def atom_count(self) -> int:
+        return self.synthesis.atom_count
+
+    @property
+    def false_positives(self) -> int:
+        return self.synthesis.false_positives
+
+    @property
+    def satisfied(self) -> Optional[bool]:
+        return self.verification.satisfied if self.verification else None
+
+    def render(self) -> str:
+        lines = [
+            "pipeline: core=%s attacker=%s solver=%s template=%s%s"
+            % (
+                self.core_name,
+                self.attacker_name,
+                self.solver_name,
+                self.template_name,
+                " restriction=%s" % self.restriction if self.restriction else "",
+            ),
+            "dataset: %d test cases, %d attacker distinguishable"
+            % (len(self.dataset), len(self.dataset.distinguishable)),
+            "contract: %d atoms, %d false positives (%s%s)"
+            % (
+                self.atom_count,
+                self.false_positives,
+                self.synthesis.solver_result.solver_name,
+                ", optimal" if self.synthesis.solver_result.optimal else "",
+            ),
+        ]
+        if self.verification is not None:
+            lines.append(
+                "verification: %s (%d/%d distinguishable cases covered)"
+                % (
+                    "SATISFIED" if self.verification.satisfied else "VIOLATED",
+                    self.verification.covered,
+                    self.verification.attacker_distinguishable,
+                )
+            )
+        lines.append("timings: %s" % self.timings.render())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "PipelineResult(core=%s, %d cases, %d atoms)" % (
+            self.core_name,
+            len(self.dataset),
+            self.atom_count,
+        )
+
+
+class SynthesisPipeline:
+    """Builder-style front end over the whole toolchain.
+
+    Every setter returns ``self`` so configurations read as one chain::
+
+        result = (
+            SynthesisPipeline()
+            .core("ibex")
+            .attacker("retirement-timing")
+            .template("riscv-rv32im")
+            .budget(2000, seed=1)
+            .solver("scipy-milp")
+            .run()
+        )
+
+    Defaults reproduce the paper's setup: the Ibex-like core, the
+    retirement-timing attacker, the RV32IM template, the exact
+    scipy-milp backend, and the compiled extraction fast path.
+    """
+
+    def __init__(self):
+        self._core: CoreLike = "ibex"
+        self._attacker: AttackerLike = "retirement-timing"
+        self._solver: SolverLike = "scipy-milp"
+        self._template: TemplateLike = "riscv-rv32im"
+        self._restriction: Optional[RestrictionLike] = None
+        self._count: int = 1000
+        self._seed: int = 0
+        self._use_fastpath: bool = True
+        self._cache_dir: Optional[str] = None
+        self._progress_every: Optional[int] = None
+        #: ``None`` → verify against the evaluated dataset (free);
+        #: ``n > 0`` → directed satisfaction testing with fresh cases;
+        #: ``0`` → skip verification.
+        self._verify_budget: Optional[int] = None
+        self._verify_seed: Optional[int] = None
+        #: Memoized name-resolved template, so cache keys, run(), and
+        #: synthesizer() all see the same instance.
+        self._resolved_template: Optional[ContractTemplate] = None
+
+    # -- builder surface ----------------------------------------------
+
+    def core(self, core: CoreLike) -> "SynthesisPipeline":
+        """Target core: a registry name or a :class:`Core` instance."""
+        self._core = core
+        return self
+
+    def attacker(self, attacker: AttackerLike) -> "SynthesisPipeline":
+        """Attacker model: a registry name or an :class:`Attacker`."""
+        self._attacker = attacker
+        return self
+
+    def solver(self, solver: SolverLike) -> "SynthesisPipeline":
+        """ILP backend: a registry name or an :class:`IlpSolver`."""
+        self._solver = solver
+        return self
+
+    def template(self, template: TemplateLike) -> "SynthesisPipeline":
+        """Contract template: a registry name or a built template."""
+        self._template = template
+        self._resolved_template = None
+        return self
+
+    def restrict(self, restriction: Optional[RestrictionLike]) -> "SynthesisPipeline":
+        """Template restriction: a registry name (``"base"``,
+        ``"IL+RL+ML+AL"``, ...) or an iterable of
+        :class:`LeakageFamily`; ``None`` clears it."""
+        self._restriction = restriction
+        return self
+
+    def budget(self, count: int, seed: int = 0) -> "SynthesisPipeline":
+        """Test-case budget and generator seed."""
+        if count < 0:
+            raise ValueError("budget count must be non-negative")
+        self._count = count
+        self._seed = seed
+        return self
+
+    def fastpath(self, enabled: bool) -> "SynthesisPipeline":
+        """Toggle the compiled extraction engine (reference otherwise)."""
+        self._use_fastpath = enabled
+        return self
+
+    def cache_dir(self, directory: Optional[str]) -> "SynthesisPipeline":
+        """Cache evaluated datasets under ``directory`` (``None`` off)."""
+        self._cache_dir = directory
+        return self
+
+    def progress(self, every: Optional[int]) -> "SynthesisPipeline":
+        """Print evaluation progress every ``every`` test cases."""
+        self._progress_every = every
+        return self
+
+    def verify(
+        self, test_cases: Optional[int] = None, seed: Optional[int] = None
+    ) -> "SynthesisPipeline":
+        """Verification budget: ``None`` checks the synthesized contract
+        against the evaluated dataset; a positive count runs directed
+        satisfaction testing on fresh test cases; ``0`` skips.
+
+        ``seed`` defaults to the generator seed plus one, so directed
+        verification never silently replays the synthesis test cases.
+        """
+        self._verify_budget = test_cases
+        self._verify_seed = seed
+        return self
+
+    # -- resolution ----------------------------------------------------
+
+    def core_name(self) -> str:
+        return self._core if isinstance(self._core, str) else self._core.name
+
+    def attacker_name(self) -> str:
+        return (
+            self._attacker
+            if isinstance(self._attacker, str)
+            else self._attacker.name
+        )
+
+    def solver_name(self) -> str:
+        return self._solver if isinstance(self._solver, str) else self._solver.name
+
+    def template_name(self) -> str:
+        return (
+            self._template
+            if isinstance(self._template, str)
+            else self._template.name
+        )
+
+    def resolve_core(self) -> Core:
+        if isinstance(self._core, str):
+            return CORE_REGISTRY.create(self._core)
+        return self._core
+
+    def resolve_attacker(self) -> Attacker:
+        if isinstance(self._attacker, str):
+            return ATTACKER_REGISTRY.create(self._attacker)
+        return self._attacker
+
+    def resolve_solver(self) -> IlpSolver:
+        if isinstance(self._solver, str):
+            return SOLVER_REGISTRY.create(self._solver)
+        return self._solver
+
+    def resolve_template(self) -> ContractTemplate:
+        if not isinstance(self._template, str):
+            return self._template
+        if self._resolved_template is None:
+            self._resolved_template = TEMPLATE_REGISTRY.create(self._template)
+        return self._resolved_template
+
+    def resolve_restriction(
+        self, template: ContractTemplate
+    ) -> Tuple[Optional[str], Optional[frozenset]]:
+        """``(label, allowed_atom_ids)`` for the configured restriction."""
+        if self._restriction is None:
+            return None, None
+        if isinstance(self._restriction, str):
+            families = tuple(RESTRICTION_REGISTRY.create(self._restriction))
+        else:
+            families = tuple(self._restriction)
+        return restriction_label(families), template.ids_by_family(families)
+
+    def synthesizer(self) -> ContractSynthesizer:
+        """A :class:`ContractSynthesizer` bound to the resolved template
+        and solver (for drivers that sweep synthesis-set prefixes)."""
+        return ContractSynthesizer(self.resolve_template(), self.resolve_solver())
+
+    # -- dataset caching -----------------------------------------------
+
+    def cache_path(self) -> Optional[str]:
+        """The dataset cache file for this configuration, or ``None``.
+
+        The key covers everything that changes the evaluated dataset:
+        core, template, attacker, seed, budget, and (defensively) the
+        extraction engine.  Historically the attacker was omitted, so
+        switching attackers silently reused stale datasets.
+
+        Caching requires the core and attacker to be configured *by
+        registry name*: an instance (e.g. ``IbexCore(IbexConfig(
+        dcache=True))``) may carry configuration its ``name`` attribute
+        does not express, so keying on it could serve a stale dataset.
+        Templates may be instances — their key includes a digest of the
+        atom list, which fully determines extraction.
+        """
+        if self._cache_dir is None:
+            return None
+        if not isinstance(self._core, str) or not isinstance(self._attacker, str):
+            return None
+        template = self.resolve_template()
+        digest = hashlib.md5(
+            "|".join(atom.name for atom in template).encode()
+        ).hexdigest()[:8]
+        return os.path.join(
+            self._cache_dir,
+            "%s-%s-%s-%s-seed%d-n%d%s.json"
+            % (
+                self._core,
+                template.name,
+                digest,
+                self._attacker,
+                self._seed,
+                self._count,
+                "" if self._use_fastpath else "-ref",
+            ),
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def evaluate_with_stats(
+        self,
+    ) -> Tuple[EvaluationDataset, Optional[TestCaseEvaluator]]:
+        """Generate and evaluate the configured corpus.
+
+        Returns ``(dataset, evaluator)``; the evaluator carries the
+        phase timers and is ``None`` when the dataset was loaded from
+        the cache.
+        """
+        cache_path = self.cache_path()
+        if cache_path is not None and os.path.exists(cache_path):
+            return EvaluationDataset.load(cache_path), None
+        template = self.resolve_template()
+        generator = TestCaseGenerator(template, seed=self._seed)
+        evaluator = TestCaseEvaluator(
+            self.resolve_core(),
+            template,
+            attacker=self.resolve_attacker(),
+            use_fastpath=self._use_fastpath,
+        )
+        dataset = evaluator.evaluate_many(
+            generator.iter_generate(self._count),
+            progress_every=self._progress_every,
+        )
+        if cache_path is not None:
+            dataset.save(cache_path)
+        return dataset, evaluator
+
+    def evaluate(self) -> EvaluationDataset:
+        """Generate and evaluate the configured corpus (cache-aware)."""
+        dataset, _evaluator = self.evaluate_with_stats()
+        return dataset
+
+    def run(self) -> PipelineResult:
+        """Run the full chain and return a :class:`PipelineResult`."""
+        timings = PhaseTimings()
+        total_start = time.perf_counter()
+
+        core = self.resolve_core()
+        template = self.resolve_template()
+        attacker = self.resolve_attacker()
+        solver = self.resolve_solver()
+        cache_path = self.cache_path()
+        cached = cache_path is not None and os.path.exists(cache_path)
+        if not cached:
+            # Generator/evaluator construction (template fast-path
+            # compilation included) is part of the setup phase, like
+            # the paper's testbench compilation; a cache hit skips it.
+            generator = TestCaseGenerator(template, seed=self._seed)
+            evaluator = TestCaseEvaluator(
+                core, template, attacker=attacker, use_fastpath=self._use_fastpath
+            )
+        timings.setup_seconds = time.perf_counter() - total_start
+
+        evaluation_start = time.perf_counter()
+        if cached:
+            dataset = EvaluationDataset.load(cache_path)
+            timings.cache_hit = True
+        else:
+            dataset = evaluator.evaluate_many(
+                generator.iter_generate(self._count),
+                progress_every=self._progress_every,
+            )
+            if cache_path is not None:
+                dataset.save(cache_path)
+            timings.simulation_seconds = evaluator.simulation_seconds
+            timings.extraction_seconds = evaluator.extraction_seconds
+        timings.evaluation_seconds = time.perf_counter() - evaluation_start
+
+        synthesis_start = time.perf_counter()
+        restriction_name, allowed_atom_ids = self.resolve_restriction(template)
+        synthesis = ContractSynthesizer(template, solver).synthesize(
+            dataset, allowed_atom_ids=allowed_atom_ids
+        )
+        timings.synthesis_seconds = time.perf_counter() - synthesis_start
+
+        verification_start = time.perf_counter()
+        verification: Optional[SatisfactionReport]
+        if self._verify_budget is None:
+            verification = check_dataset_satisfaction(synthesis.contract, dataset)
+        elif self._verify_budget > 0:
+            verification = check_contract_satisfaction(
+                synthesis.contract,
+                core,
+                test_cases=self._verify_budget,
+                seed=self._verify_seed
+                if self._verify_seed is not None
+                else self._seed + 1,
+                attacker=attacker,
+            )
+        else:
+            verification = None
+        timings.verification_seconds = time.perf_counter() - verification_start
+
+        timings.total_seconds = time.perf_counter() - total_start
+        return PipelineResult(
+            core_name=self.core_name(),
+            attacker_name=self.attacker_name(),
+            solver_name=self.solver_name(),
+            template_name=self.template_name(),
+            restriction=restriction_name,
+            dataset=dataset,
+            synthesis=synthesis,
+            verification=verification,
+            timings=timings,
+        )

@@ -1,0 +1,41 @@
+"""One aggregated view over the per-layer plugin registries.
+
+The registries themselves live with the code they index — cores in
+:mod:`repro.uarch`, attackers in :mod:`repro.attacker`, solvers in
+:mod:`repro.synthesis`, templates and restrictions in
+:mod:`repro.contracts.riscv_template` — so each layer stays the single
+source of truth for its plugins.  This module just collects them for
+the pipeline front end and the CLI ``list`` subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.attacker import ATTACKER_REGISTRY
+from repro.contracts.riscv_template import RESTRICTION_REGISTRY, TEMPLATE_REGISTRY
+from repro.registry import Registry
+from repro.synthesis import SOLVER_REGISTRY
+from repro.uarch import CORE_REGISTRY
+
+#: Every pipeline axis, in CLI display order.
+REGISTRIES: Dict[str, Registry] = {
+    "cores": CORE_REGISTRY,
+    "attackers": ATTACKER_REGISTRY,
+    "solvers": SOLVER_REGISTRY,
+    "templates": TEMPLATE_REGISTRY,
+    "restrictions": RESTRICTION_REGISTRY,
+}
+
+
+def describe_registries() -> str:
+    """Human-readable listing of every registry (``repro-synthesize list``)."""
+    lines = []
+    for title, registry in REGISTRIES.items():
+        lines.append("%s:" % title)
+        for name in registry.names():
+            description = registry.describe(name)
+            lines.append(
+                "  %-24s %s" % (name, description) if description else "  %s" % name
+            )
+    return "\n".join(lines)

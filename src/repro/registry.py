@@ -1,0 +1,127 @@
+"""String-keyed plugin registries.
+
+Every extensible axis of the toolchain — core models, attacker models,
+ILP solver backends, contract templates, and template restrictions —
+is a :class:`Registry` owned by the layer that defines the plugins
+(``repro.uarch``, ``repro.attacker``, ``repro.synthesis``,
+``repro.contracts.riscv_template``).  The pipeline front end
+(:mod:`repro.pipeline`) only ever resolves names through these
+registries, so adding a scenario is one ``register`` call instead of a
+fork of the experiment drivers.
+
+Conventions:
+
+- names are short, lower-case, dash-separated identifiers matching the
+  plugin's ``name`` attribute where it has one (``"ibex"``,
+  ``"cache-state"``, ``"scipy-milp"``);
+- factories are zero-argument-callable by default (extra ``create``
+  arguments are forwarded), so ``create(name)`` always works;
+- registering an existing name raises unless ``overwrite=True`` —
+  silent shadowing of a built-in would be a debugging trap;
+- unknown names raise :class:`ValueError` listing the registered
+  choices, so CLI typos are self-explanatory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Registry:
+    """A named mapping from string keys to plugin factories."""
+
+    def __init__(self, kind: str, description: str = ""):
+        #: What the registry holds (``"core"``, ``"attacker"``, ...);
+        #: used in error messages and the CLI ``list`` output.
+        self.kind = kind
+        self.description = description
+        self._factories: Dict[str, Callable[..., Any]] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    # -- registration --------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., Any]] = None,
+        description: str = "",
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("ibex", IbexCore)``) or as
+        a decorator (``@registry.register("ibex")``).
+        """
+        if factory is None:
+            def decorator(decorated: Callable[..., Any]) -> Callable[..., Any]:
+                self.register(
+                    name, decorated, description=description, overwrite=overwrite
+                )
+                return decorated
+
+            return decorator
+        if not overwrite and name in self._factories:
+            raise ValueError(
+                "%s %r is already registered (pass overwrite=True to replace)"
+                % (self.kind, name)
+            )
+        self._factories[name] = factory
+        self._descriptions[name] = description or _describe(factory)
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (mainly for tests restoring a clean slate)."""
+        self._require(name)
+        del self._factories[name]
+        del self._descriptions[name]
+
+    # -- lookup --------------------------------------------------------
+
+    def create(self, name: str, *args, **kwargs) -> Any:
+        """Instantiate the plugin registered under ``name``."""
+        return self._require(name)(*args, **kwargs)
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The raw factory registered under ``name``."""
+        return self._require(name)
+
+    def describe(self, name: str) -> str:
+        self._require(name)
+        return self._descriptions[name]
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._factories)
+
+    def _require(self, name: str) -> Callable[..., Any]:
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise ValueError(
+                "unknown %s %r (registered: %s)"
+                % (self.kind, name, ", ".join(self.names()) or "none")
+            )
+
+    # -- collection protocol -------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Registry(%s: %s)" % (self.kind, ", ".join(self.names()))
+
+
+def _describe(factory: Callable[..., Any]) -> str:
+    """First docstring line of the factory, as a fallback description."""
+    doc = getattr(factory, "__doc__", None) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""

@@ -6,8 +6,13 @@ whose leak the template can express at all, and (b) minimizes the
 number of attacker-indistinguishable test cases that become contract
 distinguishable (false positives) — i.e. the most precise correct
 contract.
+
+Solver backends are published through :data:`SOLVER_REGISTRY` — the
+single source of truth for name-to-solver construction used by the
+pipeline API and the CLI.  Names match each class's ``name`` attribute.
 """
 
+from repro.registry import Registry
 from repro.synthesis.ilp import IlpInstance, build_ilp_instance
 from repro.synthesis.solvers import (
     BranchAndBoundSolver,
@@ -15,6 +20,24 @@ from repro.synthesis.solvers import (
     IlpSolver,
     ScipyMilpSolver,
     SolverResult,
+)
+
+#: All registered ILP solver backends, keyed by ``IlpSolver.name``.
+SOLVER_REGISTRY = Registry("solver", "ILP solver backends")
+SOLVER_REGISTRY.register(
+    ScipyMilpSolver.name,
+    ScipyMilpSolver,
+    description="exact 0-1 ILP via scipy.optimize.milp / HiGHS (default)",
+)
+SOLVER_REGISTRY.register(
+    BranchAndBoundSolver.name,
+    BranchAndBoundSolver,
+    description="exact pure-Python branch and bound (no SciPy needed)",
+)
+SOLVER_REGISTRY.register(
+    GreedySolver.name,
+    GreedySolver,
+    description="weighted set-cover heuristic (ablation baseline)",
 )
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult, synthesize
 from repro.synthesis.metrics import (
@@ -25,6 +48,7 @@ from repro.synthesis.metrics import (
 from repro.synthesis.ranking import AtomRanking, rank_atoms_by_false_positives
 
 __all__ = [
+    "SOLVER_REGISTRY",
     "AtomRanking",
     "BranchAndBoundSolver",
     "ClassificationCounts",

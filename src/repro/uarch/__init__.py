@@ -5,15 +5,46 @@ core is a behavioural, cycle-accurate timing model layered on top of the
 functional ISA executor, exposing retirement events through the RISC-V
 Formal Interface (:mod:`repro.uarch.rvfi`) exactly as the paper's
 Verilog testbench does.
+
+Core models are published through :data:`CORE_REGISTRY` — the single
+source of truth for name-to-core construction used by the pipeline API,
+the experiment drivers, and the CLI.  Adding a core model is one
+``CORE_REGISTRY.register("name", Factory)`` call.
 """
 
+from repro.registry import Registry
 from repro.uarch.rvfi import RvfiRecord, RvfiTrace
 from repro.uarch.core import Core, SimulationResult
 from repro.uarch.ibex import IbexCore, IbexConfig
 from repro.uarch.cva6 import CVA6Core, CVA6Config
 from repro.uarch.testbench import Testbench, simulate
 
+#: All registered core models, keyed by ``Core.name``-style identifiers.
+CORE_REGISTRY = Registry("core", "microarchitectural core models")
+CORE_REGISTRY.register(
+    "ibex",
+    IbexCore,
+    description="2-stage in-order Ibex-like core (word-aligned memory)",
+)
+CORE_REGISTRY.register(
+    "cva6",
+    CVA6Core,
+    description="6-stage in-order CVA6-like core (bimodal predictor)",
+)
+
+
+def _ibex_dcache() -> IbexCore:
+    return IbexCore(IbexConfig(dcache=True))
+
+
+CORE_REGISTRY.register(
+    "ibex-dcache",
+    _ibex_dcache,
+    description="Ibex-like core extended with a direct-mapped data cache",
+)
+
 __all__ = [
+    "CORE_REGISTRY",
     "CVA6Config",
     "CVA6Core",
     "Core",

@@ -28,6 +28,62 @@ def test_parser_options():
     assert arguments.no_cache
 
 
+def test_parser_accepts_plugin_flags():
+    parser = _build_parser()
+    arguments = parser.parse_args(
+        [
+            "run", "--core", "cva6", "--attacker", "cache-state",
+            "--solver", "greedy", "--template", "riscv-rv32im",
+            "--restrict", "base", "--count", "42", "--seed", "7",
+        ]
+    )
+    assert arguments.experiment == "run"
+    assert arguments.core == "cva6"
+    assert arguments.attacker == "cache-state"
+    assert arguments.solver == "greedy"
+    assert arguments.template == "riscv-rv32im"
+    assert arguments.restrict == "base"
+    assert arguments.count == 42
+    assert arguments.seed == 7
+
+
+@pytest.mark.pipeline
+def test_main_list_prints_registries(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for section in ("cores:", "attackers:", "solvers:", "templates:", "restrictions:"):
+        assert section in output
+    for name in ("ibex", "cva6", "retirement-timing", "cache-state", "scipy-milp"):
+        assert name in output
+
+
+@pytest.mark.pipeline
+def test_main_run_ad_hoc_pipeline(capsys):
+    exit_code = main(
+        [
+            "run", "--core", "ibex", "--attacker", "retirement-timing",
+            "--solver", "greedy", "--count", "40", "--seed", "5", "--no-cache",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "pipeline: core=ibex attacker=retirement-timing solver=greedy" in output
+    assert "contract:" in output and "timings:" in output
+
+
+@pytest.mark.pipeline
+def test_main_run_cva6_cache_state(capsys):
+    """The README/acceptance scenario: an ad-hoc cross-plugin pipeline
+    completes end-to-end."""
+    exit_code = main(
+        ["run", "--core", "cva6", "--attacker", "cache-state",
+         "--count", "30", "--no-cache"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "pipeline: core=cva6 attacker=cache-state" in output
+
+
 @pytest.mark.slow
 def test_main_runs_table3(tmp_path, capsys):
     exit_code = main(

@@ -51,6 +51,23 @@ class TestRunner:
         assert len(dataset) == 10
         assert evaluator is not None
 
+    def test_cache_distinguishes_attackers(self, tmp_path):
+        """Regression: the cache key must include the attacker, so a
+        dataset evaluated under one attacker is never served for
+        another."""
+        template = shared_template()
+        cache = str(tmp_path)
+        timing, _ = evaluate_dataset(
+            "ibex", template, 20, 7, cache, attacker="retirement-timing"
+        )
+        total, evaluator = evaluate_dataset(
+            "ibex", template, 20, 7, cache, attacker="total-time"
+        )
+        assert evaluator is not None  # fresh evaluation, not a stale hit
+        assert len(os.listdir(cache)) == 2
+        assert timing.attacker_name == "retirement-timing"
+        assert total.attacker_name == "total-time"
+
 
 class TestConfig:
     def test_scale_multiplies_counts(self):

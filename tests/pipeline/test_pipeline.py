@@ -1,0 +1,226 @@
+"""End-to-end tests for the SynthesisPipeline builder API.
+
+These are the ``pipeline``-marked fast smoke suite
+(``pytest -m pipeline``): tiny budgets, every phase exercised.
+"""
+
+import os
+
+import pytest
+
+from repro.contracts.atoms import LeakageFamily
+from repro.contracts.riscv_template import build_riscv_template
+from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.pipeline import SynthesisPipeline
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.ibex import IbexCore
+
+pytestmark = pytest.mark.pipeline
+
+BUDGET = 60
+SEED = 9
+
+
+def legacy_evaluate(count=BUDGET, seed=SEED):
+    """The pre-pipeline evaluation path, verbatim: explicit generator,
+    evaluator, and core construction (what runner.evaluate_dataset did
+    before it became a pipeline wrapper)."""
+    template = build_riscv_template()
+    generator = TestCaseGenerator(template, seed=seed)
+    evaluator = TestCaseEvaluator(IbexCore(), template)
+    return evaluator.evaluate_many(generator.iter_generate(count))
+
+
+class TestEndToEnd:
+    def test_run_produces_full_result(self):
+        result = (
+            SynthesisPipeline()
+            .core("ibex")
+            .attacker("retirement-timing")
+            .template("riscv-rv32im")
+            .budget(BUDGET, seed=SEED)
+            .solver("scipy-milp")
+            .run()
+        )
+        assert result.core_name == "ibex"
+        assert result.attacker_name == "retirement-timing"
+        assert result.solver_name == "scipy-milp"
+        assert result.template_name == "riscv-rv32im"
+        assert len(result.dataset) == BUDGET
+        assert result.atom_count == len(result.contract) > 0
+        assert result.synthesis.solver_result.optimal
+        # The synthesized contract covers its own synthesis set.
+        assert result.verification is not None and result.satisfied
+        timings = result.timings
+        assert timings.setup_seconds > 0
+        assert timings.evaluation_seconds > 0
+        assert timings.synthesis_seconds > 0
+        assert timings.total_seconds >= (
+            timings.setup_seconds
+            + timings.evaluation_seconds
+            + timings.synthesis_seconds
+        )
+        assert "core=ibex" in result.render()
+
+    def test_dataset_byte_identical_to_legacy_path(self):
+        pipeline_dataset = (
+            SynthesisPipeline().core("ibex").budget(BUDGET, seed=SEED).evaluate()
+        )
+        assert pipeline_dataset.to_json() == legacy_evaluate().to_json()
+
+    def test_runner_evaluate_dataset_byte_identical(self):
+        from repro.experiments.runner import evaluate_dataset, shared_template
+
+        dataset, evaluator = evaluate_dataset(
+            "ibex", shared_template(), BUDGET, SEED
+        )
+        assert evaluator is not None
+        assert dataset.to_json() == legacy_evaluate().to_json()
+
+    def test_instances_accepted_in_place_of_names(self):
+        template = build_riscv_template()
+        result = (
+            SynthesisPipeline()
+            .core(IbexCore())
+            .template(template)
+            .budget(30, seed=1)
+            .run()
+        )
+        assert result.core_name == "ibex"
+        assert result.synthesis.contract.template is template
+
+    def test_restriction_limits_atom_families(self):
+        result = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(150, seed=4)
+            .restrict("base")
+            .run()
+        )
+        assert result.restriction == "IL+RL+ML"
+        families = {atom.family for atom in result.contract.atoms}
+        assert families <= {LeakageFamily.IL, LeakageFamily.RL, LeakageFamily.ML}
+
+    def test_alternate_solver_and_verify_budget(self):
+        result = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(BUDGET, seed=SEED)
+            .solver("greedy")
+            .verify(40, seed=123)
+            .run()
+        )
+        assert result.solver_name == "greedy"
+        assert result.verification.test_cases == 40
+        # verify(0) skips verification entirely.
+        skipped = (
+            SynthesisPipeline().core("ibex").budget(30, seed=1).verify(0).run()
+        )
+        assert skipped.verification is None and skipped.satisfied is None
+
+    def test_unknown_names_raise_with_choices(self):
+        with pytest.raises(ValueError, match="unknown core"):
+            SynthesisPipeline().core("rocket").run()
+        with pytest.raises(ValueError, match="unknown attacker"):
+            SynthesisPipeline().attacker("oscilloscope").budget(5).run()
+        with pytest.raises(ValueError, match="unknown solver"):
+            SynthesisPipeline().solver("cplex").budget(5).run()
+
+
+class TestDatasetCache:
+    def test_cache_round_trip(self, tmp_path):
+        pipeline = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(25, seed=3)
+            .cache_dir(str(tmp_path))
+        )
+        first, evaluator = pipeline.evaluate_with_stats()
+        assert evaluator is not None  # cache miss
+        second, evaluator_2 = pipeline.evaluate_with_stats()
+        assert evaluator_2 is None  # cache hit
+        assert first.to_json() == second.to_json()
+        assert len(os.listdir(str(tmp_path))) == 1
+
+    def test_cache_key_includes_attacker(self, tmp_path):
+        """Regression: switching attackers must not reuse a stale
+        cached dataset evaluated under a different attacker."""
+        timing = (
+            SynthesisPipeline()
+            .core("ibex-dcache")
+            .attacker("retirement-timing")
+            .budget(40, seed=2)
+            .cache_dir(str(tmp_path))
+            .evaluate()
+        )
+        cache_state = (
+            SynthesisPipeline()
+            .core("ibex-dcache")
+            .attacker("cache-state")
+            .budget(40, seed=2)
+            .cache_dir(str(tmp_path))
+            .evaluate()
+        )
+        assert len(os.listdir(str(tmp_path))) == 2  # two distinct cache entries
+        assert timing.attacker_name == "retirement-timing"
+        assert cache_state.attacker_name == "cache-state"
+        verdicts_timing = [r.attacker_distinguishable for r in timing]
+        verdicts_cache = [r.attacker_distinguishable for r in cache_state]
+        assert verdicts_timing != verdicts_cache
+
+    def test_cache_key_includes_fastpath_flag(self, tmp_path):
+        pipeline = (
+            SynthesisPipeline().core("ibex").budget(10, seed=1).cache_dir(str(tmp_path))
+        )
+        fast_path = pipeline.cache_path()
+        reference_path = pipeline.fastpath(False).cache_path()
+        assert fast_path != reference_path
+        assert reference_path.endswith("-ref.json")
+
+    def test_instance_configured_core_is_never_cached(self, tmp_path):
+        """A core instance may carry config its name does not express
+        (IbexCore(IbexConfig(dcache=True)).name is still 'ibex'), so
+        instance-configured pipelines must bypass the cache."""
+        from repro.uarch.ibex import IbexConfig
+
+        named = (
+            SynthesisPipeline().core("ibex").budget(20, seed=2).cache_dir(str(tmp_path))
+        )
+        assert named.cache_path() is not None
+        named.evaluate()
+        instance = (
+            SynthesisPipeline()
+            .core(IbexCore(IbexConfig(dcache=True)))
+            .budget(20, seed=2)
+            .cache_dir(str(tmp_path))
+        )
+        assert instance.cache_path() is None
+        _dataset, evaluator = instance.evaluate_with_stats()
+        assert evaluator is not None  # evaluated live, not served stale
+
+    def test_directed_verify_defaults_to_disjoint_seed(self, monkeypatch):
+        """verify(n) without a seed must not replay the synthesis
+        stream (which the contract trivially satisfies)."""
+        import repro.pipeline.pipeline as pipeline_module
+
+        seen = []
+        original = pipeline_module.check_contract_satisfaction
+
+        def spy(*args, **kwargs):
+            seen.append(kwargs["seed"])
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "check_contract_satisfaction", spy)
+        SynthesisPipeline().core("ibex").budget(20, seed=9).verify(10).run()
+        assert seen == [10]  # synthesis seed 9 + 1, not 0 and not 9
+
+    def test_run_uses_cache(self, tmp_path):
+        pipeline = (
+            SynthesisPipeline().core("ibex").budget(25, seed=3).cache_dir(str(tmp_path))
+        )
+        first = pipeline.run()
+        assert not first.timings.cache_hit
+        second = pipeline.run()
+        assert second.timings.cache_hit
+        assert second.dataset.to_json() == first.dataset.to_json()
+        assert second.contract.atom_ids == first.contract.atom_ids
