@@ -14,6 +14,10 @@ entry point, :class:`repro.pipeline.SynthesisPipeline`:
               .solver("scipy-milp")          # any SOLVER_REGISTRY name
               .run())
 
+For large budgets, add ``.executor("multiprocess").resume(...)`` to fan
+the evaluation out in checkpointed shards — see
+``examples/resumable_evaluation.py``.
+
 Run with::
 
     python examples/quickstart.py [test-case-count]

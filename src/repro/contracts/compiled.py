@@ -33,7 +33,7 @@ asserted in ``tests/contracts/test_compiled_equivalence.py``.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Tuple
 
 from repro.contracts.atoms import DEPENDENCY_SOURCES, SIMPLE_SOURCES
 from repro.contracts.template import ContractTemplate

@@ -3,9 +3,22 @@
 For every test case, determine (1) whether it is attacker
 distinguishable on the target core, and (2) which contract atoms
 distinguish it at the ISA level.
+
+Scaling out lives in :mod:`repro.evaluation.backends` (the
+:data:`EXECUTOR_REGISTRY` of work-distribution backends and the
+shard-manifest checkpoint format) and :mod:`repro.evaluation.parallel`
+(the sharded front end over them).
 """
 
-from repro.evaluation.results import EvaluationDataset, TestCaseResult
+from repro.evaluation.backends import EXECUTOR_REGISTRY
 from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.evaluation.parallel import evaluate_parallel
+from repro.evaluation.results import EvaluationDataset, TestCaseResult
 
-__all__ = ["EvaluationDataset", "TestCaseEvaluator", "TestCaseResult"]
+__all__ = [
+    "EXECUTOR_REGISTRY",
+    "EvaluationDataset",
+    "TestCaseEvaluator",
+    "TestCaseResult",
+    "evaluate_parallel",
+]

@@ -1,0 +1,85 @@
+"""``repro.evaluation.backends`` — pluggable work-distribution layers.
+
+The paper fans test-case evaluation out to up to 128 threads; this
+package is the seam that fan-out plugs into.  An
+:class:`EvaluationExecutor` consumes shard descriptors ``(start_id,
+count)`` and streams back result batches; :data:`EXECUTOR_REGISTRY`
+maps names to backends exactly like the core/attacker/solver
+registries, so new distribution strategies (async, distributed) are
+one ``register`` call, never a fork of :func:`evaluate_parallel` or
+the drivers::
+
+    from repro.evaluation.backends import EXECUTOR_REGISTRY
+    EXECUTOR_REGISTRY.register("my-cluster", MyClusterExecutor,
+                               description="...")
+
+after which ``SynthesisPipeline().executor("my-cluster")`` and
+``repro-synthesize run --executor my-cluster`` accept it.
+
+Shard-manifest checkpointing (:class:`ShardManifest`) rides on the
+same seam: completed shards are appended to a JSONL file keyed by the
+task identity, so interrupted or budget-extended runs resume by
+evaluating only the missing shards.
+"""
+
+from repro.evaluation.backends.base import (
+    EvaluationExecutor,
+    EvaluationTask,
+    Row,
+    Shard,
+    ShardEvaluator,
+    ShardProgress,
+    plan_shards,
+    rows_to_results,
+)
+from repro.evaluation.backends.executors import (
+    FuturesExecutor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.evaluation.backends.manifest import ManifestKeyError, ShardManifest
+from repro.registry import Registry
+
+#: Every registered evaluation executor, keyed by backend name.
+EXECUTOR_REGISTRY = Registry(
+    "executor", description="evaluation work-distribution backends"
+)
+EXECUTOR_REGISTRY.register(
+    "serial",
+    SerialExecutor,
+    description="in-process reference backend (shards in plan order)",
+)
+EXECUTOR_REGISTRY.register(
+    "multiprocess",
+    MultiprocessExecutor,
+    description="forked worker pool with streamed, chunked shards",
+)
+EXECUTOR_REGISTRY.register(
+    "futures",
+    FuturesExecutor,
+    description="process-pool futures, one per shard (finest checkpoints)",
+)
+EXECUTOR_REGISTRY.register(
+    "threaded",
+    ThreadedExecutor,
+    description="thread pool with thread-local evaluation stacks",
+)
+
+__all__ = [
+    "EXECUTOR_REGISTRY",
+    "EvaluationExecutor",
+    "EvaluationTask",
+    "FuturesExecutor",
+    "ManifestKeyError",
+    "MultiprocessExecutor",
+    "Row",
+    "SerialExecutor",
+    "Shard",
+    "ShardEvaluator",
+    "ShardManifest",
+    "ShardProgress",
+    "ThreadedExecutor",
+    "plan_shards",
+    "rows_to_results",
+]

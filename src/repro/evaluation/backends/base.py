@@ -1,0 +1,190 @@
+"""Executor interface: shard descriptors in, result batches out.
+
+An :class:`EvaluationExecutor` consumes a fixed *shard plan* — a list
+of ``(start_id, count)`` descriptors covering the test-id range — and
+streams back ``(shard, rows)`` batches as shards complete, in whatever
+order the backend finishes them.  Everything a worker needs to build
+its own generator/evaluator pair travels as an :class:`EvaluationTask`
+of plain registry names and integers, so the same task crosses process
+boundaries, threads, and (later) machines unchanged.
+
+Determinism contract: test cases are generated *per test id* (the
+generator derives a child RNG from ``(seed, test_id)``), so a shard's
+rows depend only on the task identity and the shard descriptor — never
+on which backend ran it, which sibling shards ran, or the total
+budget.  This is what makes shard-level checkpointing and resumption
+(:mod:`repro.evaluation.backends.manifest`) sound.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: One evaluated test case, as a plain tuple that serializes cheaply:
+#: ``(test_id, attacker_distinguishable, sorted_atom_ids, targeted)``.
+Row = Tuple[int, bool, Tuple[int, ...], Optional[int]]
+
+#: A shard descriptor: evaluate ``count`` test cases from ``start_id``.
+Shard = Tuple[int, int]
+
+
+def plan_shards(count: int, shard_size: int) -> List[Shard]:
+    """The canonical shard plan covering test ids ``[0, count)``.
+
+    Every backend — including the serial one — consumes this exact
+    plan, so the tail shard (``count`` not divisible by ``shard_size``)
+    and the single-process path cannot drift from the pool path.
+    """
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    shards = []
+    for start in range(0, count, shard_size):
+        shards.append((start, min(shard_size, count - start)))
+    return shards
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """Everything a worker needs to rebuild its evaluation stack.
+
+    Plugins travel by registry name (instances cannot cross a process
+    boundary cheaply); ``template_name`` supersedes ``max_distance``.
+    """
+
+    core_name: str
+    seed: int
+    max_distance: int = 4
+    use_fastpath: bool = True
+    template_name: Optional[str] = None
+    attacker_name: Optional[str] = None
+
+    def identity(self) -> dict:
+        """The manifest key: every field that changes a shard's rows.
+
+        The total budget is deliberately absent — shards are keyed by
+        ``(start_id, count)`` and generated per test id, so a manifest
+        written under a smaller budget stays valid when the budget is
+        extended.
+        """
+        return {
+            "core": self.core_name,
+            "template": self.template_name or "riscv-rv32im",
+            "attacker": self.attacker_name or "retirement-timing",
+            "seed": self.seed,
+            "max_distance": self.max_distance,
+            "fastpath": self.use_fastpath,
+        }
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """One per-shard progress event, streamed as shards complete."""
+
+    shard: Shard
+    completed_shards: int
+    total_shards: int
+    completed_cases: int
+    total_cases: int
+    #: True when the shard came from a checkpoint manifest instead of
+    #: being evaluated in this run.
+    resumed: bool
+    elapsed_seconds: float
+
+
+class ShardEvaluator:
+    """The per-worker evaluation stack: generator + evaluator.
+
+    Built once per worker (process, thread, or the caller itself) from
+    an :class:`EvaluationTask`; rebuilding the multi-hundred-atom
+    template per shard would dominate the run.
+    """
+
+    def __init__(self, task: EvaluationTask):
+        from repro.attacker import ATTACKER_REGISTRY
+        from repro.contracts.riscv_template import (
+            TEMPLATE_REGISTRY,
+            build_riscv_template,
+        )
+        from repro.evaluation.evaluator import TestCaseEvaluator
+        from repro.testgen.generator import TestCaseGenerator
+        from repro.uarch import CORE_REGISTRY
+
+        if task.template_name is None:
+            template = build_riscv_template(max_distance=task.max_distance)
+        else:
+            template = TEMPLATE_REGISTRY.create(task.template_name)
+        attacker = (
+            ATTACKER_REGISTRY.create(task.attacker_name)
+            if task.attacker_name is not None
+            else None
+        )
+        self.task = task
+        self.generator = TestCaseGenerator(template, seed=task.seed)
+        self.evaluator = TestCaseEvaluator(
+            CORE_REGISTRY.create(task.core_name),
+            template,
+            attacker=attacker,
+            use_fastpath=task.use_fastpath,
+        )
+
+    def evaluate(self, shard: Shard) -> List[Row]:
+        """Evaluate one shard into plain result rows."""
+        start, count = shard
+        rows: List[Row] = []
+        for test_case in self.generator.iter_generate(count, start_id=start):
+            result = self.evaluator.evaluate(test_case)
+            rows.append(
+                (
+                    result.test_id,
+                    result.attacker_distinguishable,
+                    tuple(sorted(result.distinguishing_atom_ids)),
+                    result.targeted_atom_id,
+                )
+            )
+        return rows
+
+
+class EvaluationExecutor(ABC):
+    """Common interface over the work-distribution backends.
+
+    ``run`` yields ``(shard, rows)`` batches as shards complete; the
+    order is backend-defined (callers sort by test id at the end).
+    Executors are cheap, stateless objects — all evaluation state lives
+    in per-worker :class:`ShardEvaluator` instances.
+    """
+
+    #: Registry name of the backend (``"serial"``, ``"multiprocess"``...).
+    name = "abstract"
+
+    def __init__(self, processes: Optional[int] = None):
+        #: Worker count; ``None`` picks a backend-specific default.
+        self.processes = processes
+
+    @abstractmethod
+    def run(
+        self, task: EvaluationTask, shards: Sequence[Shard]
+    ) -> Iterator[Tuple[Shard, List[Row]]]:
+        """Evaluate ``shards`` under ``task``, streaming result batches."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(processes=%r)" % (type(self).__name__, self.processes)
+
+
+def rows_to_results(row_batches: Iterable[List[Row]]):
+    """Flatten row batches into ``TestCaseResult`` objects sorted by
+    test id — the deterministic dataset order every backend shares."""
+    from repro.evaluation.results import TestCaseResult
+
+    rows = [row for batch in row_batches for row in batch]
+    rows.sort(key=lambda row: row[0])
+    return [
+        TestCaseResult(
+            test_id=test_id,
+            attacker_distinguishable=distinguishable,
+            distinguishing_atom_ids=frozenset(atom_ids),
+            targeted_atom_id=targeted,
+        )
+        for test_id, distinguishable, atom_ids, targeted in rows
+    ]

@@ -1,75 +1,41 @@
-"""Multi-process test-case evaluation.
+"""Sharded test-case evaluation over pluggable executor backends.
 
-The paper evaluates test cases on up to 128 threads; this module
-provides the equivalent fan-out for the Python substrate.  Workers are
-initialized once with the core factory and template parameters
-(rebuilding the 892-atom template per task would dominate), generate
-their own test-case shards deterministically from the shared seed, and
-stream back plain result tuples.
+The paper evaluates test cases on up to 128 threads;
+:func:`evaluate_parallel` provides the equivalent fan-out for the
+Python substrate.  The work distribution itself is delegated to
+:mod:`repro.evaluation.backends`: the shard plan is computed once,
+every backend (including the serial one) consumes the *same* plan
+through the *same* per-worker shard loop, and completed shards can be
+checkpointed to a :class:`~repro.evaluation.backends.ShardManifest` so
+interrupted or budget-extended runs resume instead of restarting.
 
 Determinism: the combined dataset equals the sequential
 ``TestCaseEvaluator.evaluate_many`` output for the same seed, because
 test cases are generated per test id (the generator derives a child
-RNG from ``(seed, test_id)``), not from a shared stream.
+RNG from ``(seed, test_id)``), not from a shared stream.  This holds
+for every backend and for any shard size, which is what the
+executor-equivalence test suite pins down.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import List, Optional, Tuple
+import copy
+import time
+from typing import Callable, Optional, Union
 
-from repro.contracts.riscv_template import build_riscv_template
-from repro.evaluation.evaluator import TestCaseEvaluator
-from repro.evaluation.results import EvaluationDataset, TestCaseResult
-from repro.testgen.generator import GeneratorConfig, TestCaseGenerator
+from repro.evaluation.backends import (
+    EXECUTOR_REGISTRY,
+    EvaluationExecutor,
+    EvaluationTask,
+    ShardManifest,
+    ShardProgress,
+    plan_shards,
+    rows_to_results,
+)
+from repro.evaluation.results import EvaluationDataset
 
-_worker_state = {}
-
-
-def _initialize_worker(
-    core_name: str,
-    seed: int,
-    max_distance: int,
-    use_fastpath: bool = True,
-    template_name: Optional[str] = None,
-    attacker_name: Optional[str] = None,
-) -> None:
-    from repro.attacker import ATTACKER_REGISTRY
-    from repro.contracts.riscv_template import TEMPLATE_REGISTRY
-    from repro.uarch import CORE_REGISTRY
-
-    if template_name is None:
-        template = build_riscv_template(max_distance=max_distance)
-    else:
-        template = TEMPLATE_REGISTRY.create(template_name)
-    attacker = (
-        ATTACKER_REGISTRY.create(attacker_name) if attacker_name is not None else None
-    )
-    _worker_state["generator"] = TestCaseGenerator(template, seed=seed)
-    _worker_state["evaluator"] = TestCaseEvaluator(
-        CORE_REGISTRY.create(core_name),
-        template,
-        attacker=attacker,
-        use_fastpath=use_fastpath,
-    )
-
-
-def _evaluate_shard(shard: Tuple[int, int]) -> List[tuple]:
-    start, count = shard
-    generator: TestCaseGenerator = _worker_state["generator"]
-    evaluator: TestCaseEvaluator = _worker_state["evaluator"]
-    results = []
-    for test_case in generator.iter_generate(count, start_id=start):
-        result = evaluator.evaluate(test_case)
-        results.append(
-            (
-                result.test_id,
-                result.attacker_distinguishable,
-                tuple(sorted(result.distinguishing_atom_ids)),
-                result.targeted_atom_id,
-            )
-        )
-    return results
+#: Optional per-shard progress callback.
+ProgressCallback = Callable[[ShardProgress], None]
 
 
 def evaluate_parallel(
@@ -82,16 +48,26 @@ def evaluate_parallel(
     use_fastpath: bool = True,
     template_name: Optional[str] = None,
     attacker_name: Optional[str] = None,
+    executor: Union[str, EvaluationExecutor] = "multiprocess",
+    manifest_path: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> EvaluationDataset:
-    """Evaluate ``count`` generated test cases on ``core_name`` using a
-    process pool.  Equivalent to the sequential evaluator for the same
-    ``seed`` (results ordered by test id).
+    """Evaluate ``count`` generated test cases on ``core_name`` using
+    the named executor backend.  Equivalent to the sequential evaluator
+    for the same ``seed`` (results ordered by test id).
 
-    Shards are streamed with ``imap_unordered`` — workers never idle
-    waiting for a slow sibling shard, and the final sort by test id
-    restores the deterministic order — with the chunk size tuned so
-    each worker receives a handful of batches (pipelining against
-    stragglers without per-shard IPC overhead).
+    ``executor`` is an :data:`EXECUTOR_REGISTRY` name (``"serial"``,
+    ``"multiprocess"``, ``"futures"``, ``"threaded"``) or a ready-made
+    :class:`EvaluationExecutor`; ``processes`` sizes the backend's
+    worker pool.
+
+    ``manifest_path`` enables shard checkpointing: completed shards are
+    appended there as JSONL, shards already stored for the same task
+    identity are reused instead of re-evaluated, and a manifest written
+    for a *different* identity raises rather than mixing corpora.
+
+    ``progress`` receives one :class:`ShardProgress` event per shard —
+    resumed shards first, then evaluated shards as they complete.
 
     ``template_name`` and ``attacker_name`` are registry names resolved
     inside each worker (instances cannot cross the fork cheaply);
@@ -105,48 +81,68 @@ def evaluate_parallel(
         )
     if count <= 0:
         return EvaluationDataset([], core_name=core_name)
-    processes = processes or min(multiprocessing.cpu_count(), 8)
-    shards = [
-        (start, min(shard_size, count - start))
-        for start in range(0, count, shard_size)
-    ]
-    if processes == 1 or len(shards) == 1:
-        _initialize_worker(
-            core_name, seed, max_distance, use_fastpath, template_name, attacker_name
-        )
-        shard_results = [_evaluate_shard(shard) for shard in shards]
-    else:
-        chunksize = max(1, len(shards) // (processes * 4))
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes,
-            initializer=_initialize_worker,
-            initargs=(
-                core_name,
-                seed,
-                max_distance,
-                use_fastpath,
-                template_name,
-                attacker_name,
-            ),
-        ) as pool:
-            shard_results = list(
-                pool.imap_unordered(_evaluate_shard, shards, chunksize=chunksize)
+
+    task = EvaluationTask(
+        core_name=core_name,
+        seed=seed,
+        max_distance=max_distance,
+        use_fastpath=use_fastpath,
+        template_name=template_name,
+        attacker_name=attacker_name,
+    )
+    if isinstance(executor, str):
+        executor = EXECUTOR_REGISTRY.create(executor, processes=processes)
+    elif processes is not None and executor.processes is None:
+        # Never mutate a caller-supplied instance: size a shallow copy
+        # (an instance's own explicit worker count always wins).
+        executor = copy.copy(executor)
+        executor.processes = processes
+
+    shards = plan_shards(count, shard_size)
+    started = time.perf_counter()
+
+    manifest = (
+        ShardManifest(manifest_path, task.identity())
+        if manifest_path is not None
+        else None
+    )
+    stored = manifest.stored(shards) if manifest is not None else {}
+    pending = [shard for shard in shards if shard not in stored]
+
+    completed_shards = 0
+    completed_cases = 0
+    batches = []
+
+    def emit(shard, resumed: bool) -> None:
+        nonlocal completed_shards, completed_cases
+        completed_shards += 1
+        completed_cases += shard[1]
+        if progress is not None:
+            progress(
+                ShardProgress(
+                    shard=shard,
+                    completed_shards=completed_shards,
+                    total_shards=len(shards),
+                    completed_cases=completed_cases,
+                    total_cases=count,
+                    resumed=resumed,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
             )
 
-    rows = [row for shard in shard_results for row in shard]
-    rows.sort(key=lambda row: row[0])
-    results = [
-        TestCaseResult(
-            test_id=test_id,
-            attacker_distinguishable=distinguishable,
-            distinguishing_atom_ids=frozenset(atom_ids),
-            targeted_atom_id=targeted,
-        )
-        for test_id, distinguishable, atom_ids, targeted in rows
-    ]
+    for shard in shards:
+        if shard in stored:
+            batches.append(stored[shard])
+            emit(shard, resumed=True)
+    if pending:  # a fully-resumed run never builds a worker stack
+        for shard, rows in executor.run(task, pending):
+            if manifest is not None:
+                manifest.append(shard, rows)
+            batches.append(rows)
+            emit(shard, resumed=False)
+
     return EvaluationDataset(
-        results,
+        rows_to_results(batches),
         core_name=core_name,
         template_name=template_name or "riscv-rv32im",
         attacker_name=attacker_name or "retirement-timing",

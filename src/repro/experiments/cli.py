@@ -8,6 +8,7 @@ or runs an ad-hoc synthesis pipeline::
     repro-synthesize all --results-dir results
     repro-synthesize list
     repro-synthesize run --core cva6 --attacker cache-state --count 500
+    repro-synthesize run --executor multiprocess --resume --count 100000
 """
 
 from __future__ import annotations
@@ -74,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="ILP solver backend (default: scipy-milp)",
     )
+    pipeline_group.add_argument(
+        "--executor",
+        default=None,
+        help="evaluation executor backend (serial, multiprocess, "
+        "futures, threaded; default: in-process evaluation)",
+    )
     run_group = parser.add_argument_group("ad-hoc pipeline ('run' only)")
     run_group.add_argument(
         "--template",
@@ -99,6 +106,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify with N fresh directed test cases (default: check "
         "the synthesized contract against the evaluated dataset)",
     )
+    run_group.add_argument(
+        "--resume",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="checkpoint completed evaluation shards to PATH (default "
+        "with no PATH: derive from the dataset cache key) and resume "
+        "from it; implies --executor multiprocess",
+    )
+    run_group.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executor worker count (default: backend-specific)",
+    )
+    run_group.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="test cases per evaluation shard (default: 250)",
+    )
     return parser
 
 
@@ -119,6 +150,14 @@ def _run_pipeline(arguments) -> int:
         pipeline.restrict(arguments.restrict)
     if arguments.verify is not None:
         pipeline.verify(arguments.verify)
+    if arguments.executor or arguments.processes or arguments.shard_size:
+        pipeline.executor(
+            arguments.executor or "multiprocess",
+            processes=arguments.processes,
+            shard_size=arguments.shard_size,
+        )
+    if arguments.resume is not None:
+        pipeline.resume(arguments.resume)
     if not arguments.no_cache:
         config = ExperimentConfig(results_dir=arguments.results_dir)
         pipeline.cache_dir(config.cache_dir())
@@ -144,6 +183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs["attacker"] = arguments.attacker
     if arguments.solver is not None:
         kwargs["solver"] = arguments.solver
+    if arguments.executor is not None:
+        kwargs["executor"] = arguments.executor
     config = ExperimentConfig(**kwargs)
     core_kwargs = {}
     if arguments.core is not None:

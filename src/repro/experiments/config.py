@@ -42,10 +42,13 @@ class ExperimentConfig:
     results_dir: str = "results"
     cache: bool = True
     #: Pipeline plugins (registry names) shared by every driver.  The
-    #: defaults reproduce the paper; the CLI's ``--attacker`` and
-    #: ``--solver`` flags override them.
+    #: defaults reproduce the paper; the CLI's ``--attacker``,
+    #: ``--solver``, and ``--executor`` flags override them.
     attacker: str = "retirement-timing"
     solver: str = "scipy-milp"
+    #: Evaluation executor backend; ``None`` keeps the in-process
+    #: evaluator (the sequential reference path).
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -53,10 +56,13 @@ class ExperimentConfig:
         # Fail fast on unknown plugin names (the registries raise a
         # ValueError listing the registered choices).
         from repro.attacker import ATTACKER_REGISTRY
+        from repro.evaluation.backends import EXECUTOR_REGISTRY
         from repro.synthesis import SOLVER_REGISTRY
 
         ATTACKER_REGISTRY.get(self.attacker)
         SOLVER_REGISTRY.get(self.solver)
+        if self.executor is not None:
+            EXECUTOR_REGISTRY.get(self.executor)
         self.synthesis_test_cases = _scaled(self.synthesis_test_cases, self.scale)
         self.evaluation_test_cases = _scaled(self.evaluation_test_cases, self.scale)
         self.cva6_synthesis_test_cases = _scaled(

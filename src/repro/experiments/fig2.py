@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.contracts.atoms import LeakageFamily
 from repro.contracts.riscv_template import cumulative_family_sets

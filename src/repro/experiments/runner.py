@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 from repro.attacker.base import Attacker
-from repro.contracts.riscv_template import build_riscv_template
+from repro.contracts.riscv_template import TEMPLATE_REGISTRY, build_riscv_template
 from repro.contracts.template import ContractTemplate
 from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.evaluation.results import EvaluationDataset
@@ -40,9 +40,9 @@ def experiment_pipeline(
     progress_every: Optional[int] = None,
 ) -> SynthesisPipeline:
     """A pipeline configured the way the experiment drivers share it:
-    attacker/solver from the :class:`ExperimentConfig`, dataset cache
-    under the results directory."""
-    return (
+    attacker/solver/executor from the :class:`ExperimentConfig`,
+    dataset cache under the results directory."""
+    pipeline = (
         SynthesisPipeline()
         .core(core_name)
         .attacker(config.attacker)
@@ -52,6 +52,27 @@ def experiment_pipeline(
         .cache_dir(config.cache_dir())
         .progress(progress_every)
     )
+    if config.executor is not None:
+        # Executor workers rebuild plugins by registry name.  Drivers
+        # share one template *instance*; when it is equal to what its
+        # registered name rebuilds, ship the name — otherwise (a
+        # bespoke instance, even one reusing a registered name) the
+        # in-process evaluator is the only sound path.
+        if isinstance(template, str):
+            pipeline.executor(config.executor)
+        elif _matches_registered_template(template):
+            pipeline.template(template.name).executor(config.executor)
+    return pipeline
+
+
+def _matches_registered_template(template: ContractTemplate) -> bool:
+    """Whether a worker rebuilding ``template.name`` from the registry
+    gets the same atoms — the name alone proves nothing (e.g.
+    ``build_riscv_template(max_distance=8)`` keeps the default name)."""
+    if template.name not in TEMPLATE_REGISTRY:
+        return False
+    registered = TEMPLATE_REGISTRY.create(template.name)
+    return [atom.name for atom in template] == [atom.name for atom in registered]
 
 
 def evaluate_dataset(

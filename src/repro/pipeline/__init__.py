@@ -35,6 +35,9 @@ Builder surface
 ``.cache_dir(path)``            dataset cache directory (default: off)
 ``.progress(every)``            evaluation progress printing
 ``.verify(count, seed)``        verification budget (default: dataset check)
+``.executor(name, ...)``        sharded evaluation backend (EXECUTOR_REGISTRY)
+``.resume(path_or_True)``       shard-manifest checkpointing and resumption
+``.on_shard(callback)``         per-shard :class:`ShardProgress` events
 ==============================  ==================================================
 
 Besides ``.run()`` (the full chain, returning :class:`PipelineResult`),

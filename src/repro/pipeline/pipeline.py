@@ -18,7 +18,7 @@ import hashlib
 import os
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple, Union
+from typing import Callable, Iterable, Optional, Tuple, Union
 
 from repro.attacker import ATTACKER_REGISTRY
 from repro.attacker.base import Attacker
@@ -29,7 +29,9 @@ from repro.contracts.riscv_template import (
     restriction_label,
 )
 from repro.contracts.template import Contract, ContractTemplate
+from repro.evaluation.backends import EvaluationExecutor, ShardProgress
 from repro.evaluation.evaluator import TestCaseEvaluator
+from repro.evaluation.parallel import evaluate_parallel
 from repro.evaluation.results import EvaluationDataset
 from repro.synthesis import SOLVER_REGISTRY
 from repro.synthesis.solvers import IlpSolver
@@ -49,6 +51,8 @@ AttackerLike = Union[str, Attacker]
 SolverLike = Union[str, IlpSolver]
 TemplateLike = Union[str, ContractTemplate]
 RestrictionLike = Union[str, Iterable[LeakageFamily]]
+ExecutorLike = Union[str, EvaluationExecutor]
+ShardCallback = Callable[[ShardProgress], None]
 
 
 @dataclass
@@ -70,18 +74,31 @@ class PhaseTimings:
     #: Whether the dataset came from the cache (timers then exclude
     #: simulation/extraction).
     cache_hit: bool = False
+    #: Executor backend that ran the evaluation phase (``None`` for the
+    #: in-process evaluator), with its per-shard accounting: how many
+    #: shards the plan had and how many were resumed from a checkpoint
+    #: manifest instead of re-evaluated.
+    executor_name: Optional[str] = None
+    shards_total: int = 0
+    shards_resumed: int = 0
 
     def render(self) -> str:
+        if self.cache_hit:
+            evaluate_detail = " (cached)"
+        elif self.executor_name is not None:
+            evaluate_detail = " (executor %s, %d shards, %d resumed)" % (
+                self.executor_name,
+                self.shards_total,
+                self.shards_resumed,
+            )
+        else:
+            evaluate_detail = " (sim %.3fs, extract %.3fs)" % (
+                self.simulation_seconds,
+                self.extraction_seconds,
+            )
         parts = [
             "setup %.3fs" % self.setup_seconds,
-            "evaluate %.3fs%s"
-            % (
-                self.evaluation_seconds,
-                " (cached)"
-                if self.cache_hit
-                else " (sim %.3fs, extract %.3fs)"
-                % (self.simulation_seconds, self.extraction_seconds),
-            ),
+            "evaluate %.3fs%s" % (self.evaluation_seconds, evaluate_detail),
             "synthesize %.3fs" % self.synthesis_seconds,
             "verify %.3fs" % self.verification_seconds,
             "total %.3fs" % self.total_seconds,
@@ -190,6 +207,15 @@ class SynthesisPipeline:
         self._use_fastpath: bool = True
         self._cache_dir: Optional[str] = None
         self._progress_every: Optional[int] = None
+        #: ``None`` → evaluate in-process; a registry name or executor
+        #: instance → fan evaluation out in shards through the backend.
+        self._executor: Optional[ExecutorLike] = None
+        self._processes: Optional[int] = None
+        self._shard_size: int = 250
+        #: ``None`` → no checkpointing; ``True`` → manifest derived
+        #: from the dataset cache key; a string → explicit path.
+        self._resume: Union[None, bool, str] = None
+        self._shard_callback: Optional[ShardCallback] = None
         #: ``None`` → verify against the evaluated dataset (free);
         #: ``n > 0`` → directed satisfaction testing with fresh cases;
         #: ``0`` → skip verification.
@@ -250,6 +276,46 @@ class SynthesisPipeline:
     def progress(self, every: Optional[int]) -> "SynthesisPipeline":
         """Print evaluation progress every ``every`` test cases."""
         self._progress_every = every
+        return self
+
+    def executor(
+        self,
+        executor: Optional[ExecutorLike],
+        processes: Optional[int] = None,
+        shard_size: Optional[int] = None,
+    ) -> "SynthesisPipeline":
+        """Run the evaluation phase through a sharded executor backend.
+
+        ``executor`` is an ``EXECUTOR_REGISTRY`` name (``"serial"``,
+        ``"multiprocess"``, ``"futures"``, ``"threaded"``) or an
+        :class:`EvaluationExecutor` instance; ``None`` restores the
+        in-process evaluator.  ``processes`` sizes the worker pool and
+        ``shard_size`` the per-shard test-case count (default 250).
+        """
+        self._executor = executor
+        if processes is not None:
+            self._processes = processes
+        if shard_size is not None:
+            self._shard_size = shard_size
+        return self
+
+    def resume(self, manifest: Union[bool, str] = True) -> "SynthesisPipeline":
+        """Checkpoint completed evaluation shards and resume from them.
+
+        ``True`` derives the manifest path from the dataset cache key
+        (requires :meth:`cache_dir`); a string names the JSONL manifest
+        file explicitly; ``False`` disables checkpointing.  Only the
+        executor path shards its work, so ``resume`` implies
+        :meth:`executor` (defaulting to ``"multiprocess"`` if none was
+        chosen).
+        """
+        self._resume = manifest if manifest is not False else None
+        return self
+
+    def on_shard(self, callback: Optional[ShardCallback]) -> "SynthesisPipeline":
+        """Receive a :class:`ShardProgress` event per completed shard
+        (resumed shards first, then evaluated shards as they finish)."""
+        self._shard_callback = callback
         return self
 
     def verify(
@@ -366,20 +432,110 @@ class SynthesisPipeline:
             ),
         )
 
+    def manifest_path(self) -> Optional[str]:
+        """The shard-manifest (checkpoint) file for this configuration,
+        or ``None`` when resumption is off.
+
+        An explicit :meth:`resume` path wins; otherwise the path is the
+        dataset cache file with a ``.shards.jsonl`` suffix, so manifest
+        and cached dataset share one key."""
+        if self._resume is None:
+            return None
+        if isinstance(self._resume, str):
+            return self._resume
+        cache_path = self.cache_path()
+        if cache_path is None:
+            raise ValueError(
+                "resume(True) derives the manifest from the dataset cache "
+                "key: configure cache_dir() and name-based plugins, or "
+                "pass an explicit manifest path"
+            )
+        return os.path.splitext(cache_path)[0] + ".shards.jsonl"
+
     # -- execution -----------------------------------------------------
+
+    def _effective_executor(self) -> Optional[ExecutorLike]:
+        """The executor to use, with ``resume`` implying one."""
+        if self._executor is None and self._resume is not None:
+            return "multiprocess"
+        return self._executor
+
+    def _evaluate_sharded(
+        self, executor: ExecutorLike, timings: Optional[PhaseTimings] = None
+    ) -> EvaluationDataset:
+        """The executor-backed evaluation phase (shard fan-out,
+        checkpointing, per-shard progress)."""
+        if not (
+            isinstance(self._core, str)
+            and isinstance(self._attacker, str)
+            and isinstance(self._template, str)
+        ):
+            raise ValueError(
+                "executor backends rebuild plugins by registry name "
+                "inside each worker: configure core, attacker, and "
+                "template by name when using .executor()/.resume()"
+            )
+        stats = {"total": 0, "resumed": 0}
+
+        def on_shard(event: ShardProgress) -> None:
+            stats["total"] = event.total_shards
+            if event.resumed:
+                stats["resumed"] += 1
+            if self._progress_every:
+                print(
+                    "evaluated %d/%d test cases (shard %d/%d%s)"
+                    % (
+                        event.completed_cases,
+                        event.total_cases,
+                        event.completed_shards,
+                        event.total_shards,
+                        ", resumed" if event.resumed else "",
+                    )
+                )
+            if self._shard_callback is not None:
+                self._shard_callback(event)
+
+        dataset = evaluate_parallel(
+            self._core,
+            self._count,
+            seed=self._seed,
+            processes=self._processes,
+            shard_size=self._shard_size,
+            use_fastpath=self._use_fastpath,
+            template_name=self._template,
+            attacker_name=self._attacker,
+            executor=executor,
+            manifest_path=self.manifest_path(),
+            progress=on_shard,
+        )
+        if timings is not None:
+            timings.executor_name = (
+                executor if isinstance(executor, str) else executor.name
+            )
+            timings.shards_total = stats["total"]
+            timings.shards_resumed = stats["resumed"]
+        return dataset
 
     def evaluate_with_stats(
         self,
+        timings: Optional[PhaseTimings] = None,
     ) -> Tuple[EvaluationDataset, Optional[TestCaseEvaluator]]:
         """Generate and evaluate the configured corpus.
 
         Returns ``(dataset, evaluator)``; the evaluator carries the
         phase timers and is ``None`` when the dataset was loaded from
-        the cache.
+        the cache or evaluated through an executor backend (whose
+        workers keep their own timers).
         """
         cache_path = self.cache_path()
         if cache_path is not None and os.path.exists(cache_path):
             return EvaluationDataset.load(cache_path), None
+        executor = self._effective_executor()
+        if executor is not None:
+            dataset = self._evaluate_sharded(executor, timings)
+            if cache_path is not None:
+                dataset.save(cache_path)
+            return dataset, None
         template = self.resolve_template()
         generator = TestCaseGenerator(template, seed=self._seed)
         evaluator = TestCaseEvaluator(
@@ -412,10 +568,12 @@ class SynthesisPipeline:
         solver = self.resolve_solver()
         cache_path = self.cache_path()
         cached = cache_path is not None and os.path.exists(cache_path)
-        if not cached:
+        executor = self._effective_executor()
+        if not cached and executor is None:
             # Generator/evaluator construction (template fast-path
             # compilation included) is part of the setup phase, like
-            # the paper's testbench compilation; a cache hit skips it.
+            # the paper's testbench compilation; a cache hit skips it,
+            # and executor workers each build (and time) their own.
             generator = TestCaseGenerator(template, seed=self._seed)
             evaluator = TestCaseEvaluator(
                 core, template, attacker=attacker, use_fastpath=self._use_fastpath
@@ -426,6 +584,10 @@ class SynthesisPipeline:
         if cached:
             dataset = EvaluationDataset.load(cache_path)
             timings.cache_hit = True
+        elif executor is not None:
+            dataset = self._evaluate_sharded(executor, timings)
+            if cache_path is not None:
+                dataset.save(cache_path)
         else:
             dataset = evaluator.evaluate_many(
                 generator.iter_generate(self._count),

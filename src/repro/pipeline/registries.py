@@ -3,7 +3,8 @@
 The registries themselves live with the code they index — cores in
 :mod:`repro.uarch`, attackers in :mod:`repro.attacker`, solvers in
 :mod:`repro.synthesis`, templates and restrictions in
-:mod:`repro.contracts.riscv_template` — so each layer stays the single
+:mod:`repro.contracts.riscv_template`, evaluation executors in
+:mod:`repro.evaluation.backends` — so each layer stays the single
 source of truth for its plugins.  This module just collects them for
 the pipeline front end and the CLI ``list`` subcommand.
 """
@@ -14,6 +15,7 @@ from typing import Dict
 
 from repro.attacker import ATTACKER_REGISTRY
 from repro.contracts.riscv_template import RESTRICTION_REGISTRY, TEMPLATE_REGISTRY
+from repro.evaluation.backends import EXECUTOR_REGISTRY
 from repro.registry import Registry
 from repro.synthesis import SOLVER_REGISTRY
 from repro.uarch import CORE_REGISTRY
@@ -25,6 +27,7 @@ REGISTRIES: Dict[str, Registry] = {
     "solvers": SOLVER_REGISTRY,
     "templates": TEMPLATE_REGISTRY,
     "restrictions": RESTRICTION_REGISTRY,
+    "executors": EXECUTOR_REGISTRY,
 }
 
 

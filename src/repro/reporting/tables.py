@@ -15,7 +15,7 @@ from typing import Dict, List, Tuple
 
 from repro.contracts.atoms import LeakageFamily
 from repro.contracts.template import Contract, ContractTemplate
-from repro.isa.instructions import InstructionCategory, Opcode, OPCODE_INFO
+from repro.isa.instructions import InstructionCategory, OPCODE_INFO
 
 
 class CellMarker(enum.Enum):

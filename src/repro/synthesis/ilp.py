@@ -33,7 +33,6 @@ restricted templates of Fig. 2/3 lose sensitivity).
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 

@@ -18,7 +18,7 @@ from typing import Dict, List
 from repro.isa.encoding import decode_instruction
 from repro.isa.executor import ExecRecord, annotate_dependency_distances
 from repro.isa.instructions import InstructionCategory
-from repro.vcd.parser import VcdSignal, parse_vcd
+from repro.vcd.parser import parse_vcd
 from repro.vcd.writer import VcdWriter
 
 _CHANNEL_FIELDS = (
@@ -67,7 +67,10 @@ def dump_rvfi_trace(trace, path: str, nret: int = 2) -> None:
                 % (len(retirements), cycle, nret)
             )
         for channel in range(nret):
-            prefix = lambda field: identifiers[_signal_name(channel, field)]
+
+            def prefix(field, channel=channel):
+                return identifiers[_signal_name(channel, field)]
+
             if channel < len(retirements):
                 record = retirements[channel]
                 exec_record = record.exec_record

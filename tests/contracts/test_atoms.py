@@ -3,7 +3,6 @@
 import pytest
 
 from repro.contracts.atoms import (
-    ContractAtom,
     LeakageFamily,
     family_of_source,
     make_atom,

@@ -1,7 +1,5 @@
 """Tests for the multi-process evaluator."""
 
-import pytest
-
 from repro.contracts.riscv_template import build_riscv_template
 from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.evaluation.parallel import evaluate_parallel
@@ -47,3 +45,31 @@ def test_metadata_fields():
     dataset = evaluate_parallel("ibex", 10, seed=0, processes=1)
     assert dataset.core_name == "ibex"
     assert dataset.attacker_name == "retirement-timing"
+
+
+def test_tail_shard_identical_across_paths():
+    """Regression: the final tail shard (count not divisible by
+    shard_size) and the processes=1 path must go through the same shard
+    plan and worker loop as the pool path — byte-identical output."""
+    single = evaluate_parallel("ibex", 47, seed=4, processes=1, shard_size=10)
+    pooled = evaluate_parallel("ibex", 47, seed=4, processes=2, shard_size=10)
+    sequential = sequential_dataset(47, seed=4)
+    assert single.to_json() == pooled.to_json() == sequential.to_json()
+    assert [result.test_id for result in single] == list(range(47))
+
+
+def test_single_process_uses_the_common_shard_loop(monkeypatch):
+    """processes=1 must not grow a bespoke evaluation path: it has to
+    degenerate to the registered serial backend's shard loop."""
+    from repro.evaluation.backends import executors as executors_module
+
+    calls = []
+    original = executors_module.SerialExecutor.run
+
+    def spy(self, task, shards):
+        calls.append(list(shards))
+        return original(self, task, shards)
+
+    monkeypatch.setattr(executors_module.SerialExecutor, "run", spy)
+    evaluate_parallel("ibex", 25, seed=1, processes=1, shard_size=10)
+    assert calls == [[(0, 10), (10, 10), (20, 5)]]

@@ -47,13 +47,39 @@ def test_parser_accepts_plugin_flags():
     assert arguments.seed == 7
 
 
+def test_parser_accepts_executor_flags():
+    parser = _build_parser()
+    arguments = parser.parse_args(
+        [
+            "run", "--executor", "futures", "--processes", "4",
+            "--shard-size", "100", "--resume", "/tmp/run.shards.jsonl",
+        ]
+    )
+    assert arguments.executor == "futures"
+    assert arguments.processes == 4
+    assert arguments.shard_size == 100
+    assert arguments.resume == "/tmp/run.shards.jsonl"
+    # Bare --resume derives the manifest from the dataset cache key.
+    bare = parser.parse_args(["run", "--resume"])
+    assert bare.resume is True
+    assert parser.parse_args(["run"]).resume is None
+
+
 @pytest.mark.pipeline
 def test_main_list_prints_registries(capsys):
     assert main(["list"]) == 0
     output = capsys.readouterr().out
-    for section in ("cores:", "attackers:", "solvers:", "templates:", "restrictions:"):
+    sections = (
+        "cores:", "attackers:", "solvers:", "templates:",
+        "restrictions:", "executors:",
+    )
+    for section in sections:
         assert section in output
-    for name in ("ibex", "cva6", "retirement-timing", "cache-state", "scipy-milp"):
+    names = (
+        "ibex", "cva6", "retirement-timing", "cache-state", "scipy-milp",
+        "serial", "multiprocess", "futures", "threaded",
+    )
+    for name in names:
         assert name in output
 
 
@@ -69,6 +95,27 @@ def test_main_run_ad_hoc_pipeline(capsys):
     output = capsys.readouterr().out
     assert "pipeline: core=ibex attacker=retirement-timing solver=greedy" in output
     assert "contract:" in output and "timings:" in output
+
+
+@pytest.mark.pipeline
+def test_main_run_with_executor_and_resume(tmp_path, capsys):
+    """The acceptance scenario: an executor-backed run checkpoints its
+    shards, and the same invocation resumes from them."""
+    results_dir = str(tmp_path / "results")
+    argv = [
+        "run", "--core", "ibex", "--solver", "greedy", "--count", "40",
+        "--executor", "serial", "--shard-size", "10", "--resume",
+        "--results-dir", results_dir,
+    ]
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "executor serial" in output
+
+    # Second invocation: the dataset cache is warm, so the run is a
+    # cache hit; the manifest stays on disk for budget extensions.
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "(cached)" in output
 
 
 @pytest.mark.pipeline

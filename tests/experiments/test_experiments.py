@@ -51,6 +51,30 @@ class TestRunner:
         assert len(dataset) == 10
         assert evaluator is not None
 
+    def test_executor_config_ships_only_the_registered_template(self, tmp_path):
+        """Regression: a bespoke template instance that *reuses* a
+        registered name (build_riscv_template(max_distance=8) keeps
+        'riscv-rv32im') must not be silently swapped for the registry
+        default in executor workers — only an instance equal to the
+        registered one may travel by name."""
+        from repro.contracts.riscv_template import build_riscv_template
+        from repro.experiments.runner import experiment_pipeline
+
+        config = ExperimentConfig(
+            results_dir=str(tmp_path), executor="serial"
+        )
+        shipped = experiment_pipeline(
+            config, "ibex", shared_template(), 10, 1
+        )
+        assert shipped._executor == "serial"
+        assert shipped._template == "riscv-rv32im"
+
+        bespoke = experiment_pipeline(
+            config, "ibex", build_riscv_template(max_distance=8), 10, 1
+        )
+        assert bespoke._executor is None  # stays on the in-process path
+        assert not isinstance(bespoke._template, str)
+
     def test_cache_distinguishes_attackers(self, tmp_path):
         """Regression: the cache key must include the attacker, so a
         dataset evaluated under one attacker is never served for

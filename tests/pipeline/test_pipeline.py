@@ -224,3 +224,96 @@ class TestDatasetCache:
         assert second.timings.cache_hit
         assert second.dataset.to_json() == first.dataset.to_json()
         assert second.contract.atom_ids == first.contract.atom_ids
+
+
+class TestExecutorBackends:
+    def test_executor_dataset_byte_identical_to_in_process(self):
+        sharded = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(BUDGET, seed=SEED)
+            .executor("serial", shard_size=13)
+            .evaluate()
+        )
+        assert sharded.to_json() == legacy_evaluate().to_json()
+
+    def test_run_records_executor_shard_stats(self):
+        events = []
+        result = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(40, seed=2)
+            .solver("greedy")
+            .executor("serial", shard_size=10)
+            .on_shard(events.append)
+            .run()
+        )
+        timings = result.timings
+        assert timings.executor_name == "serial"
+        assert timings.shards_total == 4
+        assert timings.shards_resumed == 0
+        assert "executor serial" in timings.render()
+        assert [event.completed_shards for event in events] == [1, 2, 3, 4]
+
+    def test_resume_checkpoints_under_the_cache_key(self, tmp_path):
+        pipeline = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(30, seed=3)
+            .solver("greedy")
+            .executor("serial", shard_size=10)
+            .cache_dir(str(tmp_path))
+            .resume()
+        )
+        manifest_path = pipeline.manifest_path()
+        assert manifest_path.startswith(str(tmp_path))
+        assert manifest_path.endswith(".shards.jsonl")
+        first = pipeline.run()
+        assert os.path.exists(manifest_path)
+        assert first.timings.shards_resumed == 0
+
+        # Drop the cached dataset (not the manifest): the re-run must
+        # resume every shard from the checkpoint.
+        os.unlink(pipeline.cache_path())
+        second = pipeline.run()
+        assert second.timings.shards_resumed == second.timings.shards_total == 3
+        assert second.dataset.to_json() == first.dataset.to_json()
+
+    def test_resume_implies_an_executor(self, tmp_path):
+        pipeline = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(20, seed=1)
+            .solver("greedy")
+            .cache_dir(str(tmp_path))
+            .resume()
+        )
+        result = pipeline.run()
+        assert result.timings.executor_name == "multiprocess"
+        assert os.path.exists(pipeline.manifest_path())
+
+    def test_resume_without_cache_dir_requires_explicit_path(self, tmp_path):
+        with pytest.raises(ValueError, match="resume"):
+            SynthesisPipeline().core("ibex").budget(10).resume().run()
+        explicit = str(tmp_path / "manifest.jsonl")
+        result = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(20, seed=1)
+            .solver("greedy")
+            .executor("serial")
+            .resume(explicit)
+            .run()
+        )
+        assert result.atom_count > 0
+        assert os.path.exists(explicit)
+
+    def test_executor_requires_name_configured_plugins(self):
+        with pytest.raises(ValueError, match="registry name"):
+            (
+                SynthesisPipeline()
+                .core(IbexCore())
+                .budget(10)
+                .executor("serial")
+                .evaluate()
+            )

@@ -5,7 +5,7 @@ import pytest
 from repro.contracts.atoms import LeakageFamily
 from repro.contracts.riscv_template import build_riscv_template
 from repro.contracts.template import Contract
-from repro.isa.instructions import InstructionCategory, Opcode
+from repro.isa.instructions import InstructionCategory
 from repro.reporting.tables import (
     CellMarker,
     PAPER_TABLE_1,

@@ -1,7 +1,5 @@
 """Tests for ILP-instance construction and its reductions."""
 
-import pytest
-
 from repro.evaluation.results import EvaluationDataset, TestCaseResult
 from repro.synthesis.ilp import build_ilp_instance as _build_ilp_instance
 from repro.synthesis.ilp import eliminate_dominated_atoms
@@ -169,8 +167,6 @@ class TestDominanceReduction:
         assert instance.candidate_atom_ids == (1, 2, 5)
 
     def test_reduction_preserves_optimum(self):
-        import itertools
-
         import random
 
         from repro.synthesis.solvers import BranchAndBoundSolver

@@ -8,7 +8,6 @@ contracts.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.contracts.riscv_template import build_riscv_template
@@ -146,8 +145,6 @@ def test_synthesis_always_correct_and_deterministic(dataset):
 def test_restricted_synthesis_never_more_precise(dataset):
     """A restricted template cannot beat the full template's optimum
     on the same data (it searches a subset of contracts)."""
-    from repro.contracts.atoms import LeakageFamily
-
     full = synthesize(dataset, TEMPLATE)
     restricted_ids = frozenset(range(0, 10))
     restricted = synthesize(dataset, TEMPLATE, allowed_atom_ids=restricted_ids)

@@ -1,7 +1,5 @@
 """Tests for the RV32IMC compressed-fetch timing mode of IbexCore."""
 
-import pytest
-
 from repro.isa.assembler import assemble
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program

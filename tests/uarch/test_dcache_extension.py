@@ -1,7 +1,5 @@
 """Tests for the cache-extended Ibex variant and cache-state attacker."""
 
-import pytest
-
 from repro.attacker.cache_state import CacheStateAttacker
 from repro.attacker.retirement import RetirementTimingAttacker
 from repro.isa.assembler import assemble

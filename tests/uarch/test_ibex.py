@@ -1,8 +1,6 @@
 """Behavioural tests for the Ibex-like core: each documented timing
 artifact (DESIGN.md §5) must be observable in retirement timing."""
 
-import pytest
-
 from repro.isa.assembler import assemble
 from repro.isa.state import ArchState
 from repro.uarch.ibex import IbexConfig, IbexCore
