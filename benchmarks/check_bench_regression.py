@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Fail CI when a fast-path benchmark speedup regresses.
+
+Compares the ``speedups_vs_reference`` sections of two
+``BENCH_micro.json`` documents — the committed baseline and a freshly
+exported measurement — and exits non-zero if any speedup fell by more
+than the allowed fraction (default 25%).  Absolute timings vary across
+runners, but the fast-path-vs-reference *ratio* is measured within one
+process on one machine, so a large drop means the fast path itself got
+slower relative to the oracle, not that CI got a noisy VM.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE.json FRESH.json \
+        --max-regression 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def find_regressions(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    max_regression: float,
+) -> List[str]:
+    """Human-readable descriptions of every disallowed regression.
+
+    A benchmark regresses when its fresh speedup is below
+    ``baseline * (1 - max_regression)``; a paired benchmark missing
+    from the fresh export counts as a regression (the pair was renamed
+    or silently dropped — either way the gate must not go green).
+    Benchmarks new in the fresh export are ignored: they have no
+    baseline to regress from.
+    """
+    problems = []
+    for name, baseline_speedup in sorted(baseline.items()):
+        fresh_speedup = fresh.get(name)
+        if fresh_speedup is None:
+            problems.append(
+                "%s: present in the baseline (%.2fx) but missing from the "
+                "fresh export" % (name, baseline_speedup)
+            )
+            continue
+        floor = baseline_speedup * (1.0 - max_regression)
+        if fresh_speedup < floor:
+            problems.append(
+                "%s: speedup %.2fx fell below %.2fx (baseline %.2fx - %d%%)"
+                % (
+                    name,
+                    fresh_speedup,
+                    floor,
+                    baseline_speedup,
+                    round(max_regression * 100),
+                )
+            )
+    return problems
+
+
+def _load_speedups(path: str) -> Dict[str, float]:
+    with open(path) as stream:
+        document = json.load(stream)
+    return dict(document.get("speedups_vs_reference", {}))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_micro.json")
+    parser.add_argument("fresh", help="freshly exported BENCH_micro.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed fractional speedup drop before failing (default: 0.25)",
+    )
+    arguments = parser.parse_args(argv)
+    baseline = _load_speedups(arguments.baseline)
+    fresh = _load_speedups(arguments.fresh)
+    if not baseline:
+        print("baseline has no speedups_vs_reference section; nothing to gate")
+        return 0
+
+    for name, baseline_speedup in sorted(baseline.items()):
+        fresh_speedup = fresh.get(name)
+        print(
+            "%s: baseline %.2fx, fresh %s"
+            % (
+                name,
+                baseline_speedup,
+                "%.2fx" % fresh_speedup if fresh_speedup is not None else "MISSING",
+            )
+        )
+    problems = find_regressions(baseline, fresh, arguments.max_regression)
+    if problems:
+        print()
+        for problem in problems:
+            print("REGRESSION - %s" % problem)
+        return 1
+    print("no speedup regressed by more than %d%%" % round(arguments.max_regression * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

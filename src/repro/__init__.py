@@ -22,6 +22,11 @@ The package is organized bottom-up:
 - :mod:`repro.pipeline` — the public entry point: the
   :class:`~repro.pipeline.SynthesisPipeline` builder and the plugin
   registries for cores, attackers, solvers, and templates.
+- :mod:`repro.campaign` — resumable grid sweeps: a
+  :class:`~repro.campaign.CampaignSpec` expands (core x attacker x
+  template x restriction x solver x budget x seed) into cells executed
+  through the pipeline with cross-cell dataset reuse and a
+  cell-granularity checkpoint manifest.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,319 @@
+"""Campaign specifications: declarative grids of pipeline configurations.
+
+A :class:`CampaignSpec` names one value list per pipeline axis (cores,
+attackers, templates, restrictions, solvers, budgets, seeds) and
+expands into the cross product of :class:`CampaignCell`\\ s — each cell
+one complete :class:`~repro.pipeline.SynthesisPipeline` configuration,
+addressed entirely by registry names so cells serialize into the
+campaign manifest and rebuild inside executor workers.
+
+Two escape hatches keep real grids declarative:
+
+- ``overrides`` maps an axis *value* to cell-field replacements, e.g.
+  ``{"cva6": {"budget": 3000}}`` shrinks every CVA6 cell's budget the
+  way the paper uses a smaller CVA6 synthesis set;
+- ``exclude`` drops cells, either a predicate ``cell -> bool`` or a
+  list of partial axis dicts (a cell matching *all* items of any dict
+  is dropped).
+
+Expansion validates every name against the owning registry up front,
+so a typo fails before any cell has burned compute.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from itertools import product
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.pipeline import SynthesisPipeline
+
+#: The sweep axes, in expansion (and display) order.
+AXES = ("core", "attacker", "template", "restriction", "solver", "budget", "seed")
+
+#: ``exclude`` may be a predicate or a list of partial axis matches.
+ExcludeLike = Union[
+    Callable[["CampaignCell"], bool], Sequence[Mapping[str, object]], None
+]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One point of the grid: a complete pipeline configuration.
+
+    Every plugin is a registry name (never an instance), so a cell can
+    be stored in the campaign manifest, compared across runs, and
+    rebuilt anywhere.
+    """
+
+    core: str
+    attacker: str
+    template: str
+    restriction: Optional[str]
+    solver: str
+    budget: int
+    seed: int
+    fastpath: bool = True
+    #: Pipeline verification budget: ``None`` checks the synthesized
+    #: contract against its own dataset, ``0`` skips, ``n`` runs
+    #: directed satisfaction testing.
+    verify: Optional[int] = None
+
+    def identity(self) -> dict:
+        """The manifest key of this cell: every field that changes its
+        :class:`~repro.pipeline.PipelineResult`."""
+        return {
+            "core": self.core,
+            "attacker": self.attacker,
+            "template": self.template,
+            "restriction": self.restriction,
+            "solver": self.solver,
+            "budget": self.budget,
+            "seed": self.seed,
+            "fastpath": self.fastpath,
+            "verify": self.verify,
+        }
+
+    def key(self) -> str:
+        """A canonical string key (dict-order independent)."""
+        return json.dumps(self.identity(), sort_keys=True)
+
+    def label(self) -> str:
+        """A compact human-readable cell label."""
+        return (
+            "core=%s attacker=%s template=%s restrict=%s solver=%s "
+            "budget=%d seed=%d"
+            % (
+                self.core,
+                self.attacker,
+                self.template,
+                self.restriction if self.restriction is not None else "-",
+                self.solver,
+                self.budget,
+                self.seed,
+            )
+        )
+
+    def axis(self, name: str) -> object:
+        """The cell's value on one of :data:`AXES`."""
+        if name not in AXES:
+            raise ValueError(
+                "unknown campaign axis %r (axes: %s)" % (name, ", ".join(AXES))
+            )
+        return getattr(self, name)
+
+    def dataset_group(self) -> Tuple[str, str, str, int, bool]:
+        """The axes determining the evaluated dataset *stream* — the
+        dataset cache key minus the budget.  Cells in one group share
+        test cases (generation is per test id), so a cached dataset of
+        a larger budget serves any smaller budget by prefix."""
+        return (self.core, self.template, self.attacker, self.seed, self.fastpath)
+
+    def pipeline(
+        self,
+        cache_dir: Optional[str] = None,
+        executor: Optional[str] = None,
+        processes: Optional[int] = None,
+        shard_size: Optional[int] = None,
+    ) -> SynthesisPipeline:
+        """A :class:`SynthesisPipeline` configured exactly as this cell."""
+        pipeline = (
+            SynthesisPipeline()
+            .core(self.core)
+            .attacker(self.attacker)
+            .template(self.template)
+            .solver(self.solver)
+            .budget(self.budget, self.seed)
+            .fastpath(self.fastpath)
+            .cache_dir(cache_dir)
+        )
+        if self.restriction is not None:
+            pipeline.restrict(self.restriction)
+        if self.verify is not None:
+            pipeline.verify(self.verify)
+        if executor is not None:
+            pipeline.executor(executor, processes=processes, shard_size=shard_size)
+        return pipeline
+
+
+#: Cell fields an ``overrides`` entry may replace.
+_OVERRIDABLE = tuple(f.name for f in fields(CampaignCell))
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative grid of pipeline configurations.
+
+    ``expand()`` produces the cross product of all axis value lists as
+    :class:`CampaignCell`\\ s — overrides applied, excluded cells
+    dropped, duplicates (e.g. collapsed by an override) removed — in a
+    deterministic order: the axes nest left-to-right as declared in
+    :data:`AXES`, so the last axis (seed) varies fastest.
+    """
+
+    name: str
+    cores: Sequence[str] = ("ibex",)
+    attackers: Sequence[str] = ("retirement-timing",)
+    templates: Sequence[str] = ("riscv-rv32im",)
+    restrictions: Sequence[Optional[str]] = (None,)
+    solvers: Sequence[str] = ("scipy-milp",)
+    budgets: Sequence[int] = (1000,)
+    seeds: Sequence[int] = (0,)
+    fastpath: bool = True
+    verify: Optional[int] = None
+    #: Axis value -> cell-field replacements, applied to every cell
+    #: carrying that value on any axis (e.g. ``{"cva6": {"budget":
+    #: 3000}}``).
+    overrides: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    #: Cells to drop: a predicate or partial axis dicts (see module
+    #: docstring).
+    exclude: ExcludeLike = None
+
+    def grid_shape(self) -> Dict[str, int]:
+        """Axis -> declared value count (before overrides/excludes)."""
+        return {
+            "core": len(self.cores),
+            "attacker": len(self.attackers),
+            "template": len(self.templates),
+            "restriction": len(self.restrictions),
+            "solver": len(self.solvers),
+            "budget": len(self.budgets),
+            "seed": len(self.seeds),
+        }
+
+    def expand(self) -> List[CampaignCell]:
+        """The grid as a deduplicated, validated list of cells."""
+        self._validate()
+        cells: List[CampaignCell] = []
+        seen = set()
+        for core, attacker, template, restriction, solver, budget, seed in product(
+            self.cores,
+            self.attackers,
+            self.templates,
+            self.restrictions,
+            self.solvers,
+            self.budgets,
+            self.seeds,
+        ):
+            cell = CampaignCell(
+                core=core,
+                attacker=attacker,
+                template=template,
+                restriction=restriction,
+                solver=solver,
+                budget=int(budget),
+                seed=int(seed),
+                fastpath=self.fastpath,
+                verify=self.verify,
+            )
+            cell = self._apply_overrides(cell)
+            if cell in seen or self._excluded(cell):
+                continue
+            seen.add(cell)
+            cells.append(cell)
+        if not cells:
+            raise ValueError(
+                "campaign %r expands to zero cells (all excluded?)" % self.name
+            )
+        return cells
+
+    # -- expansion helpers ---------------------------------------------
+
+    def _apply_overrides(self, cell: CampaignCell) -> CampaignCell:
+        for axis in AXES:
+            value = getattr(cell, axis)
+            changes = self.overrides.get(value) if isinstance(value, str) else None
+            if changes:
+                cell = replace(cell, **dict(changes))
+        return cell
+
+    def _excluded(self, cell: CampaignCell) -> bool:
+        if self.exclude is None:
+            return False
+        if callable(self.exclude):
+            return bool(self.exclude(cell))
+        for match in self.exclude:
+            if all(cell.axis(axis) == value for axis, value in match.items()):
+                return True
+        return False
+
+    def _validate(self) -> None:
+        """Fail fast on empty axes, unknown names, bad overrides."""
+        from repro.pipeline.registries import REGISTRIES
+
+        if not self.name:
+            raise ValueError("a campaign needs a non-empty name")
+        named_axes = (
+            ("cores", self.cores, REGISTRIES["cores"]),
+            ("attackers", self.attackers, REGISTRIES["attackers"]),
+            ("templates", self.templates, REGISTRIES["templates"]),
+            ("solvers", self.solvers, REGISTRIES["solvers"]),
+        )
+        for axis_name, values, registry in named_axes:
+            if not values:
+                raise ValueError("campaign axis %r is empty" % axis_name)
+            for value in values:
+                if value not in registry:
+                    raise ValueError(
+                        "campaign axis %r: unknown %s %r (registered: %s)"
+                        % (axis_name, registry.kind, value, ", ".join(registry.names()))
+                    )
+        restriction_registry = REGISTRIES["restrictions"]
+        if not self.restrictions:
+            raise ValueError("campaign axis 'restrictions' is empty")
+        for value in self.restrictions:
+            if value is not None and value not in restriction_registry:
+                raise ValueError(
+                    "campaign axis 'restrictions': unknown restriction %r "
+                    "(registered: %s, or None for the unrestricted template)"
+                    % (value, ", ".join(restriction_registry.names()))
+                )
+        if not self.budgets or not self.seeds:
+            raise ValueError("campaign axes 'budgets'/'seeds' must be non-empty")
+        for budget in self.budgets:
+            if int(budget) < 0:
+                raise ValueError("campaign budgets must be non-negative")
+        known_values = set()
+        for values in (self.cores, self.attackers, self.templates, self.solvers):
+            known_values.update(values)
+        known_values.update(v for v in self.restrictions if v is not None)
+        for target, changes in self.overrides.items():
+            if target not in known_values:
+                raise ValueError(
+                    "override target %r matches no declared axis value" % target
+                )
+            for field_name in changes:
+                if field_name not in _OVERRIDABLE:
+                    raise ValueError(
+                        "override for %r sets unknown cell field %r (fields: %s)"
+                        % (target, field_name, ", ".join(_OVERRIDABLE))
+                    )
+
+
+def filter_cells(
+    cells: Iterable[CampaignCell], filters: Mapping[str, str]
+) -> List[CampaignCell]:
+    """Cells matching every ``axis=value`` filter (values compared as
+    strings, so ``budget=500`` works from the command line; ``restriction=-``
+    matches the unrestricted template)."""
+    selected = []
+    for cell in cells:
+        for axis, wanted in filters.items():
+            value = cell.axis(axis)
+            rendered = "-" if value is None else str(value)
+            if rendered != str(wanted):
+                break
+        else:
+            selected.append(cell)
+    return selected

@@ -1,0 +1,156 @@
+"""Append-only JSONL checkpoints bound to an identity key.
+
+Both resumable layers of the toolchain checkpoint the same way: an
+append-only JSONL file whose first line is a header binding the file
+to an identity key, and whose every further line records one completed
+unit of work — an evaluation shard
+(:class:`repro.evaluation.backends.ShardManifest`) or a campaign cell
+(:class:`repro.campaign.CampaignManifest`).  :class:`JsonlCheckpoint`
+owns the shared mechanics so the two manifests cannot drift on the
+robustness rules:
+
+- a header key mismatch raises — silently mixing two corpora (or two
+  campaigns) in one checkpoint file is the stale-cache bug the dataset
+  cache key exists to prevent;
+- a truncated *final* line (the run died mid-append) is discarded and
+  rewritten away, so the next append lands on a clean line boundary;
+  corruption anywhere else raises;
+- every append is flushed immediately, so a run killed at 95% keeps
+  95% of its work.
+
+Subclasses define the entry payload: :meth:`_accept` ingests one
+decoded entry during loading and :meth:`_entries` re-emits the loaded
+state for rewrites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional
+
+
+class CheckpointKeyError(ValueError):
+    """The checkpoint on disk was written for a different identity key."""
+
+
+class JsonlCheckpoint:
+    """An append-only JSONL checkpoint file with a key-bound header.
+
+    The header line is ``{"manifest": <kind>, "version": <version>,
+    "key": <key>}``; subclasses set :attr:`kind` and the error-message
+    vocabulary (:attr:`description`, :attr:`subject`, :attr:`hint`,
+    :attr:`key_error`).
+    """
+
+    #: Discriminator stored in the header (``"evaluation-shards"``...).
+    kind = "abstract"
+    version = 1
+    #: Human phrase for "this file is a ..." error messages.
+    description = "checkpoint"
+    #: What the key identifies, for mismatch messages ("evaluation").
+    subject = "identity"
+    #: Recovery hint appended to the key-mismatch message.
+    hint = "pass a different path"
+    #: Exception class raised on a key mismatch.
+    key_error = CheckpointKeyError
+
+    def __init__(self, path: str, key: dict):
+        self.path = path
+        self.key = key
+        if os.path.exists(path):
+            self._load()
+        else:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._rewrite()
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _accept(self, entry: dict) -> None:
+        """Ingest one decoded entry line into the loaded state."""
+        raise NotImplementedError
+
+    def _entries(self) -> Iterable[dict]:
+        """The loaded state as entry dicts, for :meth:`_rewrite`."""
+        raise NotImplementedError
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path) as stream:
+            content = stream.read()
+        lines = content.splitlines()
+        if not lines:
+            self._rewrite()
+            return
+        #: A file not ending in a newline died mid-append; its final
+        #: line must be dropped *and rewritten away*, otherwise the
+        #: next append would concatenate onto the partial bytes and
+        #: permanently corrupt the checkpoint.
+        torn = not content.endswith("\n")
+        header = self._decode(lines[0], line_number=1, final=len(lines) == 1)
+        if header is None:
+            # A file holding only one truncated line: start over.
+            self._rewrite()
+            return
+        if header.get("manifest") != self.kind or header.get("version") != self.version:
+            raise ValueError(
+                "%s is not a version-%d %s"
+                % (self.path, self.version, self.description)
+            )
+        if header.get("key") != self.key:
+            raise self.key_error(
+                "%s %s was written for a different %s (manifest key %r, "
+                "current key %r); delete it or %s"
+                % (
+                    self.description,
+                    self.path,
+                    self.subject,
+                    header.get("key"),
+                    self.key,
+                    self.hint,
+                )
+            )
+        discarded = False
+        for line_number, line in enumerate(lines[1:], start=2):
+            entry = self._decode(
+                line, line_number=line_number, final=line_number == len(lines)
+            )
+            if entry is None:
+                discarded = True
+                continue
+            self._accept(entry)
+        if discarded or torn:
+            self._rewrite()
+
+    def _rewrite(self) -> None:
+        """Rewrite the file from the loaded state, dropping torn bytes
+        so subsequent appends land on a clean line boundary."""
+        with open(self.path, "w") as stream:
+            header = {"manifest": self.kind, "version": self.version, "key": self.key}
+            stream.write(json.dumps(header) + "\n")
+            for entry in self._entries():
+                stream.write(json.dumps(entry) + "\n")
+
+    def _decode(self, line: str, line_number: int, final: bool) -> Optional[dict]:
+        """One JSONL line; a corrupt *final* line (killed mid-append)
+        decodes to ``None``, corruption elsewhere raises."""
+        if final and not line.strip():
+            return None
+        try:
+            return json.loads(line)
+        except ValueError:
+            if final:
+                return None
+            raise ValueError(
+                "corrupt %s %s: line %d is not valid JSON"
+                % (self.description, self.path, line_number)
+            )
+
+    def _append(self, entry: dict) -> None:
+        """Append one entry line (flushed immediately)."""
+        with open(self.path, "a") as stream:
+            stream.write(json.dumps(entry) + "\n")
+            stream.flush()

@@ -78,6 +78,22 @@ class ContractTemplate:
         return "ContractTemplate(%s, %d atoms)" % (self.name, len(self._atoms))
 
 
+def template_digest(template: ContractTemplate) -> str:
+    """An 8-hex digest of the template's atom list.
+
+    The atom list fully determines extraction (and the meaning of atom
+    ids), so this is the part of a template's identity its ``name``
+    alone cannot vouch for.  Both the dataset cache key and the
+    campaign cell manifest embed it to avoid serving results computed
+    under a differently-defined template of the same name.
+    """
+    import hashlib
+
+    return hashlib.md5(
+        "|".join(atom.name for atom in template).encode()
+    ).hexdigest()[:8]
+
+
 class Contract:
     """A candidate contract: a subset of a template's atoms (``CTR_S``)."""
 

@@ -15,129 +15,55 @@ is one completed shard::
     {"shard": [0, 250], "rows": [[0, true, [3, 17], 3], ...]}
     {"shard": [250, 250], "rows": [...]}
 
-Robustness rules:
-
-- a header key mismatch raises — silently mixing two corpora in one
-  checkpoint file is the stale-cache bug the dataset cache key exists
-  to prevent;
-- a truncated *final* line (the run died mid-append) is discarded;
-  corruption anywhere else raises;
-- the total budget is not part of the identity, so extending the
-  budget resumes from the same manifest (shards are keyed by
-  ``(start_id, count)`` and generated per test id).
+The file mechanics (header key binding, torn-final-line recovery,
+flushed appends) live in :class:`repro.checkpoint.JsonlCheckpoint`,
+shared with the campaign cell manifest.  One rule is specific to this
+layer: the total budget is not part of the identity, so extending the
+budget resumes from the same manifest (shards are keyed by
+``(start_id, count)`` and generated per test id).
 """
 
 from __future__ import annotations
 
-import json
-import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
+from repro.checkpoint import CheckpointKeyError, JsonlCheckpoint
 from repro.evaluation.backends.base import Row, Shard
 
-_KIND = "evaluation-shards"
-_VERSION = 1
 
-
-class ManifestKeyError(ValueError):
+class ManifestKeyError(CheckpointKeyError):
     """The manifest on disk was written for a different task identity."""
 
 
-class ShardManifest:
+class ShardManifest(JsonlCheckpoint):
     """An append-only JSONL checkpoint of completed evaluation shards."""
 
+    kind = "evaluation-shards"
+    description = "shard manifest"
+    subject = "evaluation"
+    hint = "pass a different --resume path"
+    key_error = ManifestKeyError
+
     def __init__(self, path: str, key: dict):
-        self.path = path
-        self.key = key
         #: Completed shards loaded from disk, keyed by descriptor.
         self.completed: Dict[Shard, List[Row]] = {}
-        if os.path.exists(path):
-            self._load()
-        else:
-            parent = os.path.dirname(path)
-            if parent:
-                os.makedirs(parent, exist_ok=True)
-            self._write_header()
+        super().__init__(path, key)
 
-    # -- persistence ---------------------------------------------------
+    # -- checkpoint payload --------------------------------------------
 
-    def _write_header(self) -> None:
-        self._rewrite()
+    def _accept(self, entry: dict) -> None:
+        shard = tuple(entry["shard"])
+        self.completed[shard] = [
+            (row[0], bool(row[1]), tuple(row[2]), row[3]) for row in entry["rows"]
+        ]
 
-    def _load(self) -> None:
-        with open(self.path) as stream:
-            content = stream.read()
-        lines = content.splitlines()
-        if not lines:
-            self._write_header()
-            return
-        #: A file not ending in a newline died mid-append; its final
-        #: line must be dropped *and rewritten away*, otherwise the
-        #: next append would concatenate onto the partial bytes and
-        #: permanently corrupt the manifest.
-        torn = not content.endswith("\n")
-        header = self._decode(lines[0], line_number=1, final=len(lines) == 1)
-        if header is None:
-            # A file holding only one truncated line: start over.
-            self._write_header()
-            return
-        if header.get("manifest") != _KIND or header.get("version") != _VERSION:
-            raise ValueError(
-                "%s is not a version-%d evaluation shard manifest"
-                % (self.path, _VERSION)
-            )
-        if header.get("key") != self.key:
-            raise ManifestKeyError(
-                "shard manifest %s was written for a different evaluation "
-                "(manifest key %r, current key %r); delete it or pass a "
-                "different --resume path" % (self.path, header.get("key"), self.key)
-            )
-        discarded = False
-        for line_number, line in enumerate(lines[1:], start=2):
-            entry = self._decode(
-                line, line_number=line_number, final=line_number == len(lines)
-            )
-            if entry is None:
-                discarded = True
-                continue
-            shard = tuple(entry["shard"])
-            self.completed[shard] = [
-                (row[0], bool(row[1]), tuple(row[2]), row[3]) for row in entry["rows"]
-            ]
-        if discarded or torn:
-            self._rewrite()
-
-    def _rewrite(self) -> None:
-        """Rewrite the file from the loaded state, dropping torn bytes
-        so subsequent appends land on a clean line boundary."""
-        with open(self.path, "w") as stream:
-            header = {"manifest": _KIND, "version": _VERSION, "key": self.key}
-            stream.write(json.dumps(header) + "\n")
-            for shard, rows in self.completed.items():
-                entry = {"shard": list(shard), "rows": [list(row) for row in rows]}
-                stream.write(json.dumps(entry) + "\n")
-
-    def _decode(self, line: str, line_number: int, final: bool) -> Optional[dict]:
-        """One JSONL line; a corrupt *final* line (killed mid-append)
-        decodes to ``None``, corruption elsewhere raises."""
-        if final and not line.strip():
-            return None
-        try:
-            return json.loads(line)
-        except ValueError:
-            if final:
-                return None
-            raise ValueError(
-                "corrupt shard manifest %s: line %d is not valid JSON"
-                % (self.path, line_number)
-            )
+    def _entries(self) -> Iterable[dict]:
+        for shard, rows in self.completed.items():
+            yield {"shard": list(shard), "rows": [list(row) for row in rows]}
 
     def append(self, shard: Shard, rows: Sequence[Row]) -> None:
         """Checkpoint one completed shard (flushed immediately)."""
-        entry = {"shard": list(shard), "rows": [list(row) for row in rows]}
-        with open(self.path, "a") as stream:
-            stream.write(json.dumps(entry) + "\n")
-            stream.flush()
+        self._append({"shard": list(shard), "rows": [list(row) for row in rows]})
         self.completed[shard] = list(rows)
 
     # -- plan intersection ---------------------------------------------

@@ -1,31 +1,39 @@
 """Command-line entry point: ``repro-synthesize``.
 
 Runs the paper's experiments end-to-end, lists the plugin registries,
-or runs an ad-hoc synthesis pipeline::
+runs an ad-hoc synthesis pipeline, or drives a whole configuration
+grid as a resumable campaign::
 
     repro-synthesize fig2
     repro-synthesize table1 --scale 2
     repro-synthesize all --results-dir results
     repro-synthesize list
+    repro-synthesize list templates
     repro-synthesize run --core cva6 --attacker cache-state --count 500
     repro-synthesize run --executor multiprocess --resume --count 100000
+    repro-synthesize campaign run --core ibex,cva6 --budgets 500,2000
+    repro-synthesize campaign run --resume --max-parallel-cells 4
+    repro-synthesize campaign status --core ibex,cva6 --budgets 500,2000
+    repro-synthesize campaign report --core ibex,cva6 --budgets 500,2000
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.contract_tables import run_table1, run_table2
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.table3 import run_table3
-from repro.pipeline import SynthesisPipeline, describe_registries
+from repro.pipeline import REGISTRIES, SynthesisPipeline, describe_registries
 
 _EXPERIMENTS = ("fig2", "fig3", "table1", "table2", "table3")
-_COMMANDS = _EXPERIMENTS + ("all", "list", "run")
+_COMMANDS = _EXPERIMENTS + ("all", "list", "run", "campaign")
+_CAMPAIGN_ACTIONS = ("run", "status", "report")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -38,8 +46,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=_COMMANDS,
         help="which figure/table to regenerate, 'all' for every "
-        "experiment, 'list' to print the plugin registries, or 'run' "
-        "for an ad-hoc pipeline",
+        "experiment, 'list' to print the plugin registries, 'run' "
+        "for an ad-hoc pipeline, or 'campaign' for a resumable grid sweep",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="for 'campaign': run (default), status, or report; "
+        "for 'list': a registry name to print just that registry",
     )
     parser.add_argument(
         "--scale",
@@ -58,12 +73,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="do not cache or reuse evaluated datasets",
     )
     pipeline_group = parser.add_argument_group(
-        "pipeline plugins", "registry names (see 'repro-synthesize list')"
+        "pipeline plugins",
+        "registry names (see 'repro-synthesize list'); 'campaign' accepts "
+        "comma-separated lists on every plugin flag",
     )
     pipeline_group.add_argument(
         "--core",
         default=None,
-        help="core model for fig2/fig3/table3/run (default: ibex)",
+        help="core model for fig2/fig3/table3/run/campaign (default: ibex)",
     )
     pipeline_group.add_argument(
         "--attacker",
@@ -76,22 +93,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ILP solver backend (default: scipy-milp)",
     )
     pipeline_group.add_argument(
+        "--template",
+        default=None,
+        help="contract template for run/campaign (default: riscv-rv32im)",
+    )
+    pipeline_group.add_argument(
+        "--restrict",
+        default=None,
+        help="template restriction for run/campaign, e.g. 'base' or "
+        "'IL+RL+ML+AL'",
+    )
+    pipeline_group.add_argument(
         "--executor",
         default=None,
         help="evaluation executor backend (serial, multiprocess, "
         "futures, threaded; default: in-process evaluation)",
     )
     run_group = parser.add_argument_group("ad-hoc pipeline ('run' only)")
-    run_group.add_argument(
-        "--template",
-        default=None,
-        help="contract template (default: riscv-rv32im)",
-    )
-    run_group.add_argument(
-        "--restrict",
-        default=None,
-        help="template restriction, e.g. 'base' or 'IL+RL+ML+AL'",
-    )
     run_group.add_argument(
         "--count", type=int, default=1000, help="test-case budget (default: 1000)"
     )
@@ -112,16 +130,18 @@ def _build_parser() -> argparse.ArgumentParser:
         const=True,
         default=None,
         metavar="PATH",
-        help="checkpoint completed evaluation shards to PATH (default "
-        "with no PATH: derive from the dataset cache key) and resume "
-        "from it; implies --executor multiprocess",
+        help="run: checkpoint completed evaluation shards to PATH and "
+        "resume from them (implies --executor multiprocess); campaign: "
+        "reuse completed cells from the campaign manifest at PATH "
+        "(default with no PATH: derive the path from the campaign name)",
     )
     run_group.add_argument(
         "--processes",
         type=int,
         default=None,
         metavar="N",
-        help="executor worker count (default: backend-specific)",
+        help="run: executor worker count; campaign: total process "
+        "budget shared by all concurrently running cells",
     )
     run_group.add_argument(
         "--shard-size",
@@ -129,6 +149,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="test cases per evaluation shard (default: 250)",
+    )
+    campaign_group = parser.add_argument_group("campaign grid ('campaign' only)")
+    campaign_group.add_argument(
+        "--campaign-name",
+        default="cli",
+        help="campaign name, keying the cell manifest (default: cli)",
+    )
+    campaign_group.add_argument(
+        "--budgets",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated test-case budgets (default: --count)",
+    )
+    campaign_group.add_argument(
+        "--seeds",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated generator seeds (default: --seed)",
+    )
+    campaign_group.add_argument(
+        "--max-parallel-cells",
+        type=int,
+        default=1,
+        metavar="N",
+        help="cells executed concurrently (default: 1)",
+    )
+    campaign_group.add_argument(
+        "--filter",
+        action="append",
+        default=[],
+        metavar="AXIS=VALUE",
+        dest="filters",
+        help="only cells matching AXIS=VALUE (repeatable), e.g. "
+        "--filter core=ibex --filter budget=500",
     )
     return parser
 
@@ -168,13 +222,123 @@ def _run_pipeline(arguments) -> int:
     return 0
 
 
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _parse_filters(pairs: List[str]) -> Dict[str, str]:
+    from repro.campaign import AXES
+
+    filters: Dict[str, str] = {}
+    for pair in pairs:
+        axis, separator, value = pair.partition("=")
+        if not separator or not value or axis not in AXES:
+            raise SystemExit(
+                "bad --filter %r: expected AXIS=VALUE with AXIS one of %s"
+                % (pair, ", ".join(AXES))
+            )
+        filters[axis] = value
+    return filters
+
+
+def _campaign_runner(arguments):
+    """Build the spec and runner shared by campaign run/status/report."""
+    from repro.campaign import CampaignRunner, CampaignSpec
+
+    budgets = _split(arguments.budgets)
+    seeds = _split(arguments.seeds)
+    restrictions = _split(arguments.restrict)
+    spec = CampaignSpec(
+        name=arguments.campaign_name,
+        cores=tuple(_split(arguments.core) or ("ibex",)),
+        attackers=tuple(_split(arguments.attacker) or ("retirement-timing",)),
+        templates=tuple(_split(arguments.template) or ("riscv-rv32im",)),
+        restrictions=tuple(restrictions) if restrictions else (None,),
+        solvers=tuple(_split(arguments.solver) or ("scipy-milp",)),
+        budgets=tuple(int(budget) for budget in budgets)
+        if budgets
+        else (arguments.count,),
+        seeds=tuple(int(seed) for seed in seeds) if seeds else (arguments.seed,),
+        verify=arguments.verify,
+    )
+    manifest = (
+        arguments.resume if isinstance(arguments.resume, str) else True
+    )
+    return CampaignRunner(
+        spec,
+        results_dir=arguments.results_dir,
+        cache=not arguments.no_cache,
+        executor=arguments.executor,
+        process_budget=arguments.processes,
+        shard_size=arguments.shard_size,
+        max_parallel_cells=arguments.max_parallel_cells,
+        manifest=manifest,
+        resume=arguments.resume is not None,
+        filters=_parse_filters(arguments.filters),
+        keep_results=False,
+        progress=lambda event: print(
+            "[%d/%d] %s (%s%.3fs)"
+            % (
+                event.completed_cells,
+                event.total_cells,
+                event.cell.label(),
+                "resumed, " if event.resumed else "",
+                event.elapsed_seconds,
+            )
+        ),
+    )
+
+
+def _run_campaign(arguments) -> int:
+    """The ``campaign`` subcommand: run, status, or report."""
+    action = arguments.action or "run"
+    if action not in _CAMPAIGN_ACTIONS:
+        raise SystemExit(
+            "unknown campaign action %r (choose from %s)"
+            % (action, ", ".join(_CAMPAIGN_ACTIONS))
+        )
+    runner = _campaign_runner(arguments)
+    if action == "status":
+        print(runner.status().render())
+        return 0
+    if action == "report":
+        print(runner.report().render())
+        return 0
+    result = runner.run()
+    print()
+    print(result.render())
+    directory = os.path.join(arguments.results_dir)
+    os.makedirs(directory, exist_ok=True)
+    summary_path = os.path.join(
+        directory, "campaign_%s.txt" % runner.spec.name
+    )
+    with open(summary_path, "w") as stream:
+        stream.write(result.render() + "\n")
+    print("summary written to %s" % summary_path)
+    return 0
+
+
+def _list_registries(action: Optional[str]) -> int:
+    """The ``list`` subcommand, optionally filtered to one registry."""
+    if action is not None and action not in REGISTRIES:
+        raise SystemExit(
+            "unknown registry %r (choose from %s)"
+            % (action, ", ".join(REGISTRIES))
+        )
+    print(describe_registries(only=action))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
     if arguments.experiment == "list":
-        print(describe_registries())
-        return 0
+        return _list_registries(arguments.action)
     if arguments.experiment == "run":
         return _run_pipeline(arguments)
+    if arguments.experiment == "campaign":
+        return _run_campaign(arguments)
 
     kwargs = {"results_dir": arguments.results_dir, "cache": not arguments.no_cache}
     if arguments.scale is not None:

@@ -11,6 +11,7 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.campaign import CampaignRunner, CampaignSpec
 from repro.contracts.template import Contract
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import experiment_pipeline, shared_template
@@ -70,6 +71,26 @@ class ContractTableResult:
         return "\n".join(lines)
 
 
+def contract_table_campaign(
+    config: ExperimentConfig, core_name: str, synthesis_count: int
+) -> CampaignSpec:
+    """The Table I/II grid: one full-budget synthesis cell per core.
+
+    ``verify=0`` because :func:`verify_contract_correctness` below
+    re-checks the contract against its synthesis set anyway.
+    """
+    return CampaignSpec(
+        name="contract-table-%s" % core_name,
+        cores=(core_name,),
+        attackers=(config.attacker,),
+        templates=("riscv-rv32im",),
+        solvers=(config.solver,),
+        budgets=(synthesis_count,),
+        seeds=(config.synthesis_seed,),
+        verify=0,
+    )
+
+
 def _run_contract_table(
     config: ExperimentConfig,
     core_name: str,
@@ -78,12 +99,17 @@ def _run_contract_table(
     output_stem: str,
 ) -> ContractTableResult:
     template = shared_template()
-    pipeline = experiment_pipeline(
-        config, core_name, template, synthesis_count, config.synthesis_seed
-    )
-    # verify_contract_correctness below already re-checks the contract
-    # against its synthesis set; skip the pipeline's own check.
-    pipeline_result = pipeline.verify(0).run()
+    spec = contract_table_campaign(config, core_name, synthesis_count)
+    campaign = CampaignRunner(
+        spec,
+        results_dir=config.results_dir,
+        cache=config.cache,
+        executor=config.executor,
+        manifest=False,
+    ).run()
+    # The diagnostics below need the evaluated dataset and the solver
+    # result, not just the cell summary — pull the full PipelineResult.
+    pipeline_result = campaign.result_for(campaign.cells[0])
     synthesis_set = pipeline_result.dataset
     evaluation_set = experiment_pipeline(
         config, core_name, template,

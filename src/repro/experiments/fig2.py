@@ -8,6 +8,14 @@ precision increases with richer templates; data-dependency leakages
 (DL) give the largest improvement; precision dips when new leak kinds
 are first discovered (the contract must cover them with coarse atoms
 until finer ones are available).
+
+The (restriction x prefix) sweep is a :class:`CampaignSpec`: one cell
+per grid point, all cells sharing one dataset stream, so the campaign
+runner evaluates the largest budget once and serves every smaller
+prefix from it.  Test cases are generated per test id, which makes a
+budget-``n`` cell's dataset byte-identical to ``prefix(n)`` of the
+full synthesis set — the campaign path reproduces the pre-campaign
+driver output exactly.
 """
 
 from __future__ import annotations
@@ -16,16 +24,13 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.contracts.atoms import LeakageFamily
-from repro.contracts.riscv_template import cumulative_family_sets
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.contracts.riscv_template import cumulative_family_sets, restriction_label
+from repro.contracts.template import Contract
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import experiment_pipeline, shared_template
 from repro.reporting.curves import Series, render_ascii_chart, write_csv
 from repro.synthesis.metrics import evaluate_contract
-
-
-def _family_label(families: Tuple[LeakageFamily, ...]) -> str:
-    return "+".join(family.name for family in families)
 
 
 @dataclass
@@ -51,37 +56,53 @@ class Fig2Result:
         )
 
 
+def fig2_campaign(config: ExperimentConfig, core_name: str = "ibex") -> CampaignSpec:
+    """The Figure 2 grid: cumulative restrictions x synthesis prefixes."""
+    return CampaignSpec(
+        name="fig2-%s" % core_name,
+        cores=(core_name,),
+        attackers=(config.attacker,),
+        templates=("riscv-rv32im",),
+        restrictions=tuple(
+            restriction_label(families) for families in cumulative_family_sets()
+        ),
+        solvers=(config.solver,),
+        budgets=tuple(config.synthesis_prefixes()),
+        seeds=(config.synthesis_seed,),
+        verify=0,
+    )
+
+
 def run_fig2(
     config: Optional[ExperimentConfig] = None,
     core_name: str = "ibex",
 ) -> Fig2Result:
-    """Run the Figure 2 experiment."""
+    """Run the Figure 2 experiment through the campaign runner."""
     config = config if config is not None else ExperimentConfig()
-    template = shared_template()
-
-    synthesis_pipeline = experiment_pipeline(
-        config, core_name, template,
-        config.synthesis_test_cases, config.synthesis_seed,
-    )
-    synthesis_set = synthesis_pipeline.evaluate()
+    spec = fig2_campaign(config, core_name)
+    campaign = CampaignRunner(
+        spec,
+        results_dir=config.results_dir,
+        cache=config.cache,
+        executor=config.executor,
+        manifest=config.cache,
+    ).run()
     evaluation_set = experiment_pipeline(
-        config, core_name, template,
+        config, core_name, "riscv-rv32im",
         config.evaluation_test_cases, config.evaluation_seed,
     ).evaluate()
 
-    synthesizer = synthesis_pipeline.synthesizer()
+    template = shared_template()
     prefixes = config.synthesis_prefixes()
     series: List[Series] = []
-    for families in cumulative_family_sets():
-        allowed = template.ids_by_family(families)
+    for restriction in spec.restrictions:
         points: List[Tuple[float, Optional[float]]] = []
         for prefix in prefixes:
-            synthesis_result = synthesizer.synthesize(
-                synthesis_set.prefix(prefix), allowed_atom_ids=allowed
-            )
-            counts = evaluate_contract(synthesis_result.contract, evaluation_set)
+            outcome = campaign.outcome(restriction=restriction, budget=prefix)
+            contract = Contract(template, outcome.atom_ids)
+            counts = evaluate_contract(contract, evaluation_set)
             points.append((float(prefix), counts.precision))
-        series.append(Series(label=_family_label(families), points=points))
+        series.append(Series(label=restriction, points=points))
 
     result = Fig2Result(
         series=series,

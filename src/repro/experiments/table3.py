@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from repro.campaign import CampaignRunner, CampaignSpec
 from repro.experiments.config import ExperimentConfig
-from repro.pipeline import SynthesisPipeline
 
 
 @dataclass
@@ -81,6 +81,22 @@ class Table3Result:
         return "\n".join(lines)
 
 
+def table3_campaign(
+    config: ExperimentConfig, core_names: Sequence[str], test_cases: int
+) -> CampaignSpec:
+    """The Table III grid: one timing cell per core."""
+    return CampaignSpec(
+        name="table3",
+        cores=tuple(core_names),
+        attackers=(config.attacker,),
+        templates=("riscv-rv32im",),
+        solvers=(config.solver,),
+        budgets=(test_cases,),
+        seeds=(config.synthesis_seed,),
+        verify=0,
+    )
+
+
 def run_table3(
     config: Optional[ExperimentConfig] = None,
     core_names: Optional[List[str]] = None,
@@ -93,29 +109,26 @@ def run_table3(
         200, config.synthesis_test_cases // 4
     )
 
+    # No cache, no manifest, no verification budget: every phase is
+    # measured live, exactly as the paper times its toolchain (a
+    # resumed or cache-served cell would report stale or zero timings).
+    spec = table3_campaign(config, core_names, count)
+    campaign = CampaignRunner(
+        spec, results_dir=config.results_dir, cache=False, manifest=False
+    ).run()
+
     timings = []
     for core_name in core_names:
-        # No cache and no verification budget: every phase is measured
-        # live, exactly as the paper times its toolchain.
-        result = (
-            SynthesisPipeline()
-            .core(core_name)
-            .attacker(config.attacker)
-            .solver(config.solver)
-            .budget(count, config.synthesis_seed)
-            .verify(0)
-            .run()
-        )
-        phases = result.timings
+        phases = campaign.outcome(core=core_name).timings
         timings.append(
             CoreTiming(
                 core_name=core_name,
                 test_cases=count,
-                compilation_seconds=phases.setup_seconds,
-                simulation_per_test_case=phases.simulation_seconds / count,
-                extraction_per_test_case=phases.extraction_seconds / count,
-                contract_computation_seconds=phases.synthesis_seconds,
-                overall_seconds=phases.total_seconds,
+                compilation_seconds=phases["setup"],
+                simulation_per_test_case=phases["simulation"] / count,
+                extraction_per_test_case=phases["extraction"] / count,
+                contract_computation_seconds=phases["synthesis"],
+                overall_seconds=phases["total"],
             )
         )
 

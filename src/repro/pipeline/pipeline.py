@@ -14,7 +14,6 @@ cache file.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from dataclasses import dataclass
@@ -28,7 +27,7 @@ from repro.contracts.riscv_template import (
     TEMPLATE_REGISTRY,
     restriction_label,
 )
-from repro.contracts.template import Contract, ContractTemplate
+from repro.contracts.template import Contract, ContractTemplate, template_digest
 from repro.evaluation.backends import EvaluationExecutor, ShardProgress
 from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.evaluation.parallel import evaluate_parallel
@@ -339,9 +338,7 @@ class SynthesisPipeline:
 
     def attacker_name(self) -> str:
         return (
-            self._attacker
-            if isinstance(self._attacker, str)
-            else self._attacker.name
+            self._attacker if isinstance(self._attacker, str) else self._attacker.name
         )
 
     def solver_name(self) -> str:
@@ -349,9 +346,7 @@ class SynthesisPipeline:
 
     def template_name(self) -> str:
         return (
-            self._template
-            if isinstance(self._template, str)
-            else self._template.name
+            self._template if isinstance(self._template, str) else self._template.name
         )
 
     def resolve_core(self) -> Core:
@@ -415,9 +410,7 @@ class SynthesisPipeline:
         if not isinstance(self._core, str) or not isinstance(self._attacker, str):
             return None
         template = self.resolve_template()
-        digest = hashlib.md5(
-            "|".join(atom.name for atom in template).encode()
-        ).hexdigest()[:8]
+        digest = template_digest(template)
         return os.path.join(
             self._cache_dir,
             "%s-%s-%s-%s-seed%d-n%d%s.json"

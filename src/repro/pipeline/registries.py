@@ -11,7 +11,7 @@ the pipeline front end and the CLI ``list`` subcommand.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.attacker import ATTACKER_REGISTRY
 from repro.contracts.riscv_template import RESTRICTION_REGISTRY, TEMPLATE_REGISTRY
@@ -31,10 +31,19 @@ REGISTRIES: Dict[str, Registry] = {
 }
 
 
-def describe_registries() -> str:
-    """Human-readable listing of every registry (``repro-synthesize list``)."""
+def describe_registries(only: Optional[str] = None) -> str:
+    """Human-readable listing of the registries (``repro-synthesize
+    list``); ``only`` restricts the output to one registry by its
+    :data:`REGISTRIES` key (``"templates"``, ``"restrictions"``, ...).
+    """
+    if only is not None and only not in REGISTRIES:
+        raise ValueError(
+            "unknown registry %r (choose from %s)" % (only, ", ".join(REGISTRIES))
+        )
     lines = []
     for title, registry in REGISTRIES.items():
+        if only is not None and title != only:
+            continue
         lines.append("%s:" % title)
         for name in registry.names():
             description = registry.describe(name)

@@ -7,6 +7,7 @@ from repro.reporting.tables import (
     TABLE_CATEGORIES,
     contract_summary_grid,
     grid_agreement,
+    render_comparison_table,
     render_contract_table,
 )
 from repro.reporting.curves import Series, render_ascii_chart, write_csv
@@ -20,6 +21,7 @@ __all__ = [
     "contract_summary_grid",
     "grid_agreement",
     "render_ascii_chart",
+    "render_comparison_table",
     "render_contract_table",
     "write_csv",
 ]

@@ -11,7 +11,7 @@ Cells aggregate per-opcode atoms into instruction categories:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.contracts.atoms import LeakageFamily
 from repro.contracts.template import Contract, ContractTemplate
@@ -163,3 +163,35 @@ def grid_agreement(measured: Grid, reference: Grid) -> Tuple[int, int, List[str]
                 % (category.value, family.name, measured_marker.value, expected.value)
             )
     return matches, total, mismatches
+
+
+def render_comparison_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """A plain aligned text table for cross-configuration comparisons.
+
+    ``headers`` and every row are pre-rendered strings; columns are
+    left-aligned and sized to their widest cell.  Campaigns use this to
+    compare synthesized contracts across (core x attacker x template x
+    solver x budget) cells, but the renderer is deliberately generic.
+    """
+    widths = [len(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row has %d cells for %d headers" % (len(row), len(headers))
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Tests for the campaign cell manifest (JSONL checkpointing)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignKeyError,
+    CampaignManifest,
+    CellOutcome,
+    load_outcomes,
+)
+from repro.contracts.riscv_template import TEMPLATE_REGISTRY
+from repro.contracts.template import template_digest
+
+#: Digest of the registered template the test cells name; outcomes
+#: must carry it or stored() treats them as computed under a
+#: differently-defined template.
+_DIGEST = template_digest(TEMPLATE_REGISTRY.create("riscv-rv32im"))
+
+
+def _cell(**overrides):
+    defaults = dict(
+        core="ibex",
+        attacker="retirement-timing",
+        template="riscv-rv32im",
+        restriction=None,
+        solver="greedy",
+        budget=10,
+        seed=0,
+        verify=0,
+    )
+    defaults.update(overrides)
+    return CampaignCell(**defaults)
+
+
+def _outcome(cell, atom_ids=(1, 2, 3), digest=_DIGEST):
+    return CellOutcome(
+        cell=cell,
+        atom_ids=tuple(atom_ids),
+        false_positives=0,
+        test_cases=cell.budget,
+        distinguishable=4,
+        optimal=True,
+        solver_name=cell.solver,
+        satisfied=None,
+        timings={"total": 0.5, "synthesis": 0.1},
+        cache_hit=False,
+        dataset_reused=False,
+        template_digest=digest,
+    )
+
+
+class TestRoundTrip:
+    def test_append_and_reload(self, tmp_path):
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        cells = [_cell(budget=10), _cell(budget=20)]
+        for cell in cells:
+            manifest.append_cell(_outcome(cell))
+
+        reloaded = CampaignManifest(path, "sweep")
+        assert len(reloaded) == 2
+        stored = reloaded.stored(cells)
+        outcome = stored[cells[0].key()]
+        assert outcome.resumed  # loaded outcomes are marked resumed
+        assert outcome.cell == cells[0]
+        assert outcome.atom_ids == (1, 2, 3)
+        assert outcome.timings["total"] == 0.5
+
+    def test_stored_matches_by_full_identity(self, tmp_path):
+        """A cell whose solver or budget changed reuses nothing."""
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        manifest.append_cell(_outcome(_cell(budget=10)))
+        assert manifest.stored([_cell(budget=10)])
+        assert not manifest.stored([_cell(budget=11)])
+        assert not manifest.stored([_cell(solver="scipy-milp")])
+        assert not manifest.stored([_cell(verify=None)])
+
+    def test_stale_template_digest_is_not_reused(self, tmp_path):
+        """A cell names its template by registry name only; an outcome
+        whose stored atom-list digest no longer matches the registered
+        template (the template definition changed between runs) must be
+        re-run, not resumed.  Outcomes from pre-digest manifests
+        (empty digest) are likewise dropped."""
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        current = _cell(budget=10)
+        stale = _cell(budget=20)
+        legacy = _cell(budget=30)
+        manifest.append_cell(_outcome(current))
+        manifest.append_cell(_outcome(stale, digest="00000000"))
+        manifest.append_cell(_outcome(legacy, digest=""))
+        stored = CampaignManifest(path, "sweep").stored([current, stale, legacy])
+        assert set(stored) == {current.key()}
+
+    def test_grid_extension_keeps_stored_cells(self, tmp_path):
+        """The campaign analogue of budget extension: growing the grid
+        reuses every stored cell still present in the plan."""
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        manifest.append_cell(_outcome(_cell(budget=10)))
+        extended_plan = [_cell(budget=10), _cell(budget=20), _cell(core="cva6")]
+        stored = CampaignManifest(path, "sweep").stored(extended_plan)
+        assert set(stored) == {_cell(budget=10).key()}
+
+    def test_load_outcomes_in_plan_order(self, tmp_path):
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        first, second, third = _cell(budget=10), _cell(budget=20), _cell(budget=30)
+        manifest.append_cell(_outcome(third))
+        manifest.append_cell(_outcome(first))
+        outcomes = load_outcomes(path, "sweep", [first, second, third])
+        assert [outcome.cell.budget for outcome in outcomes] == [10, 30]
+
+
+class TestRobustness:
+    def test_campaign_name_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "c.cells.jsonl")
+        CampaignManifest(path, "sweep").append_cell(_outcome(_cell()))
+        with pytest.raises(CampaignKeyError, match="different campaign"):
+            CampaignManifest(path, "other-sweep")
+
+    def test_torn_trailing_line_is_discarded_and_rewritten(self, tmp_path):
+        """A campaign killed mid-append leaves a partial final line;
+        loading must drop that cell, keep the intact ones, and rewrite
+        the torn bytes so the next append lands cleanly."""
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        kept = _cell(budget=10)
+        torn = _cell(budget=20)
+        manifest.append_cell(_outcome(kept))
+        manifest.append_cell(_outcome(torn))
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        with open(path, "w") as stream:
+            stream.write("\n".join(lines[:-1]) + "\n")
+            stream.write(lines[-1][: len(lines[-1]) // 2])  # torn write
+
+        recovered = CampaignManifest(path, "sweep")
+        assert len(recovered) == 1
+        assert kept.key() in recovered.completed
+        assert torn.key() not in recovered.completed
+        with open(path) as stream:
+            assert len(stream.read().splitlines()) == 2  # header + intact cell
+
+        # Re-appending after recovery is durable and parseable.
+        recovered.append_cell(_outcome(torn))
+        reloaded = CampaignManifest(path, "sweep")
+        assert len(reloaded) == 2
+
+    def test_corruption_before_final_line_raises(self, tmp_path):
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        manifest.append_cell(_outcome(_cell(budget=10)))
+        manifest.append_cell(_outcome(_cell(budget=20)))
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        lines[1] = lines[1][:10]
+        with open(path, "w") as stream:
+            stream.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt campaign manifest"):
+            CampaignManifest(path, "sweep")
+
+    def test_reset_drops_every_stored_cell(self, tmp_path):
+        path = str(tmp_path / "c.cells.jsonl")
+        manifest = CampaignManifest(path, "sweep")
+        manifest.append_cell(_outcome(_cell()))
+        manifest.reset()
+        assert len(manifest) == 0
+        assert len(CampaignManifest(path, "sweep")) == 0
+        with open(path) as stream:
+            header = json.loads(stream.readline())
+        assert header["key"] == {"campaign": "sweep"}

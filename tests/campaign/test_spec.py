@@ -1,0 +1,163 @@
+"""Tests for CampaignSpec expansion: grids, overrides, excludes."""
+
+import pytest
+
+from repro.campaign import CampaignCell, CampaignSpec, filter_cells
+
+
+def _cell(**overrides):
+    defaults = dict(
+        core="ibex",
+        attacker="retirement-timing",
+        template="riscv-rv32im",
+        restriction=None,
+        solver="greedy",
+        budget=10,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return CampaignCell(**defaults)
+
+
+class TestExpansion:
+    def test_cross_product_in_axis_order(self):
+        spec = CampaignSpec(
+            name="grid",
+            cores=("ibex", "cva6"),
+            budgets=(10, 20),
+            seeds=(0, 1),
+        )
+        cells = spec.expand()
+        assert len(cells) == 8
+        # Later axes vary fastest: seed, then budget, then core.
+        assert [(c.core, c.budget, c.seed) for c in cells[:4]] == [
+            ("ibex", 10, 0),
+            ("ibex", 10, 1),
+            ("ibex", 20, 0),
+            ("ibex", 20, 1),
+        ]
+        assert cells[4].core == "cva6"
+
+    def test_spec_settings_reach_every_cell(self):
+        spec = CampaignSpec(name="s", verify=0, fastpath=False, budgets=(5,))
+        (cell,) = spec.expand()
+        assert cell.verify == 0
+        assert not cell.fastpath
+
+    def test_override_rewrites_matching_cells(self):
+        spec = CampaignSpec(
+            name="s",
+            cores=("ibex", "cva6"),
+            budgets=(100,),
+            overrides={"cva6": {"budget": 30}},
+        )
+        budgets = {cell.core: cell.budget for cell in spec.expand()}
+        assert budgets == {"ibex": 100, "cva6": 30}
+
+    def test_override_collapse_deduplicates_cells(self):
+        """Two budgets collapsed to one by an override leave one cell."""
+        spec = CampaignSpec(
+            name="s",
+            cores=("ibex", "cva6"),
+            budgets=(10, 20),
+            overrides={"cva6": {"budget": 5}},
+        )
+        cells = spec.expand()
+        assert len([c for c in cells if c.core == "ibex"]) == 2
+        assert len([c for c in cells if c.core == "cva6"]) == 1
+
+    def test_exclude_predicate_and_dicts(self):
+        predicate = CampaignSpec(
+            name="s",
+            cores=("ibex", "cva6"),
+            budgets=(10, 20),
+            exclude=lambda cell: cell.core == "cva6" and cell.budget == 20,
+        )
+        assert len(predicate.expand()) == 3
+        dicts = CampaignSpec(
+            name="s",
+            cores=("ibex", "cva6"),
+            budgets=(10, 20),
+            exclude=[{"core": "cva6", "budget": 20}],
+        )
+        assert [c.identity() for c in dicts.expand()] == [
+            c.identity() for c in predicate.expand()
+        ]
+
+    def test_all_cells_excluded_raises(self):
+        spec = CampaignSpec(name="s", exclude=lambda cell: True)
+        with pytest.raises(ValueError, match="zero cells"):
+            spec.expand()
+
+
+class TestValidation:
+    def test_unknown_plugin_names_fail_fast(self):
+        with pytest.raises(ValueError, match="axis 'cores'.*unknown core 'rocket'"):
+            CampaignSpec(name="s", cores=("ibex", "rocket")).expand()
+        with pytest.raises(ValueError, match="unknown attacker"):
+            CampaignSpec(name="s", attackers=("oscilloscope",)).expand()
+        with pytest.raises(ValueError, match="unknown restriction"):
+            CampaignSpec(name="s", restrictions=("everything",)).expand()
+
+    def test_none_restriction_is_the_unrestricted_template(self):
+        cells = CampaignSpec(name="s", restrictions=(None, "base")).expand()
+        assert [cell.restriction for cell in cells] == [None, "base"]
+
+    def test_bad_overrides_fail_fast(self):
+        with pytest.raises(ValueError, match="matches no declared axis value"):
+            CampaignSpec(name="s", overrides={"rocket": {"budget": 1}}).expand()
+        with pytest.raises(ValueError, match="unknown cell field"):
+            CampaignSpec(
+                name="s",
+                cores=("ibex",),
+                overrides={"ibex": {"budgett": 1}},
+            ).expand()
+
+    def test_empty_axes_and_name_raise(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            CampaignSpec(name="").expand()
+        with pytest.raises(ValueError, match="axis 'cores' is empty"):
+            CampaignSpec(name="s", cores=()).expand()
+        with pytest.raises(ValueError, match="non-negative"):
+            CampaignSpec(name="s", budgets=(-1,)).expand()
+
+
+class TestCells:
+    def test_identity_round_trips_through_cell_fields(self):
+        cell = _cell(restriction="base", verify=5)
+        assert CampaignCell(**cell.identity()) == cell
+
+    def test_key_is_canonical_and_axis_lookup_works(self):
+        cell = _cell()
+        assert cell.key() == CampaignCell(**cell.identity()).key()
+        assert cell.axis("budget") == 10
+        with pytest.raises(ValueError, match="unknown campaign axis"):
+            cell.axis("flux")
+
+    def test_dataset_group_ignores_synthesis_axes(self):
+        base = _cell()
+        assert base.dataset_group() == _cell(solver="scipy-milp").dataset_group()
+        assert base.dataset_group() == _cell(restriction="base").dataset_group()
+        assert base.dataset_group() == _cell(budget=99).dataset_group()
+        assert base.dataset_group() != _cell(seed=1).dataset_group()
+        assert base.dataset_group() != _cell(core="cva6").dataset_group()
+
+    def test_pipeline_reflects_the_cell(self, tmp_path):
+        cell = _cell(restriction="base", budget=25, seed=3)
+        pipeline = cell.pipeline(cache_dir=str(tmp_path))
+        assert pipeline.core_name() == "ibex"
+        assert pipeline.solver_name() == "greedy"
+        assert "seed3-n25" in pipeline.cache_path()
+
+    def test_filter_cells_matches_axis_strings(self):
+        cells = CampaignSpec(
+            name="s",
+            cores=("ibex", "cva6"),
+            budgets=(10, 20),
+            restrictions=(None, "base"),
+        ).expand()
+        assert all(c.core == "cva6" for c in filter_cells(cells, {"core": "cva6"}))
+        assert len(filter_cells(cells, {"budget": "20"})) == 4
+        unrestricted = filter_cells(cells, {"restriction": "-"})
+        assert all(c.restriction is None for c in unrestricted)
+        assert filter_cells(cells, {"core": "rocket"}) == []

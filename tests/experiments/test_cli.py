@@ -140,3 +140,93 @@ def test_main_runs_table3(tmp_path, capsys):
     output = capsys.readouterr().out
     assert "Table III" in output
     assert (tmp_path / "out" / "table3_runtime.txt").exists()
+
+
+def test_parser_accepts_campaign_flags():
+    parser = _build_parser()
+    arguments = parser.parse_args(
+        [
+            "campaign", "run", "--core", "ibex,cva6", "--budgets", "100,200",
+            "--seeds", "0,1", "--campaign-name", "sweep",
+            "--max-parallel-cells", "3", "--filter", "core=ibex",
+            "--filter", "budget=100",
+        ]
+    )
+    assert arguments.experiment == "campaign"
+    assert arguments.action == "run"
+    assert arguments.core == "ibex,cva6"
+    assert arguments.budgets == "100,200"
+    assert arguments.seeds == "0,1"
+    assert arguments.campaign_name == "sweep"
+    assert arguments.max_parallel_cells == 3
+    assert arguments.filters == ["core=ibex", "budget=100"]
+    # The action defaults to None (campaign treats that as 'run').
+    assert parser.parse_args(["campaign"]).action is None
+
+
+@pytest.mark.pipeline
+def test_main_list_filters_to_one_registry(capsys):
+    """Registries are individually discoverable: 'list templates'
+    prints the template registry and nothing else."""
+    assert main(["list", "templates"]) == 0
+    output = capsys.readouterr().out
+    assert "templates:" in output and "riscv-rv32im" in output
+    assert "cores:" not in output and "executors:" not in output
+
+    assert main(["list", "restrictions"]) == 0
+    output = capsys.readouterr().out
+    assert "restrictions:" in output and "IL+RL+ML" in output
+
+    with pytest.raises(SystemExit, match="unknown registry"):
+        main(["list", "gadgets"])
+
+
+@pytest.mark.campaign
+def test_main_campaign_run_status_report(tmp_path, capsys):
+    """The acceptance scenario end-to-end from the command line: run a
+    grid, inspect its status, re-report from the manifest alone."""
+    results_dir = str(tmp_path / "results")
+    grid = [
+        "--core", "ibex,ibex-dcache", "--budgets", "15,30",
+        "--solver", "greedy", "--verify", "0",
+        "--campaign-name", "clitest", "--results-dir", results_dir,
+    ]
+    assert main(["campaign", "run"] + grid) == 0
+    output = capsys.readouterr().out
+    assert "Campaign 'clitest'" in output
+    assert "4 cells (0 resumed)" in output
+    assert (tmp_path / "results" / "campaign_clitest.txt").exists()
+
+    assert main(["campaign", "status"] + grid + ["--resume"]) == 0
+    output = capsys.readouterr().out
+    assert "4/4 cells completed" in output
+
+    assert main(["campaign", "report"] + grid + ["--resume"]) == 0
+    output = capsys.readouterr().out
+    assert "4 cells (4 resumed)" in output
+
+    # --resume reuses every completed cell on a re-run.
+    assert main(["campaign", "run", "--resume"] + grid) == 0
+    output = capsys.readouterr().out
+    assert "4 cells (4 resumed)" in output
+
+
+@pytest.mark.campaign
+def test_main_campaign_filter_runs_a_slice(tmp_path, capsys):
+    results_dir = str(tmp_path / "results")
+    argv = [
+        "campaign", "run", "--core", "ibex,ibex-dcache", "--budgets", "10",
+        "--solver", "greedy", "--verify", "0", "--results-dir", results_dir,
+        "--filter", "core=ibex",
+    ]
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "1 cells (0 resumed)" in output
+    assert "ibex-dcache" not in output.split("Campaign")[1]
+
+
+def test_main_campaign_rejects_bad_action_and_filter(tmp_path):
+    with pytest.raises(SystemExit, match="unknown campaign action"):
+        main(["campaign", "destroy"])
+    with pytest.raises(SystemExit, match="bad --filter"):
+        main(["campaign", "run", "--filter", "velocity=9"])

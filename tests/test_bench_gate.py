@@ -1,0 +1,79 @@
+"""Tests for the CI bench-regression gate
+(``benchmarks/check_bench_regression.py``)."""
+
+import importlib.util
+import json
+import os
+
+
+def _load_checker():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks",
+        "check_bench_regression.py",
+    )
+    spec = importlib.util.spec_from_file_location("check_bench_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestFindRegressions:
+    def test_no_regression_within_tolerance(self):
+        baseline = {"a": 6.0, "b": 1.8}
+        fresh = {"a": 4.6, "b": 1.9}  # a dropped ~23% < 25%
+        assert checker.find_regressions(baseline, fresh, 0.25) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        problems = checker.find_regressions({"a": 6.0}, {"a": 4.0}, 0.25)
+        assert len(problems) == 1
+        assert "a" in problems[0] and "4.00x" in problems[0]
+
+    def test_missing_benchmark_counts_as_regression(self):
+        problems = checker.find_regressions({"a": 6.0}, {}, 0.25)
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+    def test_new_benchmarks_are_ignored(self):
+        assert checker.find_regressions({}, {"new": 9.0}, 0.25) == []
+
+    def test_boundary_is_exclusive(self):
+        # Exactly at the floor is allowed; below it is not.
+        assert checker.find_regressions({"a": 4.0}, {"a": 3.0}, 0.25) == []
+        assert checker.find_regressions({"a": 4.0}, {"a": 2.999}, 0.25)
+
+
+class TestMain:
+    def _document(self, path, speedups):
+        with open(path, "w") as stream:
+            json.dump({"speedups_vs_reference": speedups, "benchmarks": {}}, stream)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        fresh = str(tmp_path / "fresh.json")
+        self._document(baseline, {"a": 6.0})
+        self._document(fresh, {"a": 5.9})
+        assert checker.main([baseline, fresh]) == 0
+        assert "no speedup regressed" in capsys.readouterr().out
+
+        self._document(fresh, {"a": 1.0})
+        assert checker.main([baseline, fresh]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tighter_threshold_flag(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        fresh = str(tmp_path / "fresh.json")
+        self._document(baseline, {"a": 6.0})
+        self._document(fresh, {"a": 5.0})
+        assert checker.main([baseline, fresh]) == 0
+        assert checker.main([baseline, fresh, "--max-regression", "0.1"]) == 1
+
+    def test_empty_baseline_passes(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        fresh = str(tmp_path / "fresh.json")
+        self._document(baseline, {})
+        self._document(fresh, {"a": 1.0})
+        assert checker.main([baseline, fresh]) == 0
