@@ -31,10 +31,22 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_micro.json")
 
-#: fast-path benchmark -> paired reference benchmark.
+#: fast-path benchmark -> paired reference benchmark.  These ratios sit
+#: under the CI regression gate: both sides run the *same* workload, so
+#: the ratio is machine-insensitive and a drop means a real regression.
 PAIRED_BENCHMARKS = {
     "test_bench_atom_extraction": "test_bench_atom_extraction_reference",
     "test_bench_end_to_end_test_case": "test_bench_end_to_end_test_case_reference",
+}
+
+#: Cross-algorithm pairs reported for context but NOT gated: the
+#: adaptive/fixed ratio mixes per-round MILP solver time against
+#: simulation time, so it shifts with the runner's scipy build and
+#: legitimately sits below 1.0 on this tiny scenario where simulation
+#: is cheap.  The adaptive win is the *deterministic* cases-to-converge
+#: count, recorded in each entry's extra_info.
+INFORMATIONAL_PAIRS = {
+    "test_bench_adaptive_convergence": "test_bench_adaptive_convergence_reference",
 }
 
 _STAT_FIELDS = ("min", "max", "mean", "median", "stddev", "rounds")
@@ -61,20 +73,25 @@ def run_benchmarks(selector: str, raw_json_path: str) -> None:
 
 
 def summarize(raw_report: dict) -> dict:
-    """Distill the raw report into ``{benchmark: {stat: value}}``."""
+    """Distill the raw report into ``{benchmark: {stat: value}}``.
+
+    A benchmark's ``extra_info`` (e.g. the adaptive pair's
+    deterministic ``cases_to_converge`` counts) rides along verbatim.
+    """
     summary = {}
     for entry in raw_report.get("benchmarks", []):
         stats = entry.get("stats", {})
-        summary[entry["name"]] = {
-            field: stats.get(field) for field in _STAT_FIELDS
-        }
+        distilled = {field: stats.get(field) for field in _STAT_FIELDS}
+        if entry.get("extra_info"):
+            distilled["extra_info"] = entry["extra_info"]
+        summary[entry["name"]] = distilled
     return summary
 
 
-def speedups(summary: dict) -> dict:
+def speedups(summary: dict, pairs: dict = None) -> dict:
     """Fast-path vs reference mean-time speedups for the paired runs."""
     ratios = {}
-    for fast_name, reference_name in PAIRED_BENCHMARKS.items():
+    for fast_name, reference_name in (pairs or PAIRED_BENCHMARKS).items():
         fast = summary.get(fast_name, {}).get("mean")
         reference = summary.get(reference_name, {}).get("mean")
         if fast and reference:
@@ -113,6 +130,7 @@ def export(selector: str = "") -> dict:
             "system": platform.system(),
         },
         "speedups_vs_reference": speedups(summary),
+        "informational_ratios": speedups(summary, INFORMATIONAL_PAIRS),
         "benchmarks": dict(sorted(summary.items())),
     }
     with open(OUTPUT_PATH, "w") as stream:
@@ -134,6 +152,8 @@ def main() -> None:
     print("wrote %s (%d benchmarks)" % (OUTPUT_PATH, len(document["benchmarks"])))
     for name, ratio in document["speedups_vs_reference"].items():
         print("  %s: %.2fx vs reference" % (name, ratio))
+    for name, ratio in document["informational_ratios"].items():
+        print("  %s: %.2fx vs reference (informational, not gated)" % (name, ratio))
 
 
 if __name__ == "__main__":

@@ -159,3 +159,84 @@ def test_bench_end_to_end_test_case_reference(benchmark, template):
 
     result = benchmark(evaluate_one)
     assert result is not None
+
+
+#: The pinned adaptive-convergence scenario: the riscv-mem contract on
+#: ibex-dcache under the cache-state attacker saturates within a few
+#: hundred cases, so convergence is deterministic.
+_ADAPTIVE_SCENARIO = dict(core="ibex-dcache", attacker="cache-state")
+_ADAPTIVE_TEMPLATE = "riscv-mem"
+_ADAPTIVE_SEED = 7
+_ADAPTIVE_ROUNDS = 12
+_ADAPTIVE_BATCH = 60
+
+
+def test_bench_adaptive_convergence(benchmark):
+    """The coverage-guided loop run to convergence — paired with
+    ``test_bench_adaptive_convergence_reference`` (the fixed-budget run
+    at the loop's case ceiling).  The adaptive win is *cases to
+    converge* (deterministic; recorded in ``extra_info``); the wall
+    time additionally carries the per-round solver overhead, so the
+    paired "speedup" may sit below 1.0 at this tiny scale where
+    simulation is cheap."""
+    from repro.adaptive import AdaptiveLoop
+
+    def run_loop():
+        return AdaptiveLoop(
+            template=_ADAPTIVE_TEMPLATE,
+            generator="coverage",
+            rounds=_ADAPTIVE_ROUNDS,
+            batch=_ADAPTIVE_BATCH,
+            seed=_ADAPTIVE_SEED,
+            **_ADAPTIVE_SCENARIO,
+        ).run()
+
+    result = benchmark(run_loop)
+    benchmark.extra_info["cases_to_converge"] = result.total_cases
+    assert result.stop_reason.startswith("contract stable")
+
+
+def test_bench_adaptive_convergence_reference(benchmark):
+    """The fixed-budget pipeline at the adaptive loop's case ceiling."""
+    from repro.pipeline import SynthesisPipeline
+
+    def run_fixed():
+        return (
+            SynthesisPipeline()
+            .core(_ADAPTIVE_SCENARIO["core"])
+            .attacker(_ADAPTIVE_SCENARIO["attacker"])
+            .template(_ADAPTIVE_TEMPLATE)
+            .budget(_ADAPTIVE_ROUNDS * _ADAPTIVE_BATCH, seed=_ADAPTIVE_SEED)
+            .verify(0)
+            .run()
+        )
+
+    result = benchmark(run_fixed)
+    benchmark.extra_info["cases_to_converge"] = len(result.dataset)
+
+
+def test_bench_adaptive_matches_fixed_with_fewer_cases():
+    """Not a benchmark: pins the pairing of the two benchmarks above —
+    same contract, measurably fewer evaluated cases."""
+    from repro.adaptive import AdaptiveLoop
+    from repro.pipeline import SynthesisPipeline
+
+    adaptive = AdaptiveLoop(
+        template=_ADAPTIVE_TEMPLATE,
+        generator="coverage",
+        rounds=_ADAPTIVE_ROUNDS,
+        batch=_ADAPTIVE_BATCH,
+        seed=_ADAPTIVE_SEED,
+        **_ADAPTIVE_SCENARIO,
+    ).run()
+    fixed = (
+        SynthesisPipeline()
+        .core(_ADAPTIVE_SCENARIO["core"])
+        .attacker(_ADAPTIVE_SCENARIO["attacker"])
+        .template(_ADAPTIVE_TEMPLATE)
+        .budget(_ADAPTIVE_ROUNDS * _ADAPTIVE_BATCH, seed=_ADAPTIVE_SEED)
+        .verify(0)
+        .run()
+    )
+    assert adaptive.contract.atom_ids == fixed.contract.atom_ids
+    assert adaptive.total_cases < len(fixed.dataset)

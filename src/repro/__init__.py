@@ -12,7 +12,8 @@ The package is organized bottom-up:
 - :mod:`repro.attacker` — microarchitectural attacker models.
 - :mod:`repro.contracts` — contract atoms, templates, and the RISC-V
   contract template of the paper (IL/RL/ML/AL/BL/DL families).
-- :mod:`repro.testgen` — atom-targeted test-case generation.
+- :mod:`repro.testgen` — atom-targeted test-case generation and the
+  ``GENERATOR_REGISTRY`` of pluggable generation strategies.
 - :mod:`repro.evaluation` — attacker distinguishability and
   distinguishing-atom extraction.
 - :mod:`repro.synthesis` — ILP-based contract synthesis, metrics, and
@@ -24,9 +25,13 @@ The package is organized bottom-up:
   registries for cores, attackers, solvers, and templates.
 - :mod:`repro.campaign` — resumable grid sweeps: a
   :class:`~repro.campaign.CampaignSpec` expands (core x attacker x
-  template x restriction x solver x budget x seed) into cells executed
-  through the pipeline with cross-cell dataset reuse and a
-  cell-granularity checkpoint manifest.
+  template x restriction x solver x generator x budget x seed) into
+  cells executed through the pipeline with cross-cell dataset reuse
+  and a cell-granularity checkpoint manifest.
+- :mod:`repro.adaptive` — coverage-guided synthesis loops: rounds of
+  generation steered by evaluator feedback, warm-started per-round
+  ILP synthesis, pluggable stopping rules, and round-granularity
+  checkpointing.
 """
 
 __version__ = "1.0.0"

@@ -40,7 +40,16 @@ from typing import (
 from repro.pipeline import SynthesisPipeline
 
 #: The sweep axes, in expansion (and display) order.
-AXES = ("core", "attacker", "template", "restriction", "solver", "budget", "seed")
+AXES = (
+    "core",
+    "attacker",
+    "template",
+    "restriction",
+    "solver",
+    "generator",
+    "budget",
+    "seed",
+)
 
 #: ``exclude`` may be a predicate or a list of partial axis matches.
 ExcludeLike = Union[
@@ -64,6 +73,17 @@ class CampaignCell:
     solver: str
     budget: int
     seed: int
+    #: Generation strategy (``GENERATOR_REGISTRY`` name).
+    generator: str = "random"
+    #: ``None`` → the classic one-shot pipeline; ``n`` → an adaptive
+    #: run of up to ``n`` rounds whose per-round batch is ``batch``
+    #: (default: the cell budget split evenly across the rounds, so
+    #: ``budget`` stays the cell's total case ceiling on both paths).
+    adaptive_rounds: Optional[int] = None
+    batch: Optional[int] = None
+    #: Stopping rule of an adaptive cell (``STOPPING_REGISTRY`` name;
+    #: ``None`` → the pipeline default, ``contract-stable``).
+    stop: Optional[str] = None
     fastpath: bool = True
     #: Pipeline verification budget: ``None`` checks the synthesized
     #: contract against its own dataset, ``0`` skips, ``n`` runs
@@ -81,6 +101,10 @@ class CampaignCell:
             "solver": self.solver,
             "budget": self.budget,
             "seed": self.seed,
+            "generator": self.generator,
+            "adaptive_rounds": self.adaptive_rounds,
+            "batch": self.batch,
+            "stop": self.stop,
             "fastpath": self.fastpath,
             "verify": self.verify,
         }
@@ -91,7 +115,7 @@ class CampaignCell:
 
     def label(self) -> str:
         """A compact human-readable cell label."""
-        return (
+        label = (
             "core=%s attacker=%s template=%s restrict=%s solver=%s "
             "budget=%d seed=%d"
             % (
@@ -104,6 +128,11 @@ class CampaignCell:
                 self.seed,
             )
         )
+        if self.generator != "random" or self.adaptive_rounds is not None:
+            label += " generator=%s" % self.generator
+        if self.adaptive_rounds is not None:
+            label += " rounds=%d" % self.adaptive_rounds
+        return label
 
     def axis(self, name: str) -> object:
         """The cell's value on one of :data:`AXES`."""
@@ -113,12 +142,48 @@ class CampaignCell:
             )
         return getattr(self, name)
 
-    def dataset_group(self) -> Tuple[str, str, str, int, bool]:
+    def dataset_group(self) -> Tuple[str, str, str, int, bool, str, Optional[int]]:
         """The axes determining the evaluated dataset *stream* — the
         dataset cache key minus the budget.  Cells in one group share
         test cases (generation is per test id), so a cached dataset of
-        a larger budget serves any smaller budget by prefix."""
-        return (self.core, self.template, self.attacker, self.seed, self.fastpath)
+        a larger budget serves any smaller budget by prefix.
+
+        The generator is part of the group: different strategies emit
+        different corpora from the same seed, so their caches must
+        never be conflated.  Adaptive cells additionally carry their
+        round budget — their corpora are feedback-shaped and bypass the
+        dataset cache, so each adaptive configuration is its own
+        (inert) group."""
+        return (
+            self.core,
+            self.template,
+            self.attacker,
+            self.seed,
+            self.fastpath,
+            self.generator,
+            self.adaptive_rounds,
+        )
+
+    def effective_rounds(self) -> Optional[int]:
+        """The round budget actually run: ``adaptive_rounds``, clamped
+        so the derived-batch case ceiling (``rounds * batch``) never
+        exceeds the cell budget (an explicit ``batch`` is the user's
+        own ceiling and is respected as-is) — the shared
+        :func:`~repro.adaptive.loop.derive_round_plan` derivation."""
+        if self.adaptive_rounds is None:
+            return None
+        from repro.adaptive.loop import derive_round_plan
+
+        return derive_round_plan(self.adaptive_rounds, self.batch, self.budget)[0]
+
+    def effective_batch(self) -> Optional[int]:
+        """The per-round batch of an adaptive cell: explicit ``batch``,
+        or the cell budget split evenly across the effective rounds."""
+        if self.adaptive_rounds is None:
+            return self.batch
+        from repro.adaptive.loop import derive_round_plan
+
+        return derive_round_plan(self.adaptive_rounds, self.batch, self.budget)[1]
 
     def pipeline(
         self,
@@ -135,9 +200,18 @@ class CampaignCell:
             .template(self.template)
             .solver(self.solver)
             .budget(self.budget, self.seed)
+            .generator(self.generator)
             .fastpath(self.fastpath)
             .cache_dir(cache_dir)
         )
+        if self.adaptive_rounds is not None:
+            adaptive_settings = dict(
+                rounds=self.effective_rounds(),
+                batch=self.effective_batch(),
+            )
+            if self.stop is not None:
+                adaptive_settings["stop"] = self.stop
+            pipeline.adaptive(**adaptive_settings)
         if self.restriction is not None:
             pipeline.restrict(self.restriction)
         if self.verify is not None:
@@ -168,8 +242,17 @@ class CampaignSpec:
     templates: Sequence[str] = ("riscv-rv32im",)
     restrictions: Sequence[Optional[str]] = (None,)
     solvers: Sequence[str] = ("scipy-milp",)
+    generators: Sequence[str] = ("random",)
     budgets: Sequence[int] = (1000,)
     seeds: Sequence[int] = (0,)
+    #: Applied to every cell (overridable per axis value): ``None``
+    #: keeps cells on the classic one-shot pipeline, ``n`` runs each
+    #: cell as an adaptive loop of up to ``n`` rounds with per-round
+    #: batches of ``batch`` (default: budget split across rounds) and
+    #: the ``stop`` stopping rule (default: contract-stable).
+    adaptive_rounds: Optional[int] = None
+    batch: Optional[int] = None
+    stop: Optional[str] = None
     fastpath: bool = True
     verify: Optional[int] = None
     #: Axis value -> cell-field replacements, applied to every cell
@@ -188,6 +271,7 @@ class CampaignSpec:
             "template": len(self.templates),
             "restriction": len(self.restrictions),
             "solver": len(self.solvers),
+            "generator": len(self.generators),
             "budget": len(self.budgets),
             "seed": len(self.seeds),
         }
@@ -197,12 +281,22 @@ class CampaignSpec:
         self._validate()
         cells: List[CampaignCell] = []
         seen = set()
-        for core, attacker, template, restriction, solver, budget, seed in product(
+        for (
+            core,
+            attacker,
+            template,
+            restriction,
+            solver,
+            generator,
+            budget,
+            seed,
+        ) in product(
             self.cores,
             self.attackers,
             self.templates,
             self.restrictions,
             self.solvers,
+            self.generators,
             self.budgets,
             self.seeds,
         ):
@@ -214,6 +308,10 @@ class CampaignSpec:
                 solver=solver,
                 budget=int(budget),
                 seed=int(seed),
+                generator=generator,
+                adaptive_rounds=self.adaptive_rounds,
+                batch=self.batch,
+                stop=self.stop,
                 fastpath=self.fastpath,
                 verify=self.verify,
             )
@@ -259,6 +357,7 @@ class CampaignSpec:
             ("attackers", self.attackers, REGISTRIES["attackers"]),
             ("templates", self.templates, REGISTRIES["templates"]),
             ("solvers", self.solvers, REGISTRIES["solvers"]),
+            ("generators", self.generators, REGISTRIES["generators"]),
         )
         for axis_name, values, registry in named_axes:
             if not values:
@@ -284,8 +383,39 @@ class CampaignSpec:
         for budget in self.budgets:
             if int(budget) < 0:
                 raise ValueError("campaign budgets must be non-negative")
+        if self.adaptive_rounds is not None and self.adaptive_rounds < 1:
+            raise ValueError("adaptive_rounds must be at least 1")
+        if self.batch is not None and self.batch < 1:
+            raise ValueError("batch must be at least 1")
+        if self.adaptive_rounds is None and (
+            self.batch is not None or self.stop is not None
+        ):
+            raise ValueError(
+                "batch/stop only apply to adaptive cells: set adaptive_rounds"
+            )
+        if self.adaptive_rounds is not None and self.batch is None:
+            for budget in self.budgets:
+                if int(budget) < 1:
+                    raise ValueError(
+                        "adaptive cells derive their per-round batch from "
+                        "the budget: budgets must be positive (or set an "
+                        "explicit batch)"
+                    )
+        if self.stop is not None:
+            stopping_registry = REGISTRIES["stopping-rules"]
+            if self.stop not in stopping_registry:
+                raise ValueError(
+                    "unknown stopping rule %r (registered: %s)"
+                    % (self.stop, ", ".join(stopping_registry.names()))
+                )
         known_values = set()
-        for values in (self.cores, self.attackers, self.templates, self.solvers):
+        for values in (
+            self.cores,
+            self.attackers,
+            self.templates,
+            self.solvers,
+            self.generators,
+        ):
             known_values.update(values)
         known_values.update(v for v in self.restrictions if v is not None)
         for target, changes in self.overrides.items():

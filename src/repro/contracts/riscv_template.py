@@ -173,6 +173,20 @@ TEMPLATE_REGISTRY.register(
     description="RV32IM template plus IS_ZERO operand refinement atoms",
 )
 
+
+def _build_memory_template() -> ContractTemplate:
+    from repro.testgen.opcodes import LOADS, STORES
+
+    return build_riscv_template(opcodes=LOADS + STORES, name="riscv-mem")
+
+
+TEMPLATE_REGISTRY.register(
+    "riscv-mem",
+    _build_memory_template,
+    description="loads/stores only — the pinned cache-leakage scenario "
+    "(saturates quickly; used by the adaptive convergence tests)",
+)
+
 #: Template restrictions (family subsets), keyed by canonical label.
 #: ``create(name)`` returns the tuple of :class:`LeakageFamily` values;
 #: synthesis turns it into allowed atom ids via ``template.restrict``.

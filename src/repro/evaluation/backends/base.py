@@ -51,6 +51,10 @@ class EvaluationTask:
 
     Plugins travel by registry name (instances cannot cross a process
     boundary cheaply); ``template_name`` supersedes ``max_distance``.
+    The generation strategy travels as its ``GENERATOR_REGISTRY`` name
+    plus a JSON snapshot of its feedback state (``None`` for the
+    stateless fresh strategy), so adaptive rounds can fan out through
+    the same workers as fixed-budget runs.
     """
 
     core_name: str
@@ -59,6 +63,10 @@ class EvaluationTask:
     use_fastpath: bool = True
     template_name: Optional[str] = None
     attacker_name: Optional[str] = None
+    generator_name: str = "random"
+    #: Canonical JSON of ``GenerationStrategy.state()`` (kept as a
+    #: string so the task stays hashable and crosses processes cheaply).
+    generator_state: Optional[str] = None
 
     def identity(self) -> dict:
         """The manifest key: every field that changes a shard's rows.
@@ -66,9 +74,14 @@ class EvaluationTask:
         The total budget is deliberately absent — shards are keyed by
         ``(start_id, count)`` and generated per test id, so a manifest
         written under a smaller budget stays valid when the budget is
-        extended.
+        extended.  A non-default generator *is* present (different
+        strategies produce different corpora from the same seed), with
+        its feedback state as a short digest so steered rounds never
+        alias the fresh stream; the default ``random`` strategy is
+        keyed by *absence*, so manifests written before strategies
+        existed (all of them random by construction) stay resumable.
         """
-        return {
+        key = {
             "core": self.core_name,
             "template": self.template_name or "riscv-rv32im",
             "attacker": self.attacker_name or "retirement-timing",
@@ -76,6 +89,15 @@ class EvaluationTask:
             "max_distance": self.max_distance,
             "fastpath": self.use_fastpath,
         }
+        if self.generator_name != "random":
+            key["generator"] = self.generator_name
+        if self.generator_state is not None:
+            import hashlib
+
+            key["generator_state"] = hashlib.md5(
+                self.generator_state.encode()
+            ).hexdigest()[:8]
+        return key
 
 
 @dataclass(frozen=True)
@@ -102,13 +124,15 @@ class ShardEvaluator:
     """
 
     def __init__(self, task: EvaluationTask):
+        import json
+
         from repro.attacker import ATTACKER_REGISTRY
         from repro.contracts.riscv_template import (
             TEMPLATE_REGISTRY,
             build_riscv_template,
         )
         from repro.evaluation.evaluator import TestCaseEvaluator
-        from repro.testgen.generator import TestCaseGenerator
+        from repro.testgen.strategies import GENERATOR_REGISTRY
         from repro.uarch import CORE_REGISTRY
 
         if task.template_name is None:
@@ -121,7 +145,11 @@ class ShardEvaluator:
             else None
         )
         self.task = task
-        self.generator = TestCaseGenerator(template, seed=task.seed)
+        self.generator = GENERATOR_REGISTRY.create(
+            task.generator_name, template, seed=task.seed
+        )
+        if task.generator_state is not None:
+            self.generator.restore(json.loads(task.generator_state))
         self.evaluator = TestCaseEvaluator(
             CORE_REGISTRY.create(task.core_name),
             template,

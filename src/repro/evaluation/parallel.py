@@ -51,6 +51,9 @@ def evaluate_parallel(
     executor: Union[str, EvaluationExecutor] = "multiprocess",
     manifest_path: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    generator_name: str = "random",
+    generator_state: Optional[str] = None,
+    start_id: int = 0,
 ) -> EvaluationDataset:
     """Evaluate ``count`` generated test cases on ``core_name`` using
     the named executor backend.  Equivalent to the sequential evaluator
@@ -73,6 +76,12 @@ def evaluate_parallel(
     inside each worker (instances cannot cross the fork cheaply);
     ``template_name`` supersedes ``max_distance``, so passing both is
     an error.
+
+    ``generator_name`` picks the ``GENERATOR_REGISTRY`` strategy each
+    worker rebuilds, ``generator_state`` its JSON feedback snapshot;
+    ``start_id`` offsets the evaluated test-id range to ``[start_id,
+    start_id + count)`` — the adaptive loop evaluates round ``r`` as
+    one such window.
     """
     if template_name is not None and max_distance != 4:
         raise ValueError(
@@ -89,6 +98,8 @@ def evaluate_parallel(
         use_fastpath=use_fastpath,
         template_name=template_name,
         attacker_name=attacker_name,
+        generator_name=generator_name,
+        generator_state=generator_state,
     )
     if isinstance(executor, str):
         executor = EXECUTOR_REGISTRY.create(executor, processes=processes)
@@ -99,6 +110,8 @@ def evaluate_parallel(
         executor.processes = processes
 
     shards = plan_shards(count, shard_size)
+    if start_id:
+        shards = [(start_id + shard_start, size) for shard_start, size in shards]
     started = time.perf_counter()
 
     manifest = (

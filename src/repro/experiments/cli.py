@@ -11,7 +11,9 @@ grid as a resumable campaign::
     repro-synthesize list templates
     repro-synthesize run --core cva6 --attacker cache-state --count 500
     repro-synthesize run --executor multiprocess --resume --count 100000
+    repro-synthesize run --generator coverage --adaptive-rounds 8 --batch 250
     repro-synthesize campaign run --core ibex,cva6 --budgets 500,2000
+    repro-synthesize campaign run --generator random,coverage --adaptive-rounds 8
     repro-synthesize campaign run --resume --max-parallel-cells 4
     repro-synthesize campaign status --core ibex,cva6 --budgets 500,2000
     repro-synthesize campaign report --core ibex,cva6 --budgets 500,2000
@@ -104,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "'IL+RL+ML+AL'",
     )
     pipeline_group.add_argument(
+        "--generator",
+        default=None,
+        help="test-case generation strategy for run/campaign "
+        "(random, mutate, coverage; default: random)",
+    )
+    pipeline_group.add_argument(
         "--executor",
         default=None,
         help="evaluation executor backend (serial, multiprocess, "
@@ -123,6 +131,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="verify with N fresh directed test cases (default: check "
         "the synthesized contract against the evaluated dataset)",
+    )
+    run_group.add_argument(
+        "--adaptive-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the evaluation phase as an adaptive loop of up to N "
+        "rounds (see also --batch and --stop)",
+    )
+    run_group.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="test cases per adaptive round (default: --count split "
+        "evenly across the rounds)",
+    )
+    run_group.add_argument(
+        "--stop",
+        default=None,
+        metavar="RULE",
+        help="adaptive stopping rule (contract-stable, full-coverage, "
+        "budget; default: contract-stable)",
     )
     run_group.add_argument(
         "--resume",
@@ -202,6 +233,15 @@ def _run_pipeline(arguments) -> int:
         pipeline.template(arguments.template)
     if arguments.restrict:
         pipeline.restrict(arguments.restrict)
+    if arguments.generator:
+        pipeline.generator(arguments.generator)
+    adaptive_rounds = _effective_adaptive_rounds(arguments)
+    if adaptive_rounds is not None:
+        pipeline.adaptive(
+            rounds=adaptive_rounds,
+            batch=arguments.batch,
+            stop=arguments.stop or "contract-stable",
+        )
     if arguments.verify is not None:
         pipeline.verify(arguments.verify)
     if arguments.executor or arguments.processes or arguments.shard_size:
@@ -220,6 +260,37 @@ def _run_pipeline(arguments) -> int:
     print()
     print(render_contract_table(result.contract))
     return 0
+
+
+def _effective_adaptive_rounds(arguments) -> Optional[int]:
+    """The adaptive round budget implied by the ``run`` flags: any of
+    ``--adaptive-rounds``, ``--batch``, or ``--stop`` switches the run
+    into adaptive mode, so no adaptive flag is ever silently dropped.
+    With only ``--batch``, the rounds derive from the case budget
+    (``--count`` stays the total ceiling); with only ``--stop``, they
+    default to 8."""
+    if arguments.adaptive_rounds is not None:
+        return arguments.adaptive_rounds
+    if arguments.batch is not None:
+        return max(1, arguments.count // max(1, arguments.batch))
+    if arguments.stop is not None:
+        return 8
+    return None
+
+
+def _campaign_adaptive_rounds(arguments) -> Optional[int]:
+    """The campaign analogue: budgets are per-cell (``--budgets``), so
+    rounds cannot be derived from the single ``--count`` — require the
+    explicit flag instead of silently inflating cell ceilings."""
+    if arguments.adaptive_rounds is not None:
+        return arguments.adaptive_rounds
+    if arguments.batch is not None or arguments.stop is not None:
+        raise SystemExit(
+            "campaign: --batch/--stop configure adaptive cells, whose "
+            "round budget cannot be derived from --count (budgets are "
+            "per-cell): pass --adaptive-rounds explicitly"
+        )
+    return None
 
 
 def _split(value: Optional[str]) -> Optional[List[str]]:
@@ -257,10 +328,14 @@ def _campaign_runner(arguments):
         templates=tuple(_split(arguments.template) or ("riscv-rv32im",)),
         restrictions=tuple(restrictions) if restrictions else (None,),
         solvers=tuple(_split(arguments.solver) or ("scipy-milp",)),
+        generators=tuple(_split(arguments.generator) or ("random",)),
         budgets=tuple(int(budget) for budget in budgets)
         if budgets
         else (arguments.count,),
         seeds=tuple(int(seed) for seed in seeds) if seeds else (arguments.seed,),
+        adaptive_rounds=_campaign_adaptive_rounds(arguments),
+        batch=arguments.batch,
+        stop=arguments.stop,
         verify=arguments.verify,
     )
     manifest = (

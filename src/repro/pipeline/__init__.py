@@ -31,6 +31,8 @@ Builder surface
 ``.template(name_or_inst)``     contract template (default ``"riscv-rv32im"``)
 ``.restrict(name_or_families)`` template restriction (default: none)
 ``.budget(count, seed)``        test-case budget and generator seed
+``.generator(name_or_inst)``    generation strategy (GENERATOR_REGISTRY)
+``.adaptive(...)``              coverage-guided rounds (repro.adaptive)
 ``.fastpath(bool)``             compiled vs. reference atom extraction
 ``.cache_dir(path)``            dataset cache directory (default: off)
 ``.progress(every)``            evaluation progress printing

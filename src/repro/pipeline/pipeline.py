@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Tuple, Union
 
+from repro.adaptive.loop import AdaptiveLoop, AdaptiveResult, derive_round_plan
+from repro.adaptive.stopping import StoppingRule
 from repro.attacker import ATTACKER_REGISTRY
 from repro.attacker.base import Attacker
 from repro.contracts.atoms import LeakageFamily
@@ -35,7 +37,7 @@ from repro.evaluation.results import EvaluationDataset
 from repro.synthesis import SOLVER_REGISTRY
 from repro.synthesis.solvers import IlpSolver
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
-from repro.testgen.generator import TestCaseGenerator
+from repro.testgen.strategies import GENERATOR_REGISTRY, GenerationStrategy
 from repro.uarch import CORE_REGISTRY
 from repro.uarch.core import Core
 from repro.verification.checker import (
@@ -51,6 +53,7 @@ SolverLike = Union[str, IlpSolver]
 TemplateLike = Union[str, ContractTemplate]
 RestrictionLike = Union[str, Iterable[LeakageFamily]]
 ExecutorLike = Union[str, EvaluationExecutor]
+GeneratorLike = Union[str, GenerationStrategy]
 ShardCallback = Callable[[ShardProgress], None]
 
 
@@ -118,6 +121,11 @@ class PipelineResult:
     synthesis: SynthesisResult
     verification: Optional[SatisfactionReport]
     timings: PhaseTimings
+    #: Generation strategy that produced the dataset.
+    generator_name: str = "random"
+    #: Per-round diagnostics when the run was adaptive
+    #: (:meth:`SynthesisPipeline.adaptive`); ``None`` for one-shot runs.
+    adaptive: Optional[AdaptiveResult] = None
 
     @property
     def contract(self) -> Contract:
@@ -137,13 +145,16 @@ class PipelineResult:
 
     def render(self) -> str:
         lines = [
-            "pipeline: core=%s attacker=%s solver=%s template=%s%s"
+            "pipeline: core=%s attacker=%s solver=%s template=%s%s%s"
             % (
                 self.core_name,
                 self.attacker_name,
                 self.solver_name,
                 self.template_name,
                 " restriction=%s" % self.restriction if self.restriction else "",
+                " generator=%s" % self.generator_name
+                if self.generator_name != "random"
+                else "",
             ),
             "dataset: %d test cases, %d attacker distinguishable"
             % (len(self.dataset), len(self.dataset.distinguishable)),
@@ -164,6 +175,8 @@ class PipelineResult:
                     self.verification.attacker_distinguishable,
                 )
             )
+        if self.adaptive is not None:
+            lines.append(self.adaptive.render())
         lines.append("timings: %s" % self.timings.render())
         return "\n".join(lines)
 
@@ -201,6 +214,11 @@ class SynthesisPipeline:
         self._solver: SolverLike = "scipy-milp"
         self._template: TemplateLike = "riscv-rv32im"
         self._restriction: Optional[RestrictionLike] = None
+        self._generator: GeneratorLike = "random"
+        #: ``None`` → the classic one-shot run; a dict → adaptive mode
+        #: (``rounds``, ``batch``, ``stop``), executed by
+        #: :class:`~repro.adaptive.AdaptiveLoop`.
+        self._adaptive: Optional[dict] = None
         self._count: int = 1000
         self._seed: int = 0
         self._use_fastpath: bool = True
@@ -261,6 +279,51 @@ class SynthesisPipeline:
         self._count = count
         self._seed = seed
         return self
+
+    def generator(self, generator: GeneratorLike) -> "SynthesisPipeline":
+        """Test-case generation strategy: a ``GENERATOR_REGISTRY`` name
+        (``"random"``, ``"mutate"``, ``"coverage"``) or a
+        :class:`~repro.testgen.strategies.GenerationStrategy` instance.
+        Feedback-driven strategies only receive feedback in adaptive
+        mode (:meth:`adaptive`); in a one-shot run they generate their
+        fresh-state stream."""
+        self._generator = generator
+        return self
+
+    def adaptive(
+        self,
+        generator: Optional[GeneratorLike] = None,
+        rounds: int = 8,
+        batch: Optional[int] = None,
+        stop: Union[None, str, StoppingRule, tuple, list] = "contract-stable",
+    ) -> "SynthesisPipeline":
+        """Run the evaluation phase as an adaptive generate → evaluate
+        → steer loop instead of one fixed-budget shot.
+
+        ``rounds`` bounds the loop; ``batch`` sizes each round, and
+        defaults to the :meth:`budget` count split evenly across the
+        rounds — so the configured budget stays the total case ceiling
+        on both the classic and the adaptive path (with an *explicit*
+        batch the ceiling is ``rounds * batch`` instead).  ``stop`` is
+        a ``STOPPING_REGISTRY`` name, a
+        :class:`~repro.adaptive.StoppingRule`, or a sequence of either
+        — the loop also always stops when the round budget is
+        exhausted.  ``generator`` defaults to the strategy configured
+        via :meth:`generator` (i.e. ``"random"`` unless changed).
+        The dataset cache is bypassed (a steered corpus is shaped by
+        feedback, not reusable by key); use :meth:`resume` for
+        round-granularity checkpointing instead."""
+        if generator is not None:
+            self._generator = generator
+        self._adaptive = {"rounds": rounds, "batch": batch, "stop": stop}
+        return self
+
+    def _adaptive_plan(self) -> Tuple[int, int]:
+        """The adaptive ``(rounds, batch)`` actually run — see
+        :func:`repro.adaptive.loop.derive_round_plan`."""
+        return derive_round_plan(
+            self._adaptive["rounds"], self._adaptive["batch"], self._count
+        )
 
     def fastpath(self, enabled: bool) -> "SynthesisPipeline":
         """Toggle the compiled extraction engine (reference otherwise)."""
@@ -349,6 +412,13 @@ class SynthesisPipeline:
             self._template if isinstance(self._template, str) else self._template.name
         )
 
+    def generator_name(self) -> str:
+        return (
+            self._generator
+            if isinstance(self._generator, str)
+            else self._generator.name
+        )
+
     def resolve_core(self) -> Core:
         if isinstance(self._core, str):
             return CORE_REGISTRY.create(self._core)
@@ -370,6 +440,13 @@ class SynthesisPipeline:
         if self._resolved_template is None:
             self._resolved_template = TEMPLATE_REGISTRY.create(self._template)
         return self._resolved_template
+
+    def resolve_generator(self, template: ContractTemplate) -> GenerationStrategy:
+        if isinstance(self._generator, str):
+            return GENERATOR_REGISTRY.create(
+                self._generator, template, seed=self._seed
+            )
+        return self._generator
 
     def resolve_restriction(
         self, template: ContractTemplate
@@ -394,31 +471,45 @@ class SynthesisPipeline:
         """The dataset cache file for this configuration, or ``None``.
 
         The key covers everything that changes the evaluated dataset:
-        core, template, attacker, seed, budget, and (defensively) the
-        extraction engine.  Historically the attacker was omitted, so
-        switching attackers silently reused stale datasets.
+        core, template, attacker, generator strategy, seed, budget, and
+        (defensively) the extraction engine.  Historically the
+        attacker was omitted, so switching attackers silently reused
+        stale datasets; the generator entered with the strategy
+        registry — two strategies produce different corpora from the
+        same seed, so cached corpora must never be conflated.
 
-        Caching requires the core and attacker to be configured *by
-        registry name*: an instance (e.g. ``IbexCore(IbexConfig(
-        dcache=True))``) may carry configuration its ``name`` attribute
+        Caching requires the core, attacker, and generator to be
+        configured *by registry name*: an instance (e.g.
+        ``IbexCore(IbexConfig(dcache=True))``, or a strategy carrying
+        feedback state) may carry configuration its ``name`` attribute
         does not express, so keying on it could serve a stale dataset.
         Templates may be instances — their key includes a digest of the
         atom list, which fully determines extraction.
+
+        Adaptive runs bypass the dataset cache entirely (a steered
+        corpus is shaped by round feedback, not addressable by a static
+        key) and checkpoint rounds instead (:meth:`resume`).
         """
-        if self._cache_dir is None:
+        if self._cache_dir is None or self._adaptive is not None:
             return None
         if not isinstance(self._core, str) or not isinstance(self._attacker, str):
             return None
+        if not isinstance(self._generator, str):
+            return None
         template = self.resolve_template()
         digest = template_digest(template)
+        # The default strategy is keyed by absence, so caches written
+        # before generators existed (all random) stay valid.
+        generator = "" if self._generator == "random" else "-g%s" % self._generator
         return os.path.join(
             self._cache_dir,
-            "%s-%s-%s-%s-seed%d-n%d%s.json"
+            "%s-%s-%s-%s%s-seed%d-n%d%s.json"
             % (
                 self._core,
                 template.name,
                 digest,
                 self._attacker,
+                generator,
                 self._seed,
                 self._count,
                 "" if self._use_fastpath else "-ref",
@@ -445,6 +536,49 @@ class SynthesisPipeline:
             )
         return os.path.splitext(cache_path)[0] + ".shards.jsonl"
 
+    def adaptive_manifest_path(self) -> Optional[str]:
+        """The adaptive round-manifest file, or ``None`` when
+        resumption is off.  An explicit :meth:`resume` path wins;
+        otherwise the path is derived from the cache directory and the
+        loop's identity axes (the ``AdaptiveManifest`` header key — not
+        the file name — is what actually binds the checkpoint)."""
+        if self._resume is None:
+            return None
+        if isinstance(self._resume, str):
+            return self._resume
+        if self._cache_dir is None or not (
+            isinstance(self._core, str)
+            and isinstance(self._attacker, str)
+            and isinstance(self._generator, str)
+        ):
+            raise ValueError(
+                "resume(True) derives the round manifest from the loop "
+                "identity: configure cache_dir() and name-based plugins, "
+                "or pass an explicit manifest path"
+            )
+        template = self.resolve_template()
+        restriction_name, _allowed = self.resolve_restriction(template)
+        # Every identity axis of the manifest key appears in the name:
+        # two configurations with different keys must not collide on
+        # one file (the header check would reject the second as a
+        # different loop instead of checkpointing it separately).
+        return os.path.join(
+            self._cache_dir,
+            "%s-%s-%s-%s-g%s-%s%s-seed%d-b%d%s.rounds.jsonl"
+            % (
+                self._core,
+                template.name,
+                template_digest(template),
+                self._attacker,
+                self._generator,
+                self.solver_name(),
+                "-r%s" % restriction_name if restriction_name else "",
+                self._seed,
+                self._adaptive_plan()[1] if self._adaptive else 0,
+                "" if self._use_fastpath else "-ref",
+            ),
+        )
+
     # -- execution -----------------------------------------------------
 
     def _effective_executor(self) -> Optional[ExecutorLike]:
@@ -462,11 +596,12 @@ class SynthesisPipeline:
             isinstance(self._core, str)
             and isinstance(self._attacker, str)
             and isinstance(self._template, str)
+            and isinstance(self._generator, str)
         ):
             raise ValueError(
                 "executor backends rebuild plugins by registry name "
-                "inside each worker: configure core, attacker, and "
-                "template by name when using .executor()/.resume()"
+                "inside each worker: configure core, attacker, template, "
+                "and generator by name when using .executor()/.resume()"
             )
         stats = {"total": 0, "resumed": 0}
 
@@ -500,6 +635,7 @@ class SynthesisPipeline:
             executor=executor,
             manifest_path=self.manifest_path(),
             progress=on_shard,
+            generator_name=self._generator,
         )
         if timings is not None:
             timings.executor_name = (
@@ -530,7 +666,7 @@ class SynthesisPipeline:
                 dataset.save(cache_path)
             return dataset, None
         template = self.resolve_template()
-        generator = TestCaseGenerator(template, seed=self._seed)
+        generator = self.resolve_generator(template)
         evaluator = TestCaseEvaluator(
             self.resolve_core(),
             template,
@@ -552,6 +688,8 @@ class SynthesisPipeline:
 
     def run(self) -> PipelineResult:
         """Run the full chain and return a :class:`PipelineResult`."""
+        if self._adaptive is not None:
+            return self._run_adaptive()
         timings = PhaseTimings()
         total_start = time.perf_counter()
 
@@ -567,7 +705,7 @@ class SynthesisPipeline:
             # compilation included) is part of the setup phase, like
             # the paper's testbench compilation; a cache hit skips it,
             # and executor workers each build (and time) their own.
-            generator = TestCaseGenerator(template, seed=self._seed)
+            generator = self.resolve_generator(template)
             evaluator = TestCaseEvaluator(
                 core, template, attacker=attacker, use_fastpath=self._use_fastpath
             )
@@ -628,4 +766,112 @@ class SynthesisPipeline:
             synthesis=synthesis,
             verification=verification,
             timings=timings,
+            generator_name=self.generator_name(),
+        )
+
+    def _adaptive_progress(self):
+        """A per-round progress printer when :meth:`progress` is on
+        (the adaptive analogue of the one-shot path's per-case and
+        per-shard progress)."""
+        if not self._progress_every:
+            return None
+
+        def emit(record) -> None:
+            print(
+                "round %d: %d cases evaluated (%.1f%% atom coverage, "
+                "%d-atom contract)%s"
+                % (
+                    record.round_index,
+                    record.cumulative_cases,
+                    100.0 * record.atom_coverage,
+                    record.contract_size,
+                    " [%s]" % record.stop_reason if record.stop_reason else "",
+                )
+            )
+
+        return emit
+
+    def _run_adaptive(self) -> PipelineResult:
+        """The adaptive run: rounds executed by
+        :class:`~repro.adaptive.AdaptiveLoop`, repackaged as a
+        :class:`PipelineResult` (the loop's accumulated dataset and
+        final synthesis take the places of the one-shot phases; the
+        per-round records travel in ``result.adaptive``).
+
+        Timing semantics differ from the one-shot run: evaluation and
+        synthesis interleave per round, so ``evaluation_seconds`` is
+        the whole loop and ``synthesis_seconds`` only the final
+        round's solve (already included in the former).
+        """
+        timings = PhaseTimings()
+        total_start = time.perf_counter()
+
+        template = self.resolve_template()
+        restriction_name, allowed_atom_ids = self.resolve_restriction(template)
+        rounds, batch = self._adaptive_plan()
+        loop = AdaptiveLoop(
+            core=self._core,
+            template=self._template,
+            attacker=self._attacker,
+            solver=self._solver,
+            generator=self._generator,
+            rounds=rounds,
+            batch=batch,
+            stop=self._adaptive["stop"],
+            seed=self._seed,
+            allowed_atom_ids=allowed_atom_ids,
+            restriction=restriction_name,
+            use_fastpath=self._use_fastpath,
+            executor=self._executor,
+            processes=self._processes,
+            shard_size=self._shard_size,
+            manifest_path=self.adaptive_manifest_path(),
+            progress=self._adaptive_progress(),
+        )
+        timings.setup_seconds = time.perf_counter() - total_start
+
+        evaluation_start = time.perf_counter()
+        adaptive = loop.run()
+        timings.evaluation_seconds = time.perf_counter() - evaluation_start
+        timings.synthesis_seconds = adaptive.synthesis.wall_seconds
+        if self._executor is not None:
+            timings.executor_name = (
+                self._executor
+                if isinstance(self._executor, str)
+                else self._executor.name
+            )
+
+        verification_start = time.perf_counter()
+        verification: Optional[SatisfactionReport]
+        if self._verify_budget is None:
+            verification = check_dataset_satisfaction(
+                adaptive.synthesis.contract, adaptive.dataset
+            )
+        elif self._verify_budget > 0:
+            verification = check_contract_satisfaction(
+                adaptive.synthesis.contract,
+                self.resolve_core(),
+                test_cases=self._verify_budget,
+                seed=self._verify_seed
+                if self._verify_seed is not None
+                else self._seed + 1,
+                attacker=self.resolve_attacker(),
+            )
+        else:
+            verification = None
+        timings.verification_seconds = time.perf_counter() - verification_start
+
+        timings.total_seconds = time.perf_counter() - total_start
+        return PipelineResult(
+            core_name=self.core_name(),
+            attacker_name=self.attacker_name(),
+            solver_name=self.solver_name(),
+            template_name=self.template_name(),
+            restriction=restriction_name,
+            dataset=adaptive.dataset,
+            synthesis=adaptive.synthesis,
+            verification=verification,
+            timings=timings,
+            generator_name=self.generator_name(),
+            adaptive=adaptive,
         )

@@ -13,11 +13,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.adaptive.stopping import STOPPING_REGISTRY
 from repro.attacker import ATTACKER_REGISTRY
 from repro.contracts.riscv_template import RESTRICTION_REGISTRY, TEMPLATE_REGISTRY
 from repro.evaluation.backends import EXECUTOR_REGISTRY
 from repro.registry import Registry
 from repro.synthesis import SOLVER_REGISTRY
+from repro.testgen.strategies import GENERATOR_REGISTRY
 from repro.uarch import CORE_REGISTRY
 
 #: Every pipeline axis, in CLI display order.
@@ -28,6 +30,8 @@ REGISTRIES: Dict[str, Registry] = {
     "templates": TEMPLATE_REGISTRY,
     "restrictions": RESTRICTION_REGISTRY,
     "executors": EXECUTOR_REGISTRY,
+    "generators": GENERATOR_REGISTRY,
+    "stopping-rules": STOPPING_REGISTRY,
 }
 
 

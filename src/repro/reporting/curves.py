@@ -1,4 +1,10 @@
-"""Curve data (Figures 2 and 3) with CSV and ASCII rendering."""
+"""Curve data (Figures 2 and 3) with CSV and ASCII rendering.
+
+Also hosts the adaptive-loop convergence curves: per-round atom
+coverage and contract size over cumulative evaluated test cases
+(:func:`adaptive_round_curves`), consumed by
+``AdaptiveResult.curves()`` and the adaptive example/driver plots.
+"""
 
 from __future__ import annotations
 
@@ -40,6 +46,30 @@ def write_csv(path: str, series_list: Sequence[Series]) -> None:
                 value = table.get(x)
                 row.append("" if value is None else "%.6f" % value)
             stream.write(",".join(row) + "\n")
+
+
+def adaptive_round_curves(records: Sequence) -> List[Series]:
+    """Convergence curves of one adaptive run.
+
+    ``records`` are ``repro.adaptive.RoundRecord``-shaped objects (any
+    object with ``cumulative_cases``, ``atom_coverage``,
+    ``contract_size``, and ``false_positives`` works — the reporting
+    layer stays import-independent of the loop).  Three series over
+    cumulative evaluated cases: the fraction of targetable atoms
+    distinguished so far, the synthesized contract's atom count, and
+    its false positives.
+    """
+    coverage, size, fps = [], [], []
+    for record in records:
+        x = float(record.cumulative_cases)
+        coverage.append((x, record.atom_coverage))
+        size.append((x, float(record.contract_size)))
+        fps.append((x, float(record.false_positives)))
+    return [
+        Series("atom-coverage", coverage),
+        Series("contract-atoms", size),
+        Series("false-positives", fps),
+    ]
 
 
 def render_ascii_chart(

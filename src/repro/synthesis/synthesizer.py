@@ -14,7 +14,12 @@ from typing import Iterable, Optional, Tuple
 from repro.contracts.template import Contract, ContractTemplate
 from repro.evaluation.results import EvaluationDataset
 from repro.synthesis.ilp import IlpInstance, build_ilp_instance
-from repro.synthesis.solvers import IlpSolver, ScipyMilpSolver, SolverResult
+from repro.synthesis.solvers import (
+    IlpSolver,
+    ScipyMilpSolver,
+    SolverResult,
+    eliminate_redundant_atoms,
+)
 
 
 @dataclass
@@ -63,15 +68,30 @@ class ContractSynthesizer:
         self,
         dataset: EvaluationDataset,
         allowed_atom_ids: Optional[Iterable[int]] = None,
+        warm_start: Optional[Iterable[int]] = None,
     ) -> SynthesisResult:
         """Synthesize the most precise correct contract for ``dataset``.
 
         ``allowed_atom_ids`` restricts the template (e.g. to the
         IL+RL+ML base families); atom ids refer to ``self.template``.
+
+        ``warm_start`` is a previously synthesized selection (the
+        adaptive loop passes the previous round's contract): when it
+        still covers every coverage constraint of the new instance at
+        zero false-positive weight it is *provably optimal* (the
+        objective is a non-negative FP count), so the solve is skipped
+        and the selection is re-canonicalized instead — in the steady
+        state of a converged loop each round's synthesis degenerates to
+        this feasibility check.  Any other warm selection is ignored
+        and the backend solves cold.
         """
         start = time.perf_counter()
         instance = build_ilp_instance(dataset, allowed_atom_ids)
-        solver_result = self.solver.solve(instance)
+        solver_result = None
+        if warm_start is not None:
+            solver_result = self._try_warm_start(instance, warm_start)
+        if solver_result is None:
+            solver_result = self.solver.solve(instance)
         contract = Contract(self.template, solver_result.selected_atom_ids)
         elapsed = time.perf_counter() - start
         return SynthesisResult(
@@ -82,6 +102,33 @@ class ContractSynthesizer:
             false_positive_test_ids=tuple(
                 instance.false_positive_test_ids(solver_result.selected_atom_ids)
             ),
+        )
+
+    def _try_warm_start(
+        self, instance: IlpInstance, warm_start: Iterable[int]
+    ) -> Optional[SolverResult]:
+        """A :class:`SolverResult` for a still-optimal warm selection,
+        or ``None`` when a cold solve is needed.
+
+        The warm selection is first intersected with the instance's
+        candidate set (new data may have dominance-eliminated an atom);
+        it is reused only when the intersection still covers every
+        constraint at zero FP weight, which makes it objective-optimal.
+        """
+        if not instance.cover_sets:
+            return None
+        selection = frozenset(warm_start) & frozenset(instance.candidate_atom_ids)
+        if not selection or not instance.covers_all(selection):
+            return None
+        if instance.false_positive_weight(selection) != 0:
+            return None
+        selected = frozenset(eliminate_redundant_atoms(instance, sorted(selection)))
+        return SolverResult(
+            selected_atom_ids=selected,
+            false_positives=0,
+            solver_name=self.solver.name,
+            optimal=True,
+            stats={"warm_start": 1.0},
         )
 
 

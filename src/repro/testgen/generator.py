@@ -34,50 +34,28 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import DEFAULT_BASE_ADDRESS, Program
 from repro.isa.state import ArchState
+from repro.testgen.opcodes import (
+    BRANCH_VALUE_PAIRS as _BRANCH_VALUE_PAIRS,
+    BRANCHES as _BRANCHES,
+    FILLER_POOL,
+    LOADS as _LOADS,
+    SHIFTS_IMM as _SHIFTS_IMM,
+    STORE_FOR_LOAD as _STORE_FOR_LOAD,
+    UPPER as _UPPER,
+    mutation_pool,
+)
 from repro.testgen.testcase import TestCase
 
 _MASK32 = 0xFFFFFFFF
 
-#: Opcode pools for OP mutation and random instruction synthesis.
-_R_ALU = (
-    Opcode.ADD, Opcode.SUB, Opcode.SLL, Opcode.SLT, Opcode.SLTU,
-    Opcode.XOR, Opcode.SRL, Opcode.SRA, Opcode.OR, Opcode.AND,
-)
-_I_ALU = (
-    Opcode.ADDI, Opcode.SLTI, Opcode.SLTIU, Opcode.XORI, Opcode.ORI, Opcode.ANDI,
-)
-_SHIFTS_IMM = (Opcode.SLLI, Opcode.SRLI, Opcode.SRAI)
-_LOADS = (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU)
-_STORES = (Opcode.SB, Opcode.SH, Opcode.SW)
-_BRANCHES = (
-    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU,
-)
-_MULS = (Opcode.MUL, Opcode.MULH, Opcode.MULHSU, Opcode.MULHU)
-_DIVS = (Opcode.DIV, Opcode.DIVU, Opcode.REM, Opcode.REMU)
-_UPPER = (Opcode.LUI, Opcode.AUIPC)
 
-_OP_MUTATION_POOLS = {}
-for _pool in (_R_ALU, _I_ALU, _SHIFTS_IMM, _LOADS, _STORES, _BRANCHES, _MULS,
-              _DIVS, _UPPER):
-    for _opcode in _pool:
-        _OP_MUTATION_POOLS[_opcode] = _pool
-
-#: Store matching the width of each load, for read-data tests.
-_STORE_FOR_LOAD = {
-    Opcode.LB: Opcode.SB, Opcode.LBU: Opcode.SB,
-    Opcode.LH: Opcode.SH, Opcode.LHU: Opcode.SH,
-    Opcode.LW: Opcode.SW,
-}
-
-#: (values making the condition true, values making it false) per branch.
-_BRANCH_VALUE_PAIRS = {
-    Opcode.BEQ: ((5, 5), (5, 6)),
-    Opcode.BNE: ((5, 6), (5, 5)),
-    Opcode.BLT: ((3, 9), (9, 3)),
-    Opcode.BGE: ((9, 3), (3, 9)),
-    Opcode.BLTU: ((3, 9), (9, 3)),
-    Opcode.BGEU: ((9, 3), (3, 9)),
-}
+def child_rng(seed: int, test_id: int) -> random.Random:
+    """The per-test-id RNG shared by the legacy generator and every
+    ``GENERATOR_REGISTRY`` strategy.  A test case is a function of
+    ``(seed, test_id, strategy state)`` — this single derivation is
+    what makes shard fan-out, budget prefixes, and the random-strategy
+    byte-identity sound, so both call sites must use it."""
+    return random.Random((seed << 24) ^ test_id)
 
 
 @dataclass
@@ -123,7 +101,7 @@ class TestCaseGenerator:
     def iter_generate(self, count: int, start_id: int = 0) -> Iterable[TestCase]:
         for offset in range(count):
             test_id = start_id + offset
-            rng = random.Random((self.seed << 24) ^ test_id)
+            rng = child_rng(self.seed, test_id)
             atom = self._atoms[rng.randrange(len(self._atoms))]
             yield self.generate_for_atom(atom, test_id, rng)
 
@@ -137,7 +115,9 @@ class TestCaseGenerator:
         target = self._random_instance(atom.opcode, rng, suffix_length)
         part2_a, part2_b = self._vary(atom, target, rng, state, suffix_length)
         prelude = [self._random_filler(rng, ()) for _ in range(prelude_length)]
-        interesting = self._written_registers(part2_a) | self._written_registers(part2_b)
+        interesting = self._written_registers(part2_a) | self._written_registers(
+            part2_b
+        )
         suffix = [
             self._random_filler(rng, tuple(sorted(interesting)))
             for _ in range(suffix_length)
@@ -189,7 +169,7 @@ class TestCaseGenerator:
                 imm = rng.randint(-2048, 2047)
         return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
 
-    _FILLER_POOL = _R_ALU + _I_ALU + _SHIFTS_IMM + _MULS + (Opcode.LW, Opcode.SW)
+    _FILLER_POOL = FILLER_POOL
 
     def _random_filler(
         self, rng: random.Random, bias_registers: Sequence[int]
@@ -265,7 +245,9 @@ class TestCaseGenerator:
         if source in ("MEM_R_ADDR", "MEM_W_ADDR"):
             return self._vary_address(target, rng, alignment_delta=0)
         if source == "IS_WORD_ALIGNED":
-            return self._vary_address(target, rng, alignment_delta=rng.choice((1, 2, 3)))
+            return self._vary_address(
+                target, rng, alignment_delta=rng.choice((1, 2, 3))
+            )
         if source == "IS_HALF_ALIGNED":
             return self._vary_address(target, rng, alignment_delta=3)
         if source == "BRANCH_TAKEN":
@@ -290,7 +272,7 @@ class TestCaseGenerator:
         return [], target
 
     def _vary_opcode(self, target: Instruction, rng: random.Random):
-        pool = _OP_MUTATION_POOLS.get(target.opcode, ())
+        pool = mutation_pool(target.opcode)
         alternatives = [opcode for opcode in pool if opcode is not target.opcode]
         setup, target = self._finalize_target(target, rng)
         if not alternatives:
@@ -399,7 +381,9 @@ class TestCaseGenerator:
         value_a = rng.getrandbits(32) if rng.random() < 0.5 else rng.randrange(0, 4096)
         value_b = value_a
         while value_b == value_a:
-            value_b = rng.getrandbits(32) if rng.random() < 0.5 else rng.randrange(0, 4096)
+            value_b = (
+                rng.getrandbits(32) if rng.random() < 0.5 else rng.randrange(0, 4096)
+            )
         part_a = self._loader(register, value_a, rng) + setup + [target]
         part_b = self._loader(register, value_b, rng) + setup + [target]
         return self._pad_to_equal_length(part_a, part_b)

@@ -1,0 +1,99 @@
+"""Shared opcode pools for test-case generation and mutation.
+
+One table per instruction shape, used by both the random §IV-B
+generator (:mod:`repro.testgen.generator`) and the adaptive ``mutate``
+strategy (:mod:`repro.testgen.strategies`): an opcode's *pool* is the
+set of same-format siblings it may be swapped with while keeping the
+surrounding program well-formed (operand fields and immediate ranges
+carry over unchanged, modulo clamping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.isa.instructions import Opcode
+
+R_ALU: Tuple[Opcode, ...] = (
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.SLL,
+    Opcode.SLT,
+    Opcode.SLTU,
+    Opcode.XOR,
+    Opcode.SRL,
+    Opcode.SRA,
+    Opcode.OR,
+    Opcode.AND,
+)
+I_ALU: Tuple[Opcode, ...] = (
+    Opcode.ADDI,
+    Opcode.SLTI,
+    Opcode.SLTIU,
+    Opcode.XORI,
+    Opcode.ORI,
+    Opcode.ANDI,
+)
+SHIFTS_IMM: Tuple[Opcode, ...] = (Opcode.SLLI, Opcode.SRLI, Opcode.SRAI)
+LOADS: Tuple[Opcode, ...] = (Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LBU, Opcode.LHU)
+STORES: Tuple[Opcode, ...] = (Opcode.SB, Opcode.SH, Opcode.SW)
+BRANCHES: Tuple[Opcode, ...] = (
+    Opcode.BEQ,
+    Opcode.BNE,
+    Opcode.BLT,
+    Opcode.BGE,
+    Opcode.BLTU,
+    Opcode.BGEU,
+)
+MULS: Tuple[Opcode, ...] = (Opcode.MUL, Opcode.MULH, Opcode.MULHSU, Opcode.MULHU)
+DIVS: Tuple[Opcode, ...] = (Opcode.DIV, Opcode.DIVU, Opcode.REM, Opcode.REMU)
+UPPER: Tuple[Opcode, ...] = (Opcode.LUI, Opcode.AUIPC)
+
+#: Every same-format pool, in canonical order.
+ALL_POOLS: Tuple[Tuple[Opcode, ...], ...] = (
+    R_ALU,
+    I_ALU,
+    SHIFTS_IMM,
+    LOADS,
+    STORES,
+    BRANCHES,
+    MULS,
+    DIVS,
+    UPPER,
+)
+
+#: Opcode -> its same-format pool (opcodes outside any pool, i.e. the
+#: jumps, are absent — callers fall back to an encoding-level mutation).
+MUTATION_POOLS: Dict[Opcode, Tuple[Opcode, ...]] = {
+    opcode: pool for pool in ALL_POOLS for opcode in pool
+}
+
+#: Store matching the width of each load, for read-data tests.
+STORE_FOR_LOAD: Dict[Opcode, Opcode] = {
+    Opcode.LB: Opcode.SB,
+    Opcode.LBU: Opcode.SB,
+    Opcode.LH: Opcode.SH,
+    Opcode.LHU: Opcode.SH,
+    Opcode.LW: Opcode.SW,
+}
+
+#: (values making the condition true, values making it false) per branch.
+BRANCH_VALUE_PAIRS: Dict[Opcode, Tuple[Tuple[int, int], Tuple[int, int]]] = {
+    Opcode.BEQ: ((5, 5), (5, 6)),
+    Opcode.BNE: ((5, 6), (5, 5)),
+    Opcode.BLT: ((3, 9), (9, 3)),
+    Opcode.BGE: ((9, 3), (3, 9)),
+    Opcode.BLTU: ((3, 9), (9, 3)),
+    Opcode.BGEU: ((9, 3), (3, 9)),
+}
+
+#: Non-control opcodes safe as random filler instructions.
+FILLER_POOL: Tuple[Opcode, ...] = R_ALU + I_ALU + SHIFTS_IMM + MULS + (
+    Opcode.LW,
+    Opcode.SW,
+)
+
+
+def mutation_pool(opcode: Opcode) -> Tuple[Opcode, ...]:
+    """The same-format pool of ``opcode`` (empty for the jumps)."""
+    return MUTATION_POOLS.get(opcode, ())

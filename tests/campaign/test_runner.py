@@ -35,13 +35,15 @@ class _GeneratorCounter:
 
     def __init__(self, monkeypatch):
         self.count = 0
-        original = pipeline_module.TestCaseGenerator
+        original = pipeline_module.SynthesisPipeline.resolve_generator
 
-        def counting(*args, **kwargs):
+        def counting(pipeline, template):
             self.count += 1
-            return original(*args, **kwargs)
+            return original(pipeline, template)
 
-        monkeypatch.setattr(pipeline_module, "TestCaseGenerator", counting)
+        monkeypatch.setattr(
+            pipeline_module.SynthesisPipeline, "resolve_generator", counting
+        )
 
 
 class TestGridExecution:
@@ -78,6 +80,42 @@ class TestGridExecution:
         assert result.outcomes[0].atom_ids == tuple(
             sorted(standalone.contract.atom_ids)
         )
+
+    def test_adaptive_cells_sweep_like_any_other(self, tmp_path):
+        """A generators-axis campaign with adaptive cells: outcomes
+        match the standalone adaptive pipeline, and the generator
+        becomes a comparison column."""
+        spec = _spec(
+            cores=("ibex-dcache",),
+            attackers=("cache-state",),
+            templates=("riscv-mem",),
+            generators=("random", "coverage"),
+            budgets=(120,),
+            seeds=(7,),
+            adaptive_rounds=3,
+        )
+        result = run_campaign(spec, results_dir=str(tmp_path))
+        assert len(result.outcomes) == 2
+        standalone = (
+            SynthesisPipeline()
+            .core("ibex-dcache")
+            .attacker("cache-state")
+            .template("riscv-mem")
+            .solver("greedy")
+            .budget(120, 7)
+            .adaptive(generator="coverage", rounds=3, batch=40)
+            .verify(0)
+            .run()
+        )
+        coverage_outcome = result.outcome(generator="coverage")
+        assert coverage_outcome.atom_ids == tuple(
+            sorted(standalone.contract.atom_ids)
+        )
+        assert coverage_outcome.test_cases == len(standalone.dataset)
+        assert "generator" in result.comparison_table()
+        # Adaptive cells resume at cell granularity like any other.
+        resumed = run_campaign(spec, results_dir=str(tmp_path))
+        assert resumed.resumed_count == 2
 
     def test_parallel_cells_match_serial(self, tmp_path):
         spec = _spec(

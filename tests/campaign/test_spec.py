@@ -90,6 +90,93 @@ class TestExpansion:
             spec.expand()
 
 
+class TestGeneratorAxis:
+    def test_generators_expand_like_any_axis(self):
+        spec = CampaignSpec(
+            name="gen",
+            generators=("random", "coverage"),
+            budgets=(10, 20),
+        )
+        cells = spec.expand()
+        assert len(cells) == 4
+        assert [(c.generator, c.budget) for c in cells] == [
+            ("random", 10),
+            ("random", 20),
+            ("coverage", 10),
+            ("coverage", 20),
+        ]
+        assert spec.grid_shape()["generator"] == 2
+
+    def test_unknown_generator_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            CampaignSpec(name="g", generators=("genetic",)).expand()
+
+    def test_adaptive_settings_reach_every_cell(self):
+        spec = CampaignSpec(
+            name="gen",
+            generators=("coverage",),
+            adaptive_rounds=5,
+            batch=13,
+        )
+        (cell,) = spec.expand()
+        assert cell.adaptive_rounds == 5 and cell.batch == 13
+
+    def test_adaptive_cell_builds_an_adaptive_pipeline(self):
+        (cell,) = CampaignSpec(
+            name="gen",
+            generators=("coverage",),
+            budgets=(60,),
+            adaptive_rounds=3,
+        ).expand()
+        pipeline = cell.pipeline()
+        assert pipeline.generator_name() == "coverage"
+        assert pipeline._adaptive == {
+            "rounds": 3,
+            "batch": 20,
+            "stop": "contract-stable",
+        }
+
+    def test_stop_reaches_the_cell_pipeline(self):
+        (cell,) = CampaignSpec(
+            name="gen",
+            generators=("coverage",),
+            budgets=(60,),
+            adaptive_rounds=3,
+            stop="full-coverage",
+        ).expand()
+        assert cell.stop == "full-coverage"
+        assert cell.pipeline()._adaptive["stop"] == "full-coverage"
+
+    def test_unknown_stop_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown stopping rule"):
+            CampaignSpec(name="g", adaptive_rounds=2, stop="gut-feeling").expand()
+
+    def test_generator_override_is_applicable(self):
+        spec = CampaignSpec(
+            name="gen",
+            generators=("random", "coverage"),
+            overrides={"coverage": {"adaptive_rounds": 4}},
+        )
+        by_generator = {cell.generator: cell for cell in spec.expand()}
+        assert by_generator["random"].adaptive_rounds is None
+        assert by_generator["coverage"].adaptive_rounds == 4
+
+    def test_bad_adaptive_settings_raise(self):
+        with pytest.raises(ValueError, match="adaptive_rounds"):
+            CampaignSpec(name="g", adaptive_rounds=0).expand()
+        with pytest.raises(ValueError, match="batch"):
+            CampaignSpec(name="g", batch=0, adaptive_rounds=2).expand()
+        # batch/stop without adaptive_rounds would be silently inert.
+        with pytest.raises(ValueError, match="adaptive_rounds"):
+            CampaignSpec(name="g", batch=10).expand()
+        with pytest.raises(ValueError, match="adaptive_rounds"):
+            CampaignSpec(name="g", stop="budget").expand()
+        # A derived batch needs a positive budget ceiling.
+        with pytest.raises(ValueError, match="positive"):
+            CampaignSpec(name="g", adaptive_rounds=2, budgets=(0,)).expand()
+        assert _cell(adaptive_rounds=2, budget=0, batch=5).effective_batch() == 5
+
+
 class TestValidation:
     def test_unknown_plugin_names_fail_fast(self):
         with pytest.raises(ValueError, match="axis 'cores'.*unknown core 'rocket'"):
@@ -148,6 +235,30 @@ class TestCells:
         assert pipeline.core_name() == "ibex"
         assert pipeline.solver_name() == "greedy"
         assert "seed3-n25" in pipeline.cache_path()
+
+    def test_dataset_group_includes_generator(self):
+        """Regression companion to the pipeline cache-key test: cells
+        with different strategies must never share a dataset group (a
+        group shares cached corpora by prefix)."""
+        assert _cell().dataset_group() != _cell(generator="coverage").dataset_group()
+        assert _cell().dataset_group() != _cell(adaptive_rounds=4).dataset_group()
+
+    def test_effective_batch_splits_the_budget(self):
+        assert _cell().effective_batch() is None
+        assert _cell(adaptive_rounds=4, budget=100).effective_batch() == 25
+        assert _cell(adaptive_rounds=4, budget=100, batch=10).effective_batch() == 10
+        assert _cell(adaptive_rounds=7, budget=3).effective_batch() == 1
+
+    def test_effective_rounds_respect_the_budget_ceiling(self):
+        """A derived batch never lets rounds * batch exceed the cell
+        budget — tiny budgets clamp the round count instead."""
+        assert _cell().effective_rounds() is None
+        assert _cell(adaptive_rounds=4, budget=100).effective_rounds() == 4
+        small = _cell(adaptive_rounds=7, budget=3)
+        assert small.effective_rounds() == 3
+        assert small.effective_rounds() * small.effective_batch() <= small.budget
+        # An explicit batch is the user's own ceiling.
+        assert _cell(adaptive_rounds=7, budget=3, batch=2).effective_rounds() == 7
 
     def test_filter_cells_matches_axis_strings(self):
         cells = CampaignSpec(

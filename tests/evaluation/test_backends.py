@@ -293,3 +293,21 @@ class TestManifestCheckpointing:
         assert header["key"] == EvaluationTask("ibex", seed=1).identity()
         assert header["key"]["core"] == "ibex"
         assert header["key"]["seed"] == 1
+
+    def test_identity_keys_default_generator_by_absence(self):
+        """Back-compat: manifests written before generation strategies
+        existed carry no generator key, and the default random strategy
+        must keep matching them; non-default strategies (and steered
+        states) get their own keys."""
+        random_key = EvaluationTask("ibex", seed=1).identity()
+        assert "generator" not in random_key
+        assert "generator_state" not in random_key
+        coverage_key = EvaluationTask(
+            "ibex", seed=1, generator_name="coverage"
+        ).identity()
+        assert coverage_key["generator"] == "coverage"
+        steered_key = EvaluationTask(
+            "ibex", seed=1, generator_name="coverage", generator_state='{"a": 1}'
+        ).identity()
+        assert steered_key != coverage_key
+        assert steered_key["generator_state"]

@@ -168,6 +168,68 @@ class TestDatasetCache:
         verdicts_cache = [r.attacker_distinguishable for r in cache_state]
         assert verdicts_timing != verdicts_cache
 
+    def test_cache_key_includes_generator(self, tmp_path):
+        """Regression: cached corpora from different generation
+        strategies must never be conflated — same core, attacker, and
+        seed, but the strategies emit different test-case streams."""
+        base = lambda: (  # noqa: E731 - concise per-call builder
+            SynthesisPipeline().core("ibex").budget(20, seed=3).cache_dir(str(tmp_path))
+        )
+        random_dataset, evaluator = base().evaluate_with_stats()
+        assert evaluator is not None  # cache miss, evaluated fresh
+        coverage_dataset, evaluator = (
+            base().generator("coverage").evaluate_with_stats()
+        )
+        assert evaluator is not None  # cache MISS again: new strategy
+        assert len(os.listdir(str(tmp_path))) == 2  # two distinct entries
+        atoms_random = [sorted(r.distinguishing_atom_ids) for r in random_dataset]
+        atoms_coverage = [sorted(r.distinguishing_atom_ids) for r in coverage_dataset]
+        assert atoms_random != atoms_coverage
+        # And the same strategy hits its own entry.
+        _again, evaluator = base().generator("coverage").evaluate_with_stats()
+        assert evaluator is None
+
+    def test_generator_instances_disable_caching(self, tmp_path):
+        """A strategy instance may carry feedback state its name does
+        not express, so it cannot key a cache entry."""
+        from repro.contracts.riscv_template import build_riscv_template
+        from repro.testgen import CoverageStrategy
+
+        strategy = CoverageStrategy(build_riscv_template(), seed=3)
+        pipeline = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(10, seed=3)
+            .generator(strategy)
+            .cache_dir(str(tmp_path))
+        )
+        assert pipeline.cache_path() is None
+
+    def test_adaptive_mode_bypasses_the_dataset_cache(self, tmp_path):
+        pipeline = (
+            SynthesisPipeline()
+            .core("ibex")
+            .budget(10, seed=3)
+            .adaptive(rounds=2, batch=5)
+            .cache_dir(str(tmp_path))
+        )
+        assert pipeline.cache_path() is None
+
+    def test_adaptive_batch_derives_from_the_budget(self):
+        """Without an explicit batch the configured budget stays the
+        adaptive case ceiling: split across rounds, rounds clamped for
+        tiny budgets, and a zero budget rejected."""
+        plan = SynthesisPipeline().budget(1000).adaptive(rounds=8)._adaptive_plan()
+        assert plan == (8, 125)
+        tiny = SynthesisPipeline().budget(3).adaptive(rounds=8)._adaptive_plan()
+        assert tiny == (3, 1)
+        explicit = (
+            SynthesisPipeline().budget(1000).adaptive(rounds=8, batch=40)
+        )._adaptive_plan()
+        assert explicit == (8, 40)
+        with pytest.raises(ValueError, match="positive"):
+            SynthesisPipeline().budget(0).adaptive(rounds=8)._adaptive_plan()
+
     def test_cache_key_includes_fastpath_flag(self, tmp_path):
         pipeline = (
             SynthesisPipeline().core("ibex").budget(10, seed=1).cache_dir(str(tmp_path))

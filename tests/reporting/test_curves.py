@@ -1,6 +1,11 @@
 """Tests for curve serialization and ASCII rendering."""
 
-from repro.reporting.curves import Series, render_ascii_chart, write_csv
+from repro.reporting.curves import (
+    Series,
+    adaptive_round_curves,
+    render_ascii_chart,
+    write_csv,
+)
 
 
 def test_series_accessors():
@@ -44,3 +49,97 @@ def test_ascii_chart_log_x():
 
 def test_ascii_chart_empty():
     assert render_ascii_chart([Series("s", [(1, None)])]) == "(no data)"
+
+
+def test_ascii_chart_clips_out_of_range_values():
+    """Values outside y_range land on the border rows, not off-canvas."""
+    series = Series("s", [(1, -2.0), (2, 0.5), (3, 5.0)])
+    chart = render_ascii_chart([series], y_range=(0.0, 1.0))
+    canvas = "\n".join(
+        line for line in chart.splitlines() if "|" in line
+    )
+    assert canvas.count("*") == 3  # all three points land on the canvas
+
+
+def test_ascii_chart_custom_y_range_labels():
+    chart = render_ascii_chart(
+        [Series("s", [(1, 3.0), (2, 7.0)])], y_range=(0.0, 10.0)
+    )
+    assert "10.00" in chart and "0.00" in chart
+
+
+def test_ascii_chart_single_x_avoids_division_by_zero():
+    chart = render_ascii_chart([Series("s", [(5, 0.5)])])
+    assert "*" in chart
+
+
+def test_write_csv_single_series_round_values(tmp_path):
+    path = tmp_path / "one.csv"
+    write_csv(str(path), [Series("only", [(0.5, 0.125)])])
+    lines = path.read_text().strip().splitlines()
+    assert lines == ["x,only", "0.5,0.125000"]
+
+
+class _Record:
+    """A RoundRecord-shaped stub (the curves API is duck-typed)."""
+
+    def __init__(self, cases, coverage, size, fps):
+        self.cumulative_cases = cases
+        self.atom_coverage = coverage
+        self.contract_size = size
+        self.false_positives = fps
+
+
+def test_adaptive_round_curves_shapes():
+    records = [
+        _Record(100, 0.5, 4, 1),
+        _Record(200, 0.9, 6, 3),
+        _Record(300, 1.0, 6, 5),
+    ]
+    curves = adaptive_round_curves(records)
+    by_label = {series.label: series for series in curves}
+    assert set(by_label) == {"atom-coverage", "contract-atoms", "false-positives"}
+    assert by_label["atom-coverage"].points == [
+        (100.0, 0.5),
+        (200.0, 0.9),
+        (300.0, 1.0),
+    ]
+    assert by_label["contract-atoms"].ys == [4.0, 6.0, 6.0]
+    assert by_label["false-positives"].ys == [1.0, 3.0, 5.0]
+
+
+def test_adaptive_round_curves_render_and_serialize(tmp_path):
+    """The adaptive curves plug into the existing CSV/chart sinks."""
+    records = [_Record(50, 0.25, 2, 0), _Record(100, 1.0, 3, 2)]
+    curves = adaptive_round_curves(records)
+    chart = render_ascii_chart([curves[0]])
+    assert "atom-coverage" in chart
+    path = tmp_path / "adaptive.csv"
+    write_csv(str(path), curves)
+    header, *rows = path.read_text().strip().splitlines()
+    assert header == "x,atom-coverage,contract-atoms,false-positives"
+    assert len(rows) == 2
+
+
+def test_adaptive_round_curves_from_real_records():
+    """The duck-typed contract holds for actual RoundRecords."""
+    from repro.adaptive import RoundRecord
+
+    record = RoundRecord(
+        round_index=0,
+        start_id=0,
+        cases=10,
+        cumulative_cases=10,
+        distinguishable=4,
+        covered_atoms=3,
+        atom_coverage=0.75,
+        contract_atom_ids=(1, 5),
+        false_positives=1,
+        warm_started=False,
+        resumed=False,
+        stop_reason=None,
+        seconds=0.1,
+    )
+    curves = adaptive_round_curves([record])
+    assert curves[0].points == [(10.0, 0.75)]
+    assert curves[1].points == [(10.0, 2.0)]
