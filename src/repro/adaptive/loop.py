@@ -30,6 +30,9 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.adaptive.manifest import AdaptiveManifest
 from repro.adaptive.stopping import AdaptiveState, StoppingRule, resolve_stopping_rules
+from repro.resilience.injection import maybe_inject
+from repro.resilience.quarantine import FailureLog, FailureRecord
+from repro.resilience.retry import RetryPolicy, is_retryable
 from repro.attacker import ATTACKER_REGISTRY
 from repro.attacker.base import Attacker
 from repro.contracts.template import ContractTemplate, template_digest
@@ -217,6 +220,10 @@ class AdaptiveLoop:
         shard_size: int = 250,
         manifest_path: Optional[str] = None,
         progress: Optional[RoundCallback] = None,
+        retry: Optional[RetryPolicy] = None,
+        shard_timeout: Optional[float] = None,
+        failure_log_path: Optional[str] = None,
+        on_failure: Optional[Callable[[FailureRecord], None]] = None,
     ):
         if rounds < 1:
             raise ValueError("rounds must be at least 1")
@@ -264,6 +271,12 @@ class AdaptiveLoop:
         self.shard_size = shard_size
         self.manifest_path = manifest_path
         self.progress = progress
+        #: Round-granularity retry policy; also forwarded to the
+        #: executor path for shard-granularity retry within a round.
+        self.retry = retry
+        self.shard_timeout = shard_timeout
+        self.failure_log_path = failure_log_path
+        self.on_failure = on_failure
         #: In-process evaluator, built lazily on the first evaluated round.
         self._evaluator: Optional[TestCaseEvaluator] = None
         if executor is not None and not (
@@ -358,7 +371,9 @@ class AdaptiveLoop:
             started = time.perf_counter()
             start_id = round_index * self.batch
             state = self.strategy.state()
-            round_results = self._evaluate_round(start_id, state)
+            round_results = self._evaluate_round_resilient(
+                round_index, start_id, state
+            )
             self.strategy.observe(round_results)
             accumulator.ingest(round_results)
             synthesis = synthesizer.synthesize(
@@ -428,6 +443,48 @@ class AdaptiveLoop:
 
     # -- internals -----------------------------------------------------
 
+    def _evaluate_round_resilient(
+        self, round_index: int, start_id: int, state: dict
+    ) -> List[TestCaseResult]:
+        """One round under the retry policy (round granularity).
+
+        The strategy state snapshot is taken *before* the attempt and
+        ``observe`` runs only after success, so a retried round
+        regenerates exactly the cases the failed attempt would have —
+        rounds stay deterministic under retry.  An exhausted round is
+        recorded as a ``"round"`` failure and still raises: rounds are
+        sequential (each steers the next), so there is no sound way to
+        skip one.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                maybe_inject("round", round_index=round_index, attempt=attempt)
+                return self._evaluate_round(start_id, state)
+            except Exception as error:
+                retryable = self.retry is not None and is_retryable(error)
+                exhausted = (
+                    self.retry is not None and attempt >= self.retry.max_attempts
+                )
+                record = FailureRecord(
+                    kind="round" if (not retryable or exhausted) else "retry",
+                    unit={"round": round_index, "start_id": start_id},
+                    error=repr(error),
+                    attempts=attempt,
+                )
+                if self.on_failure is not None:
+                    self.on_failure(record)
+                if not retryable or exhausted:
+                    if record.kind == "round" and self.failure_log_path is not None:
+                        FailureLog(
+                            self.failure_log_path, self.manifest_key()
+                        ).append_record(record)
+                    raise
+                delay = self.retry.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+
     def _evaluate_round(self, start_id: int, state: dict) -> List[TestCaseResult]:
         if self.executor is not None:
             from repro.evaluation.parallel import evaluate_parallel
@@ -445,6 +502,14 @@ class AdaptiveLoop:
                 generator_name=self.generator_name,
                 generator_state=json.dumps(state, sort_keys=True) if state else None,
                 start_id=start_id,
+                retry=self.retry,
+                shard_timeout=self.shard_timeout,
+                # No per-round failure-log file: the task identity (and
+                # with it the log's binding key) changes every round as
+                # the strategy state advances.  Durable round-level
+                # records are written by the loop under its stable
+                # manifest key instead.
+                on_failure=self.on_failure,
             )
             return list(dataset)
         if self._evaluator is None:

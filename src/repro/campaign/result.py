@@ -24,6 +24,7 @@ from repro.contracts.riscv_template import TEMPLATE_REGISTRY
 from repro.contracts.template import Contract, template_digest
 from repro.pipeline import PipelineResult, SynthesisPipeline
 from repro.reporting.tables import render_comparison_table
+from repro.resilience.quarantine import FailureRecord
 
 #: Phase-timing keys persisted per cell (seconds).
 TIMING_KEYS = (
@@ -67,6 +68,9 @@ class CellOutcome:
     #: outcome computed under a differently-defined template of the
     #: same name is re-run instead of silently resumed.
     template_digest: str = ""
+    #: Structured failure records of the cell's pipeline run (shard
+    #: retries/quarantines, executor downgrades); empty on clean runs.
+    failures: Tuple[FailureRecord, ...] = ()
 
     @property
     def atom_count(self) -> int:
@@ -103,6 +107,7 @@ class CellOutcome:
             cache_hit=timings.cache_hit,
             dataset_reused=dataset_reused,
             template_digest=template_digest(result.contract.template),
+            failures=tuple(result.failures),
         )
 
     # -- manifest serialization ----------------------------------------
@@ -121,6 +126,7 @@ class CellOutcome:
             "cache_hit": self.cache_hit,
             "dataset_reused": self.dataset_reused,
             "template_digest": self.template_digest,
+            "failures": [record.to_dict() for record in self.failures],
         }
 
     @staticmethod
@@ -139,6 +145,10 @@ class CellOutcome:
             dataset_reused=data["dataset_reused"],
             resumed=resumed,
             template_digest=data.get("template_digest", ""),
+            # Absent in manifests written before the resilience layer.
+            failures=tuple(
+                FailureRecord.from_dict(entry) for entry in data.get("failures", [])
+            ),
         )
 
 
@@ -167,6 +177,9 @@ class CampaignResult:
     #: Rebuilds a cell's pipeline (runner-provided), for
     #: :meth:`result_for` on resumed cells.
     pipeline_factory: Optional[Callable[[CampaignCell], SynthesisPipeline]] = None
+    #: Campaign-level failure records from this run: cell retries and
+    #: quarantines, plus every executed cell's own pipeline failures.
+    failures: List[FailureRecord] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._by_key = {outcome.cell.key(): outcome for outcome in self.outcomes}
@@ -218,6 +231,11 @@ class CampaignResult:
     @property
     def resumed_count(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.resumed)
+
+    @property
+    def quarantined_cells(self) -> List[FailureRecord]:
+        """Cells dropped after exhausting their retries (no outcome)."""
+        return [record for record in self.failures if record.kind == "cell"]
 
     def comparison_table(self) -> str:
         """The cross-configuration comparison table: one row per cell,
@@ -275,6 +293,18 @@ class CampaignResult:
 
     def render(self) -> str:
         lines = [self.comparison_table()]
+        quarantined = self.quarantined_cells
+        if quarantined:
+            lines.append(
+                "quarantined: %d cell(s) dropped after exhausting retries (%s)"
+                % (
+                    len(quarantined),
+                    "; ".join(
+                        str(record.unit.get("cell", record.unit))
+                        for record in quarantined
+                    ),
+                )
+            )
         lines.append(
             "campaign wall time: %.3fs%s"
             % (

@@ -43,6 +43,9 @@ from repro.campaign.spec import CampaignCell, CampaignSpec, filter_cells
 from repro.evaluation.results import EvaluationDataset
 from repro.pipeline import PipelineResult, SynthesisPipeline
 from repro.reporting.tables import render_comparison_table
+from repro.resilience.injection import maybe_inject
+from repro.resilience.quarantine import FailureLog, FailureRecord
+from repro.resilience.retry import RetryPolicy, is_retryable
 
 #: Optional per-cell progress callback.
 CellCallback = Callable[["CellProgress"], None]
@@ -144,6 +147,11 @@ class CampaignRunner:
         self.keep_results = keep_results
         self._group_locks: Dict[tuple, threading.Lock] = {}
         self._locks_guard = threading.Lock()
+        #: Failure records of the current run; ``_execute`` appends
+        #: from pool threads, so mutation goes through ``_failures_lock``.
+        self._failures: List[FailureRecord] = []
+        self._failures_lock = threading.Lock()
+        self._failure_log: Optional[FailureLog] = None
 
     # -- configuration surface -----------------------------------------
 
@@ -174,6 +182,13 @@ class CampaignRunner:
             return self.manifest
         return os.path.join(
             self.results_dir, "campaigns", "%s.cells.jsonl" % self.spec.name
+        )
+
+    def quarantine_path(self) -> str:
+        """The campaign's quarantine :class:`FailureLog` file (created
+        lazily, on the first quarantined cell)."""
+        return os.path.join(
+            self.results_dir, "campaigns", "%s.quarantine.jsonl" % self.spec.name
         )
 
     def cell_pipeline(
@@ -224,6 +239,9 @@ class CampaignRunner:
     def run(self) -> CampaignResult:
         """Execute every pending cell and return the aggregate result."""
         started = time.perf_counter()
+        with self._failures_lock:
+            self._failures = []
+            self._failure_log = None
         cells = self.cells()
         path = self.manifest_path()
         manifest = CampaignManifest(path, self.spec.name) if path else None
@@ -268,6 +286,11 @@ class CampaignRunner:
             outcomes[cell.key()] = outcome
             if self.keep_results:
                 pipeline_results[cell.key()] = result
+            if result.failures:
+                # Surface each cell's shard-level retries/quarantines
+                # on the campaign result too.
+                with self._failures_lock:
+                    self._failures.extend(result.failures)
             emit(outcome, resumed=False)
 
         # Largest budget first within each dataset group, so smaller
@@ -284,18 +307,25 @@ class CampaignRunner:
             group_max[group] = max(group_max.get(group, 0), cell.budget)
         if self.max_parallel_cells == 1 or len(ordered) <= 1:
             for cell in ordered:
-                handle(cell, *self._execute(cell, 1, group_max))
+                executed = self._execute(cell, 1, group_max)
+                if executed is not None:  # None → quarantined, skip
+                    handle(cell, *executed)
         else:
             self._run_parallel(ordered, group_max, handle)
 
         return CampaignResult(
             spec=self.spec,
             cells=cells,
-            outcomes=[outcomes[cell.key()] for cell in cells],
+            # Quarantined cells have no outcome — they live in
+            # ``failures`` (kind="cell") and the quarantine log.
+            outcomes=[
+                outcomes[cell.key()] for cell in cells if cell.key() in outcomes
+            ],
             manifest_path=path,
             total_seconds=time.perf_counter() - started,
             pipeline_results=pipeline_results,
             pipeline_factory=self.cell_pipeline,
+            failures=list(self._failures),
         )
 
     def _run_parallel(
@@ -309,7 +339,11 @@ class CampaignRunner:
         the moment it completes, so a killed parallel campaign keeps
         every finished cell.  On a cell failure, completed siblings are
         still checkpointed, the not-yet-started rest is cancelled, and
-        the failure re-raises."""
+        the failure re-raises.  A ``KeyboardInterrupt`` (almost always
+        delivered inside the ``wait`` call, where this thread spends
+        its time) likewise flushes every already-completed cell to the
+        manifest before propagating — Ctrl-C must never cost finished
+        work."""
         workers = min(self.max_parallel_cells, len(ordered))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -317,31 +351,97 @@ class CampaignRunner:
                 for cell in ordered
             }
             remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                failure = None
-                for future in done:
-                    error = future.exception()
-                    if error is not None:
-                        failure = error
-                        continue
-                    result, dataset_reused = future.result()
-                    handle(futures[future], result, dataset_reused)
-                if failure is not None:
-                    for pending_future in remaining:
-                        pending_future.cancel()
-                    raise failure
+
+            def consume(future) -> None:
+                executed = future.result()
+                if executed is not None:  # None → quarantined, skip
+                    handle(futures[future], *executed)
+
+            try:
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    failure = None
+                    for future in done:
+                        error = future.exception()
+                        if error is not None:
+                            failure = error
+                            continue
+                        consume(future)
+                    if failure is not None:
+                        for pending_future in remaining:
+                            pending_future.cancel()
+                        raise failure
+            except KeyboardInterrupt:
+                # The interrupt hit between a future completing and its
+                # handle() — the cells in ``remaining`` that are already
+                # done would silently lose their results.  Cancel the
+                # rest, checkpoint the finished ones, then propagate.
+                for future in remaining:
+                    future.cancel()
+                for future in remaining:
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        consume(future)
+                raise
 
     def _execute(
         self, cell: CampaignCell, concurrent: int, group_max: Dict[tuple, int]
-    ) -> Tuple[PipelineResult, bool]:
-        """Run one cell's pipeline; returns ``(result, dataset_reused)``."""
+    ) -> Optional[Tuple[PipelineResult, bool]]:
+        """Run one cell's pipeline; returns ``(result, dataset_reused)``,
+        or ``None`` when the cell exhausted its retries and was
+        quarantined (recorded durably; the campaign continues)."""
         processes = None
         if self.process_budget is not None:
             processes = max(1, self.process_budget // max(1, concurrent))
-        pipeline = self.cell_pipeline(cell, processes=processes)
-        dataset_reused = self._provision_dataset(pipeline, cell, group_max)
-        return pipeline.run(), dataset_reused
+        policy = (
+            RetryPolicy.from_retries(cell.retries) if cell.retries is not None else None
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                maybe_inject("cell", cell=cell.label(), attempt=attempt)
+                pipeline = self.cell_pipeline(cell, processes=processes)
+                dataset_reused = self._provision_dataset(pipeline, cell, group_max)
+                return pipeline.run(), dataset_reused
+            except Exception as error:
+                if policy is None or not is_retryable(error):
+                    raise
+                if attempt >= policy.max_attempts:
+                    self._record_failure(
+                        FailureRecord(
+                            kind="cell",
+                            unit={"cell": cell.label()},
+                            error=repr(error),
+                            attempts=attempt,
+                        ),
+                        durable=True,
+                    )
+                    return None
+                self._record_failure(
+                    FailureRecord(
+                        kind="retry",
+                        unit={"cell": cell.label()},
+                        error=repr(error),
+                        attempts=attempt,
+                    )
+                )
+                time.sleep(policy.delay(attempt))
+
+    def _record_failure(self, record: FailureRecord, durable: bool = False) -> None:
+        """Collect one failure record (thread-safe; ``_execute`` runs
+        on pool threads), appending quarantines to the failure log."""
+        with self._failures_lock:
+            self._failures.append(record)
+            if durable:
+                if self._failure_log is None:
+                    self._failure_log = FailureLog(
+                        self.quarantine_path(), {"campaign": self.spec.name}
+                    )
+                self._failure_log.append_record(record)
 
     # -- cross-cell dataset provisioning --------------------------------
 

@@ -89,11 +89,24 @@ class CampaignCell:
     #: contract against its own dataset, ``0`` skips, ``n`` runs
     #: directed satisfaction testing.
     verify: Optional[int] = None
+    #: Per-shard retry budget of the cell's evaluation phase (``None``
+    #: → no retries; failures propagate as before).  Also the cell's
+    #: own retry budget in the runner: a cell whose pipeline keeps
+    #: failing retryably is re-run up to ``retries`` times and then
+    #: quarantined instead of aborting the campaign.
+    retries: Optional[int] = None
+    #: Soft per-shard deadline in seconds (``None`` → no watchdog).
+    shard_timeout: Optional[float] = None
 
     def identity(self) -> dict:
         """The manifest key of this cell: every field that changes its
-        :class:`~repro.pipeline.PipelineResult`."""
-        return {
+        :class:`~repro.pipeline.PipelineResult`.
+
+        ``retries``/``shard_timeout`` enter the identity only when
+        set — identity-by-absence, so manifests written before these
+        fields existed still resume every cell that leaves them unset.
+        """
+        identity = {
             "core": self.core,
             "attacker": self.attacker,
             "template": self.template,
@@ -108,6 +121,11 @@ class CampaignCell:
             "fastpath": self.fastpath,
             "verify": self.verify,
         }
+        if self.retries is not None:
+            identity["retries"] = self.retries
+        if self.shard_timeout is not None:
+            identity["shard_timeout"] = self.shard_timeout
+        return identity
 
     def key(self) -> str:
         """A canonical string key (dict-order independent)."""
@@ -216,6 +234,11 @@ class CampaignCell:
             pipeline.restrict(self.restriction)
         if self.verify is not None:
             pipeline.verify(self.verify)
+        if self.retries is not None:
+            # N retries == N+1 attempts, the CLI/runner spelling.
+            pipeline.retry(self.retries + 1)
+        if self.shard_timeout is not None:
+            pipeline.timeout(self.shard_timeout)
         if executor is not None:
             pipeline.executor(executor, processes=processes, shard_size=shard_size)
         return pipeline
@@ -255,6 +278,12 @@ class CampaignSpec:
     stop: Optional[str] = None
     fastpath: bool = True
     verify: Optional[int] = None
+    #: Fault tolerance, applied to every cell (overridable per axis
+    #: value): ``retries`` grants each cell (and each of its evaluation
+    #: shards) that many retries before quarantine; ``shard_timeout``
+    #: arms the per-shard watchdog.
+    retries: Optional[int] = None
+    shard_timeout: Optional[float] = None
     #: Axis value -> cell-field replacements, applied to every cell
     #: carrying that value on any axis (e.g. ``{"cva6": {"budget":
     #: 3000}}``).
@@ -314,6 +343,8 @@ class CampaignSpec:
                 stop=self.stop,
                 fastpath=self.fastpath,
                 verify=self.verify,
+                retries=self.retries,
+                shard_timeout=self.shard_timeout,
             )
             cell = self._apply_overrides(cell)
             if cell in seen or self._excluded(cell):
@@ -401,6 +432,10 @@ class CampaignSpec:
                         "the budget: budgets must be positive (or set an "
                         "explicit batch)"
                     )
+        if self.retries is not None and self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
         if self.stop is not None:
             stopping_registry = REGISTRIES["stopping-rules"]
             if self.stop not in stopping_registry:

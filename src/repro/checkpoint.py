@@ -151,6 +151,11 @@ class JsonlCheckpoint:
 
     def _append(self, entry: dict) -> None:
         """Append one entry line (flushed immediately)."""
+        # Imported at call time: the quarantine FailureLog subclasses
+        # this class, so a module-level import would cycle.
+        from repro.resilience.injection import maybe_inject
+
         with open(self.path, "a") as stream:
             stream.write(json.dumps(entry) + "\n")
             stream.flush()
+        maybe_inject("checkpoint-append", checkpoint=self)

@@ -42,6 +42,8 @@ from repro.evaluation.backends.base import (
     Shard,
     ShardEvaluator,
 )
+from repro.resilience.errors import FatalInjectedFault, ShardExecutionError
+from repro.resilience.injection import maybe_inject
 
 #: Per-process worker state for the process-pool backends; populated by
 #: the pool initializer in each forked child.
@@ -52,9 +54,28 @@ def _initialize_process(task: EvaluationTask) -> None:
     _worker_state["worker"] = ShardEvaluator(task)
 
 
+def _evaluate_shard(worker: ShardEvaluator, shard: Shard) -> Tuple[Shard, List[Row]]:
+    """The one shard-evaluation call every backend funnels through.
+
+    Hosts the ``"shard"`` fault-injection seam and wraps any worker
+    error in a :class:`ShardExecutionError` naming ``(start_id,
+    count)`` — a bare exception crossing a pool boundary would
+    otherwise carry no clue which shard died.
+    """
+    try:
+        maybe_inject("shard", shard=shard)
+        return shard, worker.evaluate(shard)
+    except ShardExecutionError:
+        raise
+    except FatalInjectedFault as error:
+        raise ShardExecutionError(shard, cause=repr(error), fatal=True) from error
+    except Exception as error:
+        raise ShardExecutionError(shard, cause=repr(error)) from error
+
+
 def _evaluate_in_process(shard: Shard) -> Tuple[Shard, List[Row]]:
     worker: ShardEvaluator = _worker_state["worker"]
-    return shard, worker.evaluate(shard)
+    return _evaluate_shard(worker, shard)
 
 
 def _default_processes(requested: Optional[int]) -> int:
@@ -71,7 +92,7 @@ class SerialExecutor(EvaluationExecutor):
     ) -> Iterator[Tuple[Shard, List[Row]]]:
         worker = ShardEvaluator(task)
         for shard in shards:
-            yield shard, worker.evaluate(shard)
+            yield _evaluate_shard(worker, shard)
 
 
 class MultiprocessExecutor(EvaluationExecutor):
@@ -146,7 +167,7 @@ class ThreadedExecutor(EvaluationExecutor):
             worker = getattr(state, "worker", None)
             if worker is None:
                 worker = state.worker = ShardEvaluator(task)
-            return shard, worker.evaluate(shard)
+            return _evaluate_shard(worker, shard)
 
         workers = _default_processes(self.processes)
         if workers == 1 or len(shards) <= 1:

@@ -33,9 +33,14 @@ from repro.evaluation.backends import (
     rows_to_results,
 )
 from repro.evaluation.results import EvaluationDataset
+from repro.resilience.quarantine import FailureLog, FailureRecord
+from repro.resilience.retry import RetryPolicy
 
 #: Optional per-shard progress callback.
 ProgressCallback = Callable[[ShardProgress], None]
+
+#: Optional failure-event callback (retries, quarantines, downgrades).
+FailureCallback = Callable[[FailureRecord], None]
 
 
 def evaluate_parallel(
@@ -54,6 +59,10 @@ def evaluate_parallel(
     generator_name: str = "random",
     generator_state: Optional[str] = None,
     start_id: int = 0,
+    retry: Optional[RetryPolicy] = None,
+    shard_timeout: Optional[float] = None,
+    failure_log_path: Optional[str] = None,
+    on_failure: Optional[FailureCallback] = None,
 ) -> EvaluationDataset:
     """Evaluate ``count`` generated test cases on ``core_name`` using
     the named executor backend.  Equivalent to the sequential evaluator
@@ -82,6 +91,17 @@ def evaluate_parallel(
     ``start_id`` offsets the evaluated test-id range to ``[start_id,
     start_id + count)`` — the adaptive loop evaluates round ``r`` as
     one such window.
+
+    ``retry`` and/or ``shard_timeout`` wrap the backend in a
+    :class:`~repro.resilience.ResilientExecutor`: failing shards are
+    retried per the policy, hung shards past the soft deadline are
+    rescheduled in a fresh pool, and shards that exhaust their
+    attempts are quarantined — appended to the ``failure_log_path``
+    :class:`~repro.resilience.FailureLog` and reported through
+    ``on_failure`` — while the run continues without their rows.
+    Retry settings never enter the task identity, so fault-tolerant
+    and plain runs share manifests and produce byte-identical
+    datasets.
     """
     if template_name is not None and max_distance != 4:
         raise ValueError(
@@ -108,6 +128,23 @@ def evaluate_parallel(
         # (an instance's own explicit worker count always wins).
         executor = copy.copy(executor)
         executor.processes = processes
+    if retry is not None or shard_timeout is not None:
+        # Imported here: the resilient wrapper itself builds on the
+        # backend modules this package initializes.
+        from repro.resilience.executor import ResilientExecutor
+
+        failure_log = (
+            FailureLog(failure_log_path, task.identity())
+            if failure_log_path is not None
+            else None
+        )
+        executor = ResilientExecutor(
+            executor,
+            policy=retry,
+            shard_timeout=shard_timeout,
+            failure_log=failure_log,
+            on_event=on_failure,
+        )
 
     shards = plan_shards(count, shard_size)
     if start_id:

@@ -181,6 +181,23 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="test cases per evaluation shard (default: 250)",
     )
+    run_group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failing evaluation shards (and campaign cells) up "
+        "to N times with deterministic backoff, then quarantine them "
+        "and continue (default: fail fast)",
+    )
+    run_group.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="soft per-shard deadline: shards hung past it are "
+        "cancelled and rescheduled in a fresh worker pool",
+    )
     campaign_group = parser.add_argument_group("campaign grid ('campaign' only)")
     campaign_group.add_argument(
         "--campaign-name",
@@ -244,6 +261,12 @@ def _run_pipeline(arguments) -> int:
         )
     if arguments.verify is not None:
         pipeline.verify(arguments.verify)
+    if arguments.retries is not None:
+        # N retries == N+1 attempts (0 → fail on the first error, but
+        # still through the quarantine path).
+        pipeline.retry(arguments.retries + 1)
+    if arguments.shard_timeout is not None:
+        pipeline.timeout(arguments.shard_timeout)
     if arguments.executor or arguments.processes or arguments.shard_size:
         pipeline.executor(
             arguments.executor or "multiprocess",
@@ -337,6 +360,8 @@ def _campaign_runner(arguments):
         batch=arguments.batch,
         stop=arguments.stop,
         verify=arguments.verify,
+        retries=arguments.retries,
+        shard_timeout=arguments.shard_timeout,
     )
     manifest = (
         arguments.resume if isinstance(arguments.resume, str) else True

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.adaptive.loop import AdaptiveLoop, AdaptiveResult, derive_round_plan
 from repro.adaptive.stopping import StoppingRule
@@ -34,6 +34,8 @@ from repro.evaluation.backends import EvaluationExecutor, ShardProgress
 from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.evaluation.parallel import evaluate_parallel
 from repro.evaluation.results import EvaluationDataset
+from repro.resilience.quarantine import FailureRecord
+from repro.resilience.retry import RetryPolicy
 from repro.synthesis import SOLVER_REGISTRY
 from repro.synthesis.solvers import IlpSolver
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
@@ -83,15 +85,27 @@ class PhaseTimings:
     executor_name: Optional[str] = None
     shards_total: int = 0
     shards_resumed: int = 0
+    #: Shards that exhausted their retries and were quarantined (the
+    #: dataset is missing their rows).
+    shards_quarantined: int = 0
+    #: Backend the executor fallback chain downgraded to (``None``
+    #: when the configured backend survived the whole run).
+    executor_downgraded: Optional[str] = None
 
     def render(self) -> str:
         if self.cache_hit:
             evaluate_detail = " (cached)"
         elif self.executor_name is not None:
-            evaluate_detail = " (executor %s, %d shards, %d resumed)" % (
+            evaluate_detail = " (executor %s, %d shards, %d resumed%s%s)" % (
                 self.executor_name,
                 self.shards_total,
                 self.shards_resumed,
+                ", %d quarantined" % self.shards_quarantined
+                if self.shards_quarantined
+                else "",
+                ", downgraded to %s" % self.executor_downgraded
+                if self.executor_downgraded
+                else "",
             )
         else:
             evaluate_detail = " (sim %.3fs, extract %.3fs)" % (
@@ -126,6 +140,15 @@ class PipelineResult:
     #: Per-round diagnostics when the run was adaptive
     #: (:meth:`SynthesisPipeline.adaptive`); ``None`` for one-shot runs.
     adaptive: Optional[AdaptiveResult] = None
+    #: Structured failure records from the fault-tolerant execution
+    #: layer (retries, quarantined shards, executor downgrades); empty
+    #: for clean runs and runs without retry/timeout configured.
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    @property
+    def quarantined_shards(self) -> List[FailureRecord]:
+        """The shards that exhausted retries and were quarantined."""
+        return [record for record in self.failures if record.kind == "shard"]
 
     @property
     def contract(self) -> Contract:
@@ -177,6 +200,18 @@ class PipelineResult:
             )
         if self.adaptive is not None:
             lines.append(self.adaptive.render())
+        quarantined = self.quarantined_shards
+        if quarantined:
+            lines.append(
+                "quarantined: %d shard(s) dropped after exhausting retries (%s)"
+                % (
+                    len(quarantined),
+                    ", ".join(
+                        "start_id=%s" % record.unit.get("start_id")
+                        for record in quarantined
+                    ),
+                )
+            )
         lines.append("timings: %s" % self.timings.render())
         return "\n".join(lines)
 
@@ -233,6 +268,12 @@ class SynthesisPipeline:
         #: from the dataset cache key; a string → explicit path.
         self._resume: Union[None, bool, str] = None
         self._shard_callback: Optional[ShardCallback] = None
+        #: ``None`` → fail fast (the historical behavior); a
+        #: :class:`RetryPolicy` → retry failing shards (and adaptive
+        #: rounds), quarantining shards that exhaust their attempts.
+        self._retry: Optional[RetryPolicy] = None
+        #: Per-shard soft deadline in seconds for pool executors.
+        self._shard_timeout: Optional[float] = None
         #: ``None`` → verify against the evaluated dataset (free);
         #: ``n > 0`` → directed satisfaction testing with fresh cases;
         #: ``0`` → skip verification.
@@ -372,6 +413,46 @@ class SynthesisPipeline:
         chosen).
         """
         self._resume = manifest if manifest is not False else None
+        return self
+
+    def retry(
+        self,
+        policy: Union[None, int, RetryPolicy] = 3,
+        backoff: float = 0.0,
+    ) -> "SynthesisPipeline":
+        """Retry failing evaluation units instead of failing the run.
+
+        ``policy`` is a :class:`~repro.resilience.RetryPolicy`, or an
+        integer *total* attempt count (``backoff`` then seeds the
+        deterministic exponential delay schedule); ``None`` restores
+        fail-fast.  With a policy set, a shard (or adaptive round)
+        that fails with a retryable error is re-run per the schedule;
+        a shard that exhausts its attempts is quarantined — recorded
+        to the :meth:`quarantine_path` failure log and reported in
+        ``PipelineResult.failures`` — and the run continues without
+        its rows.  Retry settings never enter cache or manifest keys:
+        a run that survives faults is byte-identical to a clean one.
+        Shard-granularity retry runs through the executor path, so
+        ``retry`` implies :meth:`executor` like :meth:`resume` does.
+        """
+        if policy is None or isinstance(policy, RetryPolicy):
+            self._retry = policy
+        else:
+            self._retry = RetryPolicy(max_attempts=policy, backoff_base=backoff)
+        return self
+
+    def timeout(self, shard_seconds: Optional[float]) -> "SynthesisPipeline":
+        """Per-shard soft deadline for pool executors (seconds).
+
+        A shard observed running past the deadline is abandoned with
+        its pool and rescheduled in a fresh one, consuming one retry
+        attempt (see :meth:`retry`; the default policy applies when
+        only a timeout is configured).  ``None`` disables; the serial
+        backend ignores deadlines (there is no pool to abandon).
+        """
+        if shard_seconds is not None and shard_seconds <= 0:
+            raise ValueError("shard timeout must be positive")
+        self._shard_timeout = shard_seconds
         return self
 
     def on_shard(self, callback: Optional[ShardCallback]) -> "SynthesisPipeline":
@@ -536,6 +617,24 @@ class SynthesisPipeline:
             )
         return os.path.splitext(cache_path)[0] + ".shards.jsonl"
 
+    def quarantine_path(self) -> Optional[str]:
+        """The quarantine :class:`~repro.resilience.FailureLog` file
+        for this configuration, or ``None``.
+
+        Derived from the dataset cache key with a ``.quarantine.jsonl``
+        suffix, like :meth:`manifest_path` — so the quarantined-shard
+        record sits next to the manifest it punched a hole in.  Without
+        a cache key (no :meth:`cache_dir`, or instance-configured
+        plugins) failures still travel on ``PipelineResult.failures``;
+        only the durable log is skipped.
+        """
+        if self._retry is None and self._shard_timeout is None:
+            return None
+        cache_path = self.cache_path()
+        if cache_path is None:
+            return None
+        return os.path.splitext(cache_path)[0] + ".quarantine.jsonl"
+
     def adaptive_manifest_path(self) -> Optional[str]:
         """The adaptive round-manifest file, or ``None`` when
         resumption is off.  An explicit :meth:`resume` path wins;
@@ -582,16 +681,28 @@ class SynthesisPipeline:
     # -- execution -----------------------------------------------------
 
     def _effective_executor(self) -> Optional[ExecutorLike]:
-        """The executor to use, with ``resume`` implying one."""
-        if self._executor is None and self._resume is not None:
+        """The executor to use, with ``resume`` (and shard-granularity
+        ``retry``/``timeout``) implying one."""
+        if self._executor is None and (
+            self._resume is not None
+            or self._retry is not None
+            or self._shard_timeout is not None
+        ):
             return "multiprocess"
         return self._executor
 
     def _evaluate_sharded(
-        self, executor: ExecutorLike, timings: Optional[PhaseTimings] = None
+        self,
+        executor: ExecutorLike,
+        timings: Optional[PhaseTimings] = None,
+        failures: Optional[List[FailureRecord]] = None,
     ) -> EvaluationDataset:
         """The executor-backed evaluation phase (shard fan-out,
-        checkpointing, per-shard progress)."""
+        checkpointing, retry/quarantine, per-shard progress).
+
+        Owns the dataset cache write: a dataset missing quarantined
+        shards must never be cached under the full-budget key, or the
+        hole would silently persist across clean re-runs."""
         if not (
             isinstance(self._core, str)
             and isinstance(self._attacker, str)
@@ -623,6 +734,7 @@ class SynthesisPipeline:
             if self._shard_callback is not None:
                 self._shard_callback(event)
 
+        collected: List[FailureRecord] = []
         dataset = evaluate_parallel(
             self._core,
             self._count,
@@ -636,13 +748,32 @@ class SynthesisPipeline:
             manifest_path=self.manifest_path(),
             progress=on_shard,
             generator_name=self._generator,
+            retry=self._retry,
+            shard_timeout=self._shard_timeout,
+            failure_log_path=self.quarantine_path(),
+            on_failure=collected.append,
         )
+        quarantined = sum(1 for record in collected if record.kind == "shard")
         if timings is not None:
             timings.executor_name = (
                 executor if isinstance(executor, str) else executor.name
             )
             timings.shards_total = stats["total"]
             timings.shards_resumed = stats["resumed"]
+            timings.shards_quarantined = quarantined
+            timings.executor_downgraded = next(
+                (
+                    record.unit.get("to")
+                    for record in collected
+                    if record.kind == "downgrade"
+                ),
+                None,
+            )
+        if failures is not None:
+            failures.extend(collected)
+        cache_path = self.cache_path()
+        if cache_path is not None and not quarantined:
+            dataset.save(cache_path)
         return dataset
 
     def evaluate_with_stats(
@@ -661,10 +792,9 @@ class SynthesisPipeline:
             return EvaluationDataset.load(cache_path), None
         executor = self._effective_executor()
         if executor is not None:
-            dataset = self._evaluate_sharded(executor, timings)
-            if cache_path is not None:
-                dataset.save(cache_path)
-            return dataset, None
+            # The sharded path owns the cache write (quarantined
+            # datasets must not be cached).
+            return self._evaluate_sharded(executor, timings), None
         template = self.resolve_template()
         generator = self.resolve_generator(template)
         evaluator = TestCaseEvaluator(
@@ -691,6 +821,7 @@ class SynthesisPipeline:
         if self._adaptive is not None:
             return self._run_adaptive()
         timings = PhaseTimings()
+        failures: List[FailureRecord] = []
         total_start = time.perf_counter()
 
         core = self.resolve_core()
@@ -716,9 +847,7 @@ class SynthesisPipeline:
             dataset = EvaluationDataset.load(cache_path)
             timings.cache_hit = True
         elif executor is not None:
-            dataset = self._evaluate_sharded(executor, timings)
-            if cache_path is not None:
-                dataset.save(cache_path)
+            dataset = self._evaluate_sharded(executor, timings, failures)
         else:
             dataset = evaluator.evaluate_many(
                 generator.iter_generate(self._count),
@@ -767,6 +896,7 @@ class SynthesisPipeline:
             verification=verification,
             timings=timings,
             generator_name=self.generator_name(),
+            failures=failures,
         )
 
     def _adaptive_progress(self):
@@ -804,11 +934,20 @@ class SynthesisPipeline:
         round's solve (already included in the former).
         """
         timings = PhaseTimings()
+        failures: List[FailureRecord] = []
         total_start = time.perf_counter()
 
         template = self.resolve_template()
         restriction_name, allowed_atom_ids = self.resolve_restriction(template)
         rounds, batch = self._adaptive_plan()
+        manifest_path = self.adaptive_manifest_path()
+        quarantine_path = (
+            manifest_path[: -len(".rounds.jsonl")] + ".quarantine.jsonl"
+            if manifest_path is not None
+            and manifest_path.endswith(".rounds.jsonl")
+            and (self._retry is not None or self._shard_timeout is not None)
+            else None
+        )
         loop = AdaptiveLoop(
             core=self._core,
             template=self._template,
@@ -825,8 +964,12 @@ class SynthesisPipeline:
             executor=self._executor,
             processes=self._processes,
             shard_size=self._shard_size,
-            manifest_path=self.adaptive_manifest_path(),
+            manifest_path=manifest_path,
             progress=self._adaptive_progress(),
+            retry=self._retry,
+            shard_timeout=self._shard_timeout,
+            failure_log_path=quarantine_path,
+            on_failure=failures.append,
         )
         timings.setup_seconds = time.perf_counter() - total_start
 
@@ -874,4 +1017,5 @@ class SynthesisPipeline:
             timings=timings,
             generator_name=self.generator_name(),
             adaptive=adaptive,
+            failures=failures,
         )

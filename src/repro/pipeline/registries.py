@@ -18,6 +18,7 @@ from repro.attacker import ATTACKER_REGISTRY
 from repro.contracts.riscv_template import RESTRICTION_REGISTRY, TEMPLATE_REGISTRY
 from repro.evaluation.backends import EXECUTOR_REGISTRY
 from repro.registry import Registry
+from repro.resilience.faults import FAULT_REGISTRY
 from repro.synthesis import SOLVER_REGISTRY
 from repro.testgen.strategies import GENERATOR_REGISTRY
 from repro.uarch import CORE_REGISTRY
@@ -32,6 +33,7 @@ REGISTRIES: Dict[str, Registry] = {
     "executors": EXECUTOR_REGISTRY,
     "generators": GENERATOR_REGISTRY,
     "stopping-rules": STOPPING_REGISTRY,
+    "faults": FAULT_REGISTRY,
 }
 
 

@@ -1,0 +1,267 @@
+"""The resilient executor: retry, watchdog timeouts, quarantine.
+
+:class:`ResilientExecutor` wraps any registered evaluation backend and
+adds the fault semantics the inner backends deliberately do not have:
+
+- **shard retry** — a sweep that dies with a
+  :class:`~repro.resilience.errors.ShardExecutionError` costs exactly
+  one attempt for the shard it names; the survivors are re-swept and
+  already-yielded shards are never re-evaluated;
+- **soft deadlines** — with ``shard_timeout`` set, pool sweeps run
+  under a watchdog that abandons the pool when a shard stays running
+  past its deadline (a hung worker cannot be interrupted, so the pool
+  is discarded with ``cancel_futures`` and a fresh one serves the next
+  attempt);
+- **quarantine** — a shard that exhausts its attempts becomes a
+  :class:`~repro.resilience.quarantine.FailureRecord` (kind
+  ``"shard"``) in the failure log and the run continues without its
+  rows;
+- **downgrade** — repeated pool-level breakage (no shard attribution)
+  swaps the inner backend for the serial reference executor and logs
+  the downgrade instead of crashing the run.
+
+Determinism: retries re-run the same ``(start_id, count)`` descriptor
+under the same task, and test cases are generated per test id, so a
+run that survives faults yields rows byte-identical to a fault-free
+run — the property the fault-matrix suite pins.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.evaluation.backends.base import (
+    EvaluationExecutor,
+    EvaluationTask,
+    Row,
+    Shard,
+)
+from repro.resilience import injection
+from repro.resilience.errors import ShardExecutionError, ShardTimeoutError
+from repro.resilience.quarantine import FailureLog, FailureRecord
+from repro.resilience.retry import RetryPolicy, is_retryable
+
+#: Watchdog poll interval while futures are in flight.
+_TICK_SECONDS = 0.05
+
+#: Observer for failure events (retries, quarantines, downgrades).
+FailureCallback = Callable[[FailureRecord], None]
+
+
+class ResilientExecutor(EvaluationExecutor):
+    """Wrap ``inner`` with retry, soft deadlines, and quarantine."""
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        inner: EvaluationExecutor,
+        policy: Optional[RetryPolicy] = None,
+        shard_timeout: Optional[float] = None,
+        failure_log: Optional[FailureLog] = None,
+        on_event: Optional[FailureCallback] = None,
+        pool_failure_threshold: int = 2,
+    ):
+        super().__init__(inner.processes)
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.shard_timeout = shard_timeout
+        self.failure_log = failure_log
+        self.on_event = on_event
+        self.pool_failure_threshold = pool_failure_threshold
+
+    # -- event plumbing ------------------------------------------------
+
+    def _emit(self, record: FailureRecord, durable: bool) -> None:
+        if durable and self.failure_log is not None:
+            self.failure_log.append_record(record)
+        if self.on_event is not None:
+            self.on_event(record)
+
+    @staticmethod
+    def _sleep(seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    # -- the attempt loop ----------------------------------------------
+
+    def run(
+        self, task: EvaluationTask, shards: Sequence[Shard]
+    ) -> Iterator[Tuple[Shard, List[Row]]]:
+        pending = sorted(shards)
+        attempts = {shard: 0 for shard in pending}
+        inner = self.inner
+        pool_failures = 0
+        while pending:
+            # Publish next-attempt numbers before the sweep: the pool
+            # forks after this, so workers inherit them and
+            # attempt-dependent fault plans fire consistently.
+            injection.set_attempts(
+                {shard: attempts[shard] + 1 for shard in pending}
+            )
+            completed: List[Shard] = []
+            try:
+                for shard, rows in self._sweep(inner, task, pending):
+                    completed.append(shard)
+                    yield shard, rows
+                pending = [shard for shard in pending if shard not in completed]
+            except ShardExecutionError as error:
+                pending = [shard for shard in pending if shard not in completed]
+                shard = error.shard
+                attempts[shard] = attempts.get(shard, 0) + 1
+                if error.fatal or not is_retryable(error):
+                    raise
+                if attempts[shard] >= self.policy.max_attempts:
+                    self._emit(
+                        FailureRecord(
+                            kind="shard",
+                            unit={"start_id": shard[0], "count": shard[1]},
+                            error=str(error),
+                            attempts=attempts[shard],
+                        ),
+                        durable=True,
+                    )
+                    pending = [other for other in pending if other != shard]
+                else:
+                    self._emit(
+                        FailureRecord(
+                            kind="retry",
+                            unit={"start_id": shard[0], "count": shard[1]},
+                            error=str(error),
+                            attempts=attempts[shard],
+                        ),
+                        durable=False,
+                    )
+                    self._sleep(self.policy.delay(attempts[shard]))
+            except Exception as error:
+                # Pool-level breakage: no shard attribution, so no
+                # per-shard attempt is charged — but repeated breakage
+                # must not loop forever, hence the downgrade chain.
+                if not is_retryable(error):
+                    raise
+                pending = [shard for shard in pending if shard not in completed]
+                pool_failures += 1
+                self._emit(
+                    FailureRecord(
+                        kind="pool",
+                        unit={"executor": inner.name},
+                        error=str(error),
+                        attempts=pool_failures,
+                    ),
+                    durable=False,
+                )
+                if (
+                    inner.name != "serial"
+                    and pool_failures >= self.pool_failure_threshold
+                ):
+                    from repro.evaluation.backends.executors import SerialExecutor
+
+                    self._emit(
+                        FailureRecord(
+                            kind="downgrade",
+                            unit={"from": inner.name, "to": "serial"},
+                            error=str(error),
+                            attempts=pool_failures,
+                        ),
+                        durable=True,
+                    )
+                    inner = SerialExecutor()
+                elif pool_failures >= (
+                    self.pool_failure_threshold + self.policy.max_attempts
+                ):
+                    raise
+                self._sleep(self.policy.delay(pool_failures))
+
+    # -- sweeps --------------------------------------------------------
+
+    def _sweep(
+        self, inner: EvaluationExecutor, task: EvaluationTask, shards: Sequence[Shard]
+    ) -> Iterator[Tuple[Shard, List[Row]]]:
+        """One pass of ``inner`` over ``shards`` (watchdogged if asked)."""
+        if inner.name != "serial":
+            injection.maybe_inject("pool", executor=inner.name)
+        if self.shard_timeout is not None and inner.name != "serial":
+            yield from self._sweep_with_watchdog(inner, task, shards)
+        else:
+            yield from inner.run(task, shards)
+
+    def _sweep_with_watchdog(
+        self, inner: EvaluationExecutor, task: EvaluationTask, shards: Sequence[Shard]
+    ) -> Iterator[Tuple[Shard, List[Row]]]:
+        """Pool sweep under per-shard soft deadlines.
+
+        One future per shard; a future observed ``running`` for longer
+        than ``shard_timeout`` raises :class:`ShardTimeoutError` for its
+        shard.  The pool is abandoned without waiting (the hung worker
+        cannot be joined) and the outer attempt loop re-sweeps the
+        survivors in a fresh pool.
+        """
+        from repro.evaluation.backends import executors as backends
+
+        workers = backends._default_processes(inner.processes)
+        if inner.name == "threaded":
+            import threading
+
+            state = threading.local()
+
+            def evaluate(shard: Shard) -> Tuple[Shard, List[Row]]:
+                worker = getattr(state, "worker", None)
+                if worker is None:
+                    worker = state.worker = backends.ShardEvaluator(task)
+                return backends._evaluate_shard(worker, shard)
+
+            pool = ThreadPoolExecutor(max_workers=workers)
+            submit = lambda shard: pool.submit(evaluate, shard)  # noqa: E731
+        else:
+            import multiprocessing
+
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=backends._initialize_process,
+                initargs=(task,),
+            )
+            submit = lambda shard: pool.submit(  # noqa: E731
+                backends._evaluate_in_process, shard
+            )
+
+        waiting = {submit(shard): shard for shard in shards}
+        running_since: dict = {}
+        abandoned = False
+        try:
+            while waiting:
+                done, _ = wait(
+                    set(waiting), timeout=_TICK_SECONDS, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for future in done:
+                    shard = waiting.pop(future)
+                    running_since.pop(future, None)
+                    yield future.result()
+                for future in waiting:
+                    if future.running() and future not in running_since:
+                        running_since[future] = now
+                expired = [
+                    future
+                    for future, since in running_since.items()
+                    if now - since >= self.shard_timeout
+                ]
+                if expired:
+                    abandoned = True
+                    raise ShardTimeoutError(waiting[expired[0]], self.shard_timeout)
+        except BaseException:
+            abandoned = True
+            raise
+        finally:
+            for future in waiting:
+                future.cancel()
+            # On abandonment the hung worker cannot be joined; leave
+            # the pool to drain in the background and move on.
+            pool.shutdown(wait=not abandoned)

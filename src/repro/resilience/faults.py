@@ -1,0 +1,309 @@
+"""Name-addressable fault plans: the test harness for fault tolerance.
+
+A :class:`FaultPlan` describes one deliberate failure — a worker crash
+at shard N, a deterministic hang, a torn checkpoint line, a broken
+pool — and :data:`FAULT_REGISTRY` makes plans addressable by name plus
+JSON state, exactly like every other plugin axis.  That shape matters:
+the active plan crosses the ``fork`` boundary into pool workers (and,
+later, could travel to remote workers) as nothing but
+``(name, state_dict)``.
+
+Plans are consulted through injection *sites* — fixed strings naming
+the seam where :func:`repro.resilience.injection.maybe_inject` is
+called:
+
+``"shard"``
+    Entry of per-shard evaluation in every backend (context: ``shard``,
+    ``attempt``).
+``"checkpoint-append"``
+    :meth:`repro.checkpoint.JsonlCheckpoint._append`, before the write
+    (context: ``checkpoint``).
+``"pool"``
+    The resilient executor's parent process, before each pool sweep
+    (context: ``executor``).
+``"cell"`` / ``"round"``
+    Campaign cell execution and adaptive round evaluation (context:
+    ``cell``/``round_index`` plus ``attempt``).
+
+A plan ignores every site it does not target, so exactly one plan is
+active at a time and the production code needs a single seam per
+layer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.registry import Registry
+from repro.resilience.errors import (
+    FatalInjectedFault,
+    InjectedFault,
+    PoolBrokenError,
+)
+
+#: Attempt count treated as "always": a plan failing this many attempts
+#: never recovers, which is how permanent faults are spelled.
+ALWAYS = 10**9
+
+
+class FaultPlan:
+    """One named, JSON-parameterized failure scenario.
+
+    Subclasses override :meth:`inject` and store their constructor
+    kwargs so :meth:`state` can round-trip the plan through
+    ``FAULT_REGISTRY.create(name, **state)``.
+    """
+
+    name = "abstract"
+
+    def state(self) -> dict:
+        """The plan's JSON-serializable constructor kwargs."""
+        return {}
+
+    def inject(self, site: str, **context) -> None:
+        """Consulted at every injection site; raise or delay to act."""
+
+
+class ShardCrashFault(FaultPlan):
+    """Worker crash while evaluating the shard starting at ``start_id``.
+
+    Fails the shard's first ``fail_attempts`` attempts (``ALWAYS`` for
+    a permanent crash that must end in quarantine); ``fatal=True``
+    raises the non-retryable variant instead.  The one-transient-crash
+    default is the "transient-then-healthy" scenario.
+    """
+
+    name = "shard-crash"
+
+    def __init__(self, start_id: int = 0, fail_attempts: int = 1, fatal: bool = False):
+        self.start_id = start_id
+        self.fail_attempts = fail_attempts
+        self.fatal = fatal
+
+    def state(self) -> dict:
+        return {
+            "start_id": self.start_id,
+            "fail_attempts": self.fail_attempts,
+            "fatal": self.fatal,
+        }
+
+    def inject(self, site: str, **context) -> None:
+        if site != "shard" or context["shard"][0] != self.start_id:
+            return
+        if context.get("attempt", 1) <= self.fail_attempts:
+            error = FatalInjectedFault if self.fatal else InjectedFault
+            raise error(
+                "injected worker crash at shard start_id=%d (attempt %d)"
+                % (self.start_id, context.get("attempt", 1))
+            )
+
+
+class ShardHangFault(FaultPlan):
+    """Deterministic delay (a hang, to the watchdog) at one shard.
+
+    Sleeps ``delay_seconds`` on the shard's first ``hang_attempts``
+    attempts.  With a soft deadline below the delay, the watchdog
+    cancels the sweep and reschedules; without one, the run merely
+    slows down — hangs must never corrupt results.
+    """
+
+    name = "shard-hang"
+
+    def __init__(
+        self,
+        start_id: int = 0,
+        delay_seconds: float = 2.0,
+        hang_attempts: int = 1,
+    ):
+        self.start_id = start_id
+        self.delay_seconds = delay_seconds
+        self.hang_attempts = hang_attempts
+
+    def state(self) -> dict:
+        return {
+            "start_id": self.start_id,
+            "delay_seconds": self.delay_seconds,
+            "hang_attempts": self.hang_attempts,
+        }
+
+    def inject(self, site: str, **context) -> None:
+        if site != "shard" or context["shard"][0] != self.start_id:
+            return
+        if context.get("attempt", 1) <= self.hang_attempts:
+            time.sleep(self.delay_seconds)
+
+
+class WorkerErrorFault(FaultPlan):
+    """A plain exception inside ``evaluate`` (a poison test case).
+
+    Raises an *untyped* ``RuntimeError`` — unlike :class:`InjectedFault`
+    this exercises the generic wrap-and-classify path: the executor
+    must surface it as a ``ShardExecutionError`` naming the shard.
+    """
+
+    name = "worker-error"
+
+    def __init__(self, start_id: int = 0, fail_attempts: int = 1):
+        self.start_id = start_id
+        self.fail_attempts = fail_attempts
+
+    def state(self) -> dict:
+        return {"start_id": self.start_id, "fail_attempts": self.fail_attempts}
+
+    def inject(self, site: str, **context) -> None:
+        if site != "shard" or context["shard"][0] != self.start_id:
+            return
+        if context.get("attempt", 1) <= self.fail_attempts:
+            raise RuntimeError(
+                "injected evaluation failure at shard start_id=%d" % self.start_id
+            )
+
+
+class TornCheckpointFault(FaultPlan):
+    """Kill the process mid-append, leaving a torn checkpoint line.
+
+    After ``entry_index`` successful appends, the next append's bytes
+    are truncated mid-line and an :class:`InjectedFault` simulates the
+    SIGKILL — the scenario :class:`~repro.checkpoint.JsonlCheckpoint`
+    torn-line recovery exists for.  A clean re-run against the same
+    manifest must resume and produce byte-identical output.
+    """
+
+    name = "torn-checkpoint"
+
+    def __init__(self, entry_index: int = 1):
+        self.entry_index = entry_index
+        self._appends = 0
+
+    def state(self) -> dict:
+        return {"entry_index": self.entry_index}
+
+    def inject(self, site: str, **context) -> None:
+        if site != "checkpoint-append":
+            return
+        self._appends += 1
+        if self._appends != self.entry_index + 1:
+            return
+        checkpoint = context["checkpoint"]
+        with open(checkpoint.path) as stream:
+            content = stream.read()
+        lines = content.splitlines()
+        torn = lines[-1][: max(1, len(lines[-1]) // 2)]
+        with open(checkpoint.path, "w") as stream:
+            stream.write("\n".join(lines[:-1]) + "\n" + torn)
+        raise InjectedFault(
+            "injected kill mid-append to %s (entry %d torn)"
+            % (checkpoint.path, self.entry_index + 1)
+        )
+
+
+class PoolBrokenFault(FaultPlan):
+    """The worker pool breaks before a sweep can start.
+
+    Consulted in the parent at the ``"pool"`` site; raises
+    :class:`PoolBrokenError` for the first ``fail_attempts`` sweeps.  A
+    count at or above the resilient executor's breakage threshold
+    forces the downgrade chain (pool backend → serial).
+    """
+
+    name = "pool-broken"
+
+    def __init__(self, fail_attempts: int = 2):
+        self.fail_attempts = fail_attempts
+        self._sweeps = 0
+
+    def state(self) -> dict:
+        return {"fail_attempts": self.fail_attempts}
+
+    def inject(self, site: str, **context) -> None:
+        if site != "pool":
+            return
+        self._sweeps += 1
+        if self._sweeps <= self.fail_attempts:
+            raise PoolBrokenError(
+                "injected pool failure %d/%d (executor %s)"
+                % (self._sweeps, self.fail_attempts, context.get("executor"))
+            )
+
+
+class CellCrashFault(FaultPlan):
+    """Campaign-cell failure matched by a label substring."""
+
+    name = "cell-crash"
+
+    def __init__(self, match: str = "", fail_attempts: int = 1):
+        self.match = match
+        self.fail_attempts = fail_attempts
+
+    def state(self) -> dict:
+        return {"match": self.match, "fail_attempts": self.fail_attempts}
+
+    def inject(self, site: str, **context) -> None:
+        if site != "cell" or self.match not in context.get("cell", ""):
+            return
+        if context.get("attempt", 1) <= self.fail_attempts:
+            raise InjectedFault(
+                "injected cell failure (%r, attempt %d)"
+                % (context.get("cell"), context.get("attempt", 1))
+            )
+
+
+class RoundCrashFault(FaultPlan):
+    """Adaptive-round failure at ``round_index``."""
+
+    name = "round-crash"
+
+    def __init__(self, round_index: int = 0, fail_attempts: int = 1):
+        self.round_index = round_index
+        self.fail_attempts = fail_attempts
+
+    def state(self) -> dict:
+        return {"round_index": self.round_index, "fail_attempts": self.fail_attempts}
+
+    def inject(self, site: str, **context) -> None:
+        if site != "round" or context.get("round_index") != self.round_index:
+            return
+        if context.get("attempt", 1) <= self.fail_attempts:
+            raise InjectedFault(
+                "injected round failure (round %d, attempt %d)"
+                % (self.round_index, context.get("attempt", 1))
+            )
+
+
+#: Registry of fault plans, addressable as name + JSON state.
+FAULT_REGISTRY = Registry("fault", "injectable fault plans")
+FAULT_REGISTRY.register(
+    "shard-crash",
+    ShardCrashFault,
+    "worker crash at shard N (permanent with fail_attempts=ALWAYS)",
+)
+FAULT_REGISTRY.register(
+    "shard-hang",
+    ShardHangFault,
+    "deterministic delay/hang at shard N",
+)
+FAULT_REGISTRY.register(
+    "worker-error",
+    WorkerErrorFault,
+    "plain exception inside evaluate (poison test case)",
+)
+FAULT_REGISTRY.register(
+    "torn-checkpoint",
+    TornCheckpointFault,
+    "kill mid-append, tearing the checkpoint's last line",
+)
+FAULT_REGISTRY.register(
+    "pool-broken",
+    PoolBrokenFault,
+    "worker pool breaks before a sweep",
+)
+FAULT_REGISTRY.register(
+    "cell-crash",
+    CellCrashFault,
+    "campaign cell failure matched by label substring",
+)
+FAULT_REGISTRY.register(
+    "round-crash",
+    RoundCrashFault,
+    "adaptive round failure at round N",
+)

@@ -1,0 +1,88 @@
+"""Structured failure records and the quarantine manifest.
+
+When a unit of work exhausts its retries the run does not die — the
+failure becomes a :class:`FailureRecord` carried on the final result
+(``PipelineResult.failures``, ``CampaignResult.failures``) and, when a
+quarantine path is configured, appended to a :class:`FailureLog`: the
+same key-bound, torn-line-recovering JSONL checkpoint shape as the
+shard and cell manifests, so operators inspect quarantined work with
+the same tools and guarantees.
+
+Record kinds:
+
+``"shard"`` / ``"cell"`` / ``"round"``
+    The unit exhausted its retries and was quarantined (rounds are
+    sequential, so an exhausted round is recorded *and* still fatal).
+``"retry"`` / ``"pool"``
+    A transient failure that was retried — emitted to ``on_event``
+    observers, durable only if a caller chooses to log it.
+``"downgrade"``
+    The executor fallback chain fired (pool backend → serial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.checkpoint import JsonlCheckpoint
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One structured failure: what failed, how, and how many times."""
+
+    #: ``"shard"``, ``"cell"``, ``"round"``, ``"retry"``, ``"pool"``,
+    #: or ``"downgrade"``.
+    kind: str
+    #: Identity of the failed unit (``{"start_id": ..., "count": ...}``
+    #: for shards, ``{"cell": label}`` for cells, ...).
+    unit: Dict = field(default_factory=dict)
+    #: Human-readable error description (``repr`` of the exception).
+    error: str = ""
+    #: Attempts consumed when the record was emitted.
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "unit": dict(self.unit),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FailureRecord":
+        return FailureRecord(
+            kind=data["kind"],
+            unit=dict(data.get("unit", {})),
+            error=data.get("error", ""),
+            attempts=data.get("attempts", 1),
+        )
+
+
+class FailureLog(JsonlCheckpoint):
+    """The quarantine manifest: one JSONL line per durable failure."""
+
+    kind = "failure-log"
+    description = "failure log"
+    subject = "run"
+    hint = "pass a different quarantine path"
+
+    def __init__(self, path: str, key: dict):
+        self.records: List[FailureRecord] = []
+        super().__init__(path, key)
+
+    def _accept(self, entry: dict) -> None:
+        self.records.append(FailureRecord.from_dict(entry))
+
+    def _entries(self):
+        for record in self.records:
+            yield record.to_dict()
+
+    def append_record(self, record: FailureRecord) -> None:
+        self._append(record.to_dict())
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -72,6 +72,37 @@ class TestResume:
         ]
         assert resumed.contract.atom_ids == reference.contract.atom_ids
 
+    def test_killed_mid_run_resumes_byte_identically(self, tmp_path):
+        """The SIGKILL-grade scenario the shard manifest pins, at round
+        granularity: a loop dying right after round 1's append keeps
+        rounds 0-1 (the append is flushed before the progress event),
+        and the resumed run replays them and evaluates only the rest —
+        to the uninterrupted contract."""
+        reference = _loop(tmp_path / "ref.jsonl").run()
+        path = tmp_path / "rounds.jsonl"
+
+        class Killed(Exception):
+            pass
+
+        def kill_after_two(record):
+            if record.round_index == 1:
+                raise Killed()
+
+        with pytest.raises(Killed):
+            _loop(path, progress=kill_after_two).run()
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        assert len(lines) == 3  # header + the two completed rounds
+
+        resumed = _loop(path).run()
+        assert resumed.resumed_rounds == 2
+        assert resumed.rounds_run == reference.rounds_run
+        assert [r.contract_atom_ids for r in resumed.records] == [
+            r.contract_atom_ids for r in reference.records
+        ]
+        assert resumed.contract.atom_ids == reference.contract.atom_ids
+        assert len(resumed.dataset) == len(reference.dataset)
+
     def test_resume_under_a_different_rule_keeps_going(self, tmp_path):
         """Convergence is re-decided by the resuming run's own rules: a
         verdict persisted under contract-stable must not halt a resumed
@@ -173,6 +204,39 @@ class TestFileRobustness:
         with open(path) as stream:
             recovered = stream.readlines()
         assert recovered[: len(intact_lines)] == intact_lines
+
+    def test_corruption_before_the_final_line_raises(self, tmp_path):
+        """Only a torn *final* line is recoverable (killed mid-append);
+        corruption anywhere else is damage that must not be papered
+        over — mirroring the shard-manifest rule."""
+        path = tmp_path / "rounds.jsonl"
+        loop = _loop(path, rounds=3)
+        loop.run()
+        with open(path) as stream:
+            lines = stream.readlines()
+        lines[1] = '{"round": 0, "start_id"\n'  # corrupt a middle entry
+        with open(path, "w") as stream:
+            stream.writelines(lines)
+        with pytest.raises(ValueError, match="not valid JSON"):
+            AdaptiveManifest(str(path), loop.manifest_key())
+
+    def test_append_lands_cleanly_after_torn_recovery(self, tmp_path):
+        """Recovery must rewrite the torn bytes away: otherwise the
+        resuming run's append would concatenate onto the partial line
+        and permanently corrupt the manifest.  An extension across the
+        recovery proves appends land on a clean boundary."""
+        path = tmp_path / "rounds.jsonl"
+        _loop(path, rounds=2).run()
+        with open(path, "a") as stream:
+            stream.write('{"round": 2, "start_id"')  # killed mid-append
+        extended = _loop(path, rounds=4).run()
+        assert extended.resumed_rounds == 2
+        assert extended.rounds_run == 4
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        assert len(lines) == 1 + 4
+        for line in lines:
+            json.loads(line)  # every line is intact JSON again
 
     def test_gap_invalidates_later_rounds(self, tmp_path):
         """Rounds are only reusable as a contiguous prefix: each round's

@@ -1,0 +1,226 @@
+"""The fault matrix: every registered fault plan, injected into a
+pinned pipeline run, must end in a contract byte-identical to the
+fault-free reference — fault tolerance may never change the science.
+
+One test per registered plan (a coverage check pins the set), plus the
+quarantine path: shards that exhaust their retries land in the
+FailureLog and the result's structured failure records, and their
+incomplete dataset never reaches the dataset cache.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.pipeline import SynthesisPipeline
+from repro.resilience import (
+    ALWAYS,
+    FAULT_REGISTRY,
+    FailureLog,
+    InjectedFault,
+    ShardExecutionError,
+    inject_fault,
+)
+
+pytestmark = pytest.mark.faults
+
+BUDGET = 40
+SEED = 11
+SHARD = 10
+
+
+def _pipeline(executor="serial", **executor_settings):
+    return (
+        SynthesisPipeline()
+        .core("ibex")
+        .attacker("retirement-timing")
+        .template("riscv-rv32im")
+        .solver("scipy-milp")
+        .budget(BUDGET, seed=SEED)
+        .executor(executor, shard_size=SHARD, **executor_settings)
+    )
+
+
+def _adaptive_pipeline():
+    return _pipeline().adaptive(rounds=2, batch=20, stop="budget")
+
+
+def _fingerprint(result):
+    """The byte-level identity of a run: dataset and contract."""
+    return (result.dataset.to_json(), tuple(sorted(result.contract.atom_ids)))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return _fingerprint(_pipeline().run())
+
+
+@pytest.fixture(scope="module")
+def adaptive_reference():
+    return _fingerprint(_adaptive_pipeline().run())
+
+
+class TestFaultMatrix:
+    def test_matrix_covers_every_registered_plan(self):
+        """Adding a fault plan without a matrix entry must fail here."""
+        assert set(FAULT_REGISTRY.names()) == {
+            "shard-crash",  # test_shard_crash_is_retried_to_identity
+            "shard-hang",  # test_shard_hang_is_rescheduled_by_the_watchdog
+            "worker-error",  # test_worker_error_is_wrapped_and_retried
+            "torn-checkpoint",  # test_torn_checkpoint_resumes_to_identity
+            "pool-broken",  # test_pool_breakage_downgrades_to_serial
+            "cell-crash",  # test_cell_crash_is_retried_to_identity
+            "round-crash",  # test_round_crash_is_retried_to_identity
+        }
+
+    def test_shard_crash_is_retried_to_identity(self, reference):
+        with inject_fault("shard-crash", start_id=10, fail_attempts=1):
+            result = _pipeline().retry(3).run()
+        assert _fingerprint(result) == reference
+        assert [record.kind for record in result.failures] == ["retry"]
+        assert result.timings.shards_quarantined == 0
+
+    def test_worker_error_is_wrapped_and_retried(self, reference):
+        with inject_fault("worker-error", start_id=20, fail_attempts=1):
+            result = _pipeline().retry(3).run()
+        assert _fingerprint(result) == reference
+        retry = result.failures[0]
+        assert retry.kind == "retry"
+        assert retry.unit == {"start_id": 20, "count": SHARD}
+        assert "(start_id=20, count=10)" in retry.error
+
+    def test_shard_hang_is_rescheduled_by_the_watchdog(self, reference):
+        """A hung worker cannot be interrupted; the watchdog abandons
+        the pool at the soft deadline and re-sweeps in a fresh one."""
+        with inject_fault(
+            "shard-hang", start_id=10, delay_seconds=2.0, hang_attempts=1
+        ):
+            result = (
+                _pipeline(executor="threaded", processes=4)
+                .retry(3)
+                .timeout(0.3)
+                .run()
+            )
+        assert _fingerprint(result) == reference
+        assert [record.kind for record in result.failures] == ["retry"]
+        assert "deadline" in result.failures[0].error
+
+    def test_pool_breakage_downgrades_to_serial(self, reference):
+        """Two pool-level failures hit the breakage threshold: the run
+        finishes on the serial fallback and says so, durably."""
+        with inject_fault("pool-broken", fail_attempts=ALWAYS):
+            result = _pipeline(executor="threaded", processes=4).retry(3).run()
+        assert _fingerprint(result) == reference
+        kinds = [record.kind for record in result.failures]
+        assert kinds == ["pool", "pool", "downgrade"]
+        assert result.failures[-1].unit == {"from": "threaded", "to": "serial"}
+        assert result.timings.executor_downgraded == "serial"
+
+    def test_torn_checkpoint_resumes_to_identity(self, tmp_path, reference):
+        """The two-phase scenario: a run killed mid-append leaves a
+        torn manifest line; a clean re-run recovers the intact prefix
+        and completes byte-identically."""
+        path = str(tmp_path / "shards.jsonl")
+        with inject_fault("torn-checkpoint", entry_index=1):
+            with pytest.raises(InjectedFault, match="mid-append"):
+                _pipeline().resume(path).run()
+        with open(path) as stream:
+            assert not stream.read().endswith("\n")  # genuinely torn
+
+        resumed = _pipeline().resume(path).run()
+        assert _fingerprint(resumed) == reference
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        assert len(lines) == 1 + BUDGET // SHARD
+        for line in lines:
+            json.loads(line)
+
+    def test_round_crash_is_retried_to_identity(self, adaptive_reference):
+        with inject_fault("round-crash", round_index=1, fail_attempts=1):
+            result = _adaptive_pipeline().retry(2).run()
+        assert _fingerprint(result) == adaptive_reference
+        kinds = [record.kind for record in result.failures]
+        assert kinds == ["retry"]
+        assert result.failures[0].unit["round"] == 1
+
+    def test_cell_crash_is_retried_to_identity(self, tmp_path, reference):
+        spec = CampaignSpec(
+            name="matrix",
+            cores=("ibex",),
+            attackers=("retirement-timing",),
+            templates=("riscv-rv32im",),
+            solvers=("scipy-milp",),
+            budgets=(BUDGET,),
+            seeds=(SEED,),
+            retries=1,
+        )
+        with inject_fault("cell-crash", match="seed=%d" % SEED, fail_attempts=1):
+            campaign = CampaignRunner(
+                spec, results_dir=str(tmp_path), executor="serial", cache=False
+            ).run()
+        assert len(campaign.outcomes) == 1
+        assert campaign.outcomes[0].atom_ids == reference[1]
+        assert [record.kind for record in campaign.failures] == ["retry"]
+        assert not campaign.quarantined_cells
+
+
+class TestQuarantine:
+    def test_exhausted_shard_is_quarantined_and_logged(self, tmp_path):
+        """A permanently failing shard ends in the FailureLog and the
+        result's failure records; the run continues without its rows
+        and the incomplete dataset never reaches the dataset cache."""
+        pipeline = _pipeline().retry(2).cache_dir(str(tmp_path))
+        with inject_fault("shard-crash", start_id=10, fail_attempts=ALWAYS):
+            result = pipeline.run()
+
+        assert len(result.dataset) == BUDGET - SHARD
+        assert result.timings.shards_quarantined == 1
+        quarantined = result.quarantined_shards
+        assert len(quarantined) == 1
+        assert quarantined[0].unit == {"start_id": 10, "count": SHARD}
+        assert quarantined[0].attempts == 2
+        assert "quarantined" in result.render()
+
+        log_path = pipeline.quarantine_path()
+        assert log_path is not None and os.path.exists(log_path)
+        log = FailureLog(log_path, json.loads(open(log_path).readline())["key"])
+        assert [record.kind for record in log.records] == ["shard"]
+
+        # The hole must not persist: no dataset was cached.
+        assert not [
+            name for name in os.listdir(str(tmp_path)) if name.endswith(".json")
+        ]
+
+    def test_fatal_fault_is_never_retried(self):
+        with inject_fault("shard-crash", start_id=10, fail_attempts=1, fatal=True):
+            with pytest.raises(ShardExecutionError) as info:
+                _pipeline().retry(3).run()
+        assert info.value.fatal
+        assert "(start_id=10, count=10)" in str(info.value)
+
+    def test_exhausted_cell_is_quarantined_and_logged(self, tmp_path):
+        spec = CampaignSpec(
+            name="matrix-q",
+            cores=("ibex",),
+            budgets=(BUDGET,),
+            seeds=(SEED, SEED + 1),
+            retries=1,
+        )
+        with inject_fault(
+            "cell-crash", match="seed=%d" % (SEED + 1), fail_attempts=ALWAYS
+        ):
+            campaign = CampaignRunner(
+                spec, results_dir=str(tmp_path), executor="serial"
+            ).run()
+        assert len(campaign.outcomes) == 1  # the healthy sibling completed
+        assert len(campaign.quarantined_cells) == 1
+        assert campaign.quarantined_cells[0].attempts == 2
+        log_path = os.path.join(
+            str(tmp_path), "campaigns", "matrix-q.quarantine.jsonl"
+        )
+        assert os.path.exists(log_path)
+        log = FailureLog(log_path, {"campaign": "matrix-q"})
+        assert [record.kind for record in log.records] == ["cell"]
+        assert "quarantined" in campaign.render()

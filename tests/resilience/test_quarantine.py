@@ -1,0 +1,72 @@
+"""FailureRecord round-trips and the FailureLog quarantine manifest."""
+
+import json
+
+import pytest
+
+from repro.resilience import FailureLog, FailureRecord
+
+pytestmark = pytest.mark.faults
+
+KEY = {"core": "ibex", "seed": 3}
+
+
+def _record(**overrides):
+    settings = dict(
+        kind="shard",
+        unit={"start_id": 20, "count": 10},
+        error="ShardExecutionError(...)",
+        attempts=3,
+    )
+    settings.update(overrides)
+    return FailureRecord(**settings)
+
+
+class TestFailureRecord:
+    def test_round_trip(self):
+        record = _record()
+        assert FailureRecord.from_dict(record.to_dict()) == record
+
+    def test_defaults_tolerate_sparse_entries(self):
+        record = FailureRecord.from_dict({"kind": "pool"})
+        assert record.unit == {}
+        assert record.attempts == 1
+
+
+class TestFailureLog:
+    def test_append_and_reload(self, tmp_path):
+        path = str(tmp_path / "quarantine.jsonl")
+        log = FailureLog(path, KEY)
+        log.append_record(_record())
+        log.append_record(_record(kind="downgrade", unit={"to": "serial"}))
+        assert len(log) == 2
+
+        reloaded = FailureLog(path, KEY)
+        assert [record.kind for record in reloaded.records] == ["shard", "downgrade"]
+        assert reloaded.records[0].unit == {"start_id": 20, "count": 10}
+
+    def test_header_binds_the_run_key(self, tmp_path):
+        path = str(tmp_path / "quarantine.jsonl")
+        FailureLog(path, KEY).append_record(_record())
+        with open(path) as stream:
+            header = json.loads(stream.readline())
+        assert header["manifest"] == "failure-log"
+        assert header["key"] == KEY
+        with pytest.raises(ValueError, match="different run"):
+            FailureLog(path, {"core": "cva6", "seed": 3})
+
+    def test_torn_final_line_is_recovered(self, tmp_path):
+        path = str(tmp_path / "quarantine.jsonl")
+        log = FailureLog(path, KEY)
+        log.append_record(_record())
+        log.append_record(_record(unit={"start_id": 30, "count": 10}))
+        with open(path, "a") as stream:
+            stream.write('{"kind": "shard", "unit"')  # killed mid-append
+        recovered = FailureLog(path, KEY)
+        assert len(recovered) == 2
+        recovered.append_record(_record(unit={"start_id": 40, "count": 10}))
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        assert len(lines) == 4  # header + 3 intact records
+        for line in lines:
+            json.loads(line)
