@@ -44,9 +44,13 @@ PAIRED_BENCHMARKS = {
 #: simulation time, so it shifts with the runner's scipy build and
 #: legitimately sits below 1.0 on this tiny scenario where simulation
 #: is cheap.  The adaptive win is the *deterministic* cases-to-converge
-#: count, recorded in each entry's extra_info.
+#: count, recorded in each entry's extra_info.  The workqueue pair
+#: prices the distributed queue's claim/lease/result machinery against
+#: the bare serial loop on an identical tiny corpus — an overhead
+#: ratio (expected well below 1.0), not a fast path.
 INFORMATIONAL_PAIRS = {
     "test_bench_adaptive_convergence": "test_bench_adaptive_convergence_reference",
+    "test_bench_workqueue_overhead": "test_bench_workqueue_overhead_reference",
 }
 
 _STAT_FIELDS = ("min", "max", "mean", "median", "stddev", "rounds")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The contract service in one process: a persistent store answering
+leakage-contract requests, executing misses on the distributed work
+queue with embedded workers.
+
+A :class:`~repro.service.ContractRequest` names value lists per
+pipeline axis (like a campaign spec) and expands into cells; the
+:class:`~repro.service.ContractService` serves each cell from the
+:class:`~repro.service.ContractStore` when a finished contract exists,
+and schedules only the missing cells.  Because the store keys datasets
+like the evaluation cache, a smaller-budget request is derived from a
+larger cached corpus without enqueueing a single shard job.  The
+equivalent with real processes::
+
+    repro-synthesize serve --service-root svc --executor workqueue &
+    repro-synthesize service worker --queue-dir svc/queue &
+    repro-synthesize service worker --queue-dir svc/queue &
+    repro-synthesize submit --core ibex --solver greedy --count 200 --wait 120
+    repro-synthesize status
+
+Run with::
+
+    python examples/contract_service.py [service-root]
+"""
+
+import sys
+
+from repro.service import (
+    ContractRequest,
+    ContractService,
+    ContractStore,
+    WorkQueueExecutor,
+)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "service"
+
+    store = ContractStore(root + "/store")
+    executor = WorkQueueExecutor(
+        queue_dir=root + "/queue",
+        embedded_workers=2,
+        poll_seconds=0.01,
+        wait_for_workers=15.0,
+    )
+    service = ContractService(store, executor=executor, shard_size=25)
+
+    print("miss: the full grid is executed on the work queue")
+    ticket = service.request(
+        ContractRequest(core="ibex", solver="greedy", budget=100, seed=[0, 1])
+    )
+    print(ticket.render())
+    print("  shard jobs enqueued: %d\n" % ticket.jobs_enqueued)
+
+    print("repeat: every cell is served from the store")
+    repeat = service.request(
+        ContractRequest(core="ibex", solver="greedy", budget=100, seed=[0, 1])
+    )
+    print(repeat.render())
+
+    print()
+    print("smaller budget: a new cell, but its dataset is a prefix of")
+    print("the cached 100-case corpus — zero jobs reach the queue")
+    smaller = service.request(
+        ContractRequest(core="ibex", solver="greedy", budget=50, seed=0)
+    )
+    print(smaller.render())
+    print("  shard jobs enqueued: %d" % smaller.jobs_enqueued)
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 from repro.campaign.manifest import CampaignManifest
 from repro.campaign.result import CampaignResult, CellOutcome
 from repro.campaign.spec import CampaignCell, CampaignSpec, filter_cells
+from repro.evaluation.backends.base import EvaluationExecutor
 from repro.evaluation.results import EvaluationDataset
 from repro.pipeline import PipelineResult, SynthesisPipeline
 from repro.reporting.tables import render_comparison_table
@@ -117,7 +118,7 @@ class CampaignRunner:
         spec: CampaignSpec,
         results_dir: str = "results",
         cache: bool = True,
-        executor: Optional[str] = None,
+        executor: Union[None, str, "EvaluationExecutor"] = None,
         process_budget: Optional[int] = None,
         shard_size: Optional[int] = None,
         max_parallel_cells: int = 1,
@@ -134,8 +135,10 @@ class CampaignRunner:
         self.spec = spec
         self.results_dir = results_dir
         self.cache = cache
-        #: Evaluation executor backend for every cell; a process budget
-        #: without an explicit backend implies the default pool.
+        #: Evaluation executor backend for every cell — a registry
+        #: name or an :class:`EvaluationExecutor` instance (e.g. a
+        #: configured workqueue broker); a process budget without an
+        #: explicit backend implies the default pool.
         self.executor = executor or ("multiprocess" if process_budget else None)
         self.process_budget = process_budget
         self.shard_size = shard_size

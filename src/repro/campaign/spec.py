@@ -37,6 +37,7 @@ from typing import (
     Union,
 )
 
+from repro.evaluation.backends.base import EvaluationExecutor
 from repro.pipeline import SynthesisPipeline
 
 #: The sweep axes, in expansion (and display) order.
@@ -206,7 +207,7 @@ class CampaignCell:
     def pipeline(
         self,
         cache_dir: Optional[str] = None,
-        executor: Optional[str] = None,
+        executor: Union[None, str, EvaluationExecutor] = None,
         processes: Optional[int] = None,
         shard_size: Optional[int] = None,
     ) -> SynthesisPipeline:

@@ -66,6 +66,29 @@ EXECUTOR_REGISTRY.register(
     description="thread pool with thread-local evaluation stacks",
 )
 
+
+def _workqueue_factory(*args, **kwargs):
+    # Imported at call time: repro.service builds on the pipeline and
+    # campaign layers, which import this package — a module-level
+    # import would cycle.
+    from repro.service.workqueue import WorkQueueExecutor
+
+    return WorkQueueExecutor(*args, **kwargs)
+
+
+#: The workqueue backend runs on external worker processes — see
+#: :attr:`EvaluationExecutor.external` for what the flag gates.
+_workqueue_factory.external = True
+
+EXECUTOR_REGISTRY.register(
+    "workqueue",
+    _workqueue_factory,
+    description=(
+        "distributed filesystem work queue drained by `repro-synthesize "
+        "service worker` processes (broker: serve/--queue-dir)"
+    ),
+)
+
 __all__ = [
     "EXECUTOR_REGISTRY",
     "EvaluationExecutor",

@@ -185,6 +185,10 @@ class EvaluationExecutor(ABC):
 
     #: Registry name of the backend (``"serial"``, ``"multiprocess"``...).
     name = "abstract"
+    #: True for backends that depend on infrastructure outside this
+    #: process (a broker, workers) — the equivalence suites and smoke
+    #: loops skip these; they pin byte-identity in their own harnesses.
+    external = False
 
     def __init__(self, processes: Optional[int] = None):
         #: Worker count; ``None`` picks a backend-specific default.

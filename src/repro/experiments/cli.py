@@ -17,6 +17,14 @@ grid as a resumable campaign::
     repro-synthesize campaign run --resume --max-parallel-cells 4
     repro-synthesize campaign status --core ibex,cva6 --budgets 500,2000
     repro-synthesize campaign report --core ibex,cva6 --budgets 500,2000
+
+The contract service turns the same machinery into a long-running
+request front-end (see README "Running the contract service")::
+
+    repro-synthesize serve --service-root service --executor workqueue
+    repro-synthesize service worker --queue-dir service/queue
+    repro-synthesize submit --core ibex --budget 500 --wait 60
+    repro-synthesize status
 """
 
 from __future__ import annotations
@@ -34,8 +42,18 @@ from repro.experiments.table3 import run_table3
 from repro.pipeline import REGISTRIES, SynthesisPipeline, describe_registries
 
 _EXPERIMENTS = ("fig2", "fig3", "table1", "table2", "table3")
-_COMMANDS = _EXPERIMENTS + ("all", "list", "run", "campaign")
+_COMMANDS = _EXPERIMENTS + (
+    "all",
+    "list",
+    "run",
+    "campaign",
+    "service",
+    "serve",
+    "submit",
+    "status",
+)
 _CAMPAIGN_ACTIONS = ("run", "status", "report")
+_SERVICE_ACTIONS = ("worker",)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,14 +67,18 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=_COMMANDS,
         help="which figure/table to regenerate, 'all' for every "
         "experiment, 'list' to print the plugin registries, 'run' "
-        "for an ad-hoc pipeline, or 'campaign' for a resumable grid sweep",
+        "for an ad-hoc pipeline, 'campaign' for a resumable grid "
+        "sweep, or serve/submit/status/'service worker' for the "
+        "contract service",
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
         help="for 'campaign': run (default), status, or report; "
-        "for 'list': a registry name to print just that registry",
+        "for 'list': a registry name to print just that registry; "
+        "for 'service': worker; for 'status': a request id to render "
+        "that ticket",
     )
     parser.add_argument(
         "--scale",
@@ -232,6 +254,101 @@ def _build_parser() -> argparse.ArgumentParser:
         help="only cells matching AXIS=VALUE (repeatable), e.g. "
         "--filter core=ibex --filter budget=500",
     )
+    service_group = parser.add_argument_group(
+        "contract service ('service worker', 'serve', 'submit', 'status')"
+    )
+    service_group.add_argument(
+        "--service-root",
+        default="service",
+        metavar="DIR",
+        help="service state root: request spool, contract store, trace "
+        "(default: service)",
+    )
+    service_group.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help="work-queue root shared by broker and workers (default: "
+        "REPRO_QUEUE_DIR env; serve defaults to <service-root>/queue)",
+    )
+    service_group.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity for leases/heartbeats "
+        "(default: worker-<pid>)",
+    )
+    service_group.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="job lease: a shard claimed longer than this without "
+        "completing is reclaimed and requeued (default: 30)",
+    )
+    service_group.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="queue/spool poll interval (default: 0.05 worker, 0.2 serve)",
+    )
+    service_group.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker: exit after completing N jobs",
+    )
+    service_group.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="worker/serve: exit after this long with nothing to do "
+        "(default: run until shutdown)",
+    )
+    service_group.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: exit after serving N requests",
+    )
+    service_group.add_argument(
+        "--embedded-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve/run/campaign with --executor workqueue: run N "
+        "in-process worker threads alongside the broker",
+    )
+    service_group.add_argument(
+        "--failure-log",
+        default=None,
+        metavar="PATH",
+        help="worker: append quarantine records for failed shards here",
+    )
+    service_group.add_argument(
+        "--fault",
+        default=None,
+        metavar="NAME",
+        help="worker: arm a fault plan from the fault registry "
+        "(testing only; see also --fault-state)",
+    )
+    service_group.add_argument(
+        "--fault-state",
+        default=None,
+        metavar="JSON",
+        help="worker: JSON kwargs for the --fault plan",
+    )
+    service_group.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="submit: block until the ticket lands (or fail after "
+        "SECONDS) instead of returning immediately",
+    )
     return parser
 
 
@@ -269,7 +386,7 @@ def _run_pipeline(arguments) -> int:
         pipeline.timeout(arguments.shard_timeout)
     if arguments.executor or arguments.processes or arguments.shard_size:
         pipeline.executor(
-            arguments.executor or "multiprocess",
+            _effective_cli_executor(arguments) or "multiprocess",
             processes=arguments.processes,
             shard_size=arguments.shard_size,
         )
@@ -370,7 +487,7 @@ def _campaign_runner(arguments):
         spec,
         results_dir=arguments.results_dir,
         cache=not arguments.no_cache,
-        executor=arguments.executor,
+        executor=_effective_cli_executor(arguments),
         process_budget=arguments.processes,
         shard_size=arguments.shard_size,
         max_parallel_cells=arguments.max_parallel_cells,
@@ -420,6 +537,187 @@ def _run_campaign(arguments) -> int:
     return 0
 
 
+def _workqueue_executor(arguments, tracer=None):
+    """A configured broker-side workqueue executor for run/campaign,
+    or an actionable exit when nothing binds it to a queue."""
+    from repro.service.queue import QueueUnavailableError, resolve_queue_root
+    from repro.service.workqueue import WorkQueueExecutor
+
+    try:
+        queue_dir = resolve_queue_root(arguments.queue_dir)
+    except QueueUnavailableError as error:
+        raise SystemExit("--executor workqueue: %s" % error)
+    return WorkQueueExecutor(
+        processes=arguments.processes,
+        queue_dir=queue_dir,
+        lease_seconds=arguments.lease,
+        embedded_workers=arguments.embedded_workers,
+        tracer=tracer,
+    )
+
+
+def _effective_cli_executor(arguments, tracer=None):
+    """The --executor value as the pipeline/campaign layers want it:
+    the workqueue backend needs broker-side configuration (queue root,
+    lease, embedded workers), so it becomes an instance here."""
+    if arguments.executor == "workqueue":
+        return _workqueue_executor(arguments, tracer=tracer)
+    return arguments.executor
+
+
+def _run_service(arguments) -> int:
+    """The ``service`` subcommand: currently just the worker loop."""
+    import json
+
+    from repro.service.queue import JobQueue, QueueUnavailableError, resolve_queue_root
+    from repro.service.trace import Tracer
+    from repro.service.worker import JobWorker
+
+    action = arguments.action or "worker"
+    if action not in _SERVICE_ACTIONS:
+        raise SystemExit(
+            "unknown service action %r (choose from %s)"
+            % (action, ", ".join(_SERVICE_ACTIONS))
+        )
+    if arguments.fault:
+        # Arm a fault plan inside this worker process — the fault
+        # matrix's bridge across the machine boundary (tests SIGKILL /
+        # hang workers this way).
+        from repro.resilience.injection import install_fault
+
+        state = json.loads(arguments.fault_state) if arguments.fault_state else {}
+        install_fault(arguments.fault, state)
+    try:
+        root = resolve_queue_root(arguments.queue_dir)
+    except QueueUnavailableError as error:
+        raise SystemExit("service worker: %s" % error)
+    queue = JobQueue(root)
+    queue.ensure()
+    worker = JobWorker(
+        queue,
+        worker_id=arguments.worker_id,
+        poll_seconds=arguments.poll if arguments.poll is not None else 0.05,
+        lease_seconds=arguments.lease,
+        max_jobs=arguments.max_jobs,
+        idle_timeout=arguments.idle_timeout,
+        failure_log_path=arguments.failure_log,
+        tracer=Tracer(os.path.join(root, "trace.jsonl")),
+    )
+    completed = worker.run()
+    print("worker %s: completed %d job(s)" % (worker.worker_id, completed))
+    return 0
+
+
+def _run_serve(arguments) -> int:
+    """The ``serve`` subcommand: the contract-service broker loop."""
+    from repro.service import ContractServer, ContractService, ContractStore
+    from repro.service.trace import Tracer
+
+    root = arguments.service_root
+    os.makedirs(root, exist_ok=True)
+    tracer = Tracer(os.path.join(root, "trace.jsonl"), source="serve")
+    store = ContractStore(os.path.join(root, "store"))
+    executor = arguments.executor or "serial"
+    if executor == "workqueue" and arguments.queue_dir is None:
+        # The serve loop owns its queue by default — workers join with
+        # `service worker --queue-dir <service-root>/queue`.
+        arguments.queue_dir = os.path.join(root, "queue")
+    executor = _effective_cli_executor(arguments, tracer=tracer)
+    service = ContractService(
+        store,
+        executor=executor or "serial",
+        process_budget=arguments.processes,
+        shard_size=arguments.shard_size,
+        max_parallel_cells=arguments.max_parallel_cells,
+        tracer=tracer,
+    )
+    server = ContractServer(
+        service,
+        root,
+        poll_seconds=arguments.poll if arguments.poll is not None else 0.2,
+        idle_timeout=arguments.idle_timeout,
+        max_requests=arguments.max_requests,
+    )
+    print(
+        "serving %s (executor %s%s)"
+        % (
+            root,
+            arguments.executor or "serial",
+            ", queue %s" % arguments.queue_dir if arguments.queue_dir else "",
+        )
+    )
+    served = server.serve()
+    print("served %d request(s)" % served)
+    return 0
+
+
+def _submit_request(arguments):
+    from repro.service import ContractRequest
+
+    budgets = _split(arguments.budgets)
+    seeds = _split(arguments.seeds)
+    return ContractRequest(
+        core=_split(arguments.core) or "ibex",
+        attacker=_split(arguments.attacker) or "retirement-timing",
+        template=_split(arguments.template) or "riscv-rv32im",
+        restriction=_split(arguments.restrict),
+        solver=_split(arguments.solver) or "scipy-milp",
+        generator=_split(arguments.generator) or "random",
+        budget=[int(budget) for budget in budgets] if budgets else arguments.count,
+        seed=[int(seed) for seed in seeds] if seeds else arguments.seed,
+        verify=arguments.verify,
+    )
+
+
+def _run_submit(arguments) -> int:
+    """The ``submit`` subcommand: spool one request, optionally wait."""
+    import time
+
+    from repro.service.service import load_ticket, request_states, submit_request
+
+    root = arguments.service_root
+    request = _submit_request(arguments)
+    request_id = submit_request(root, request)
+    print("submitted %s to %s" % (request_id, root))
+    if arguments.wait is None:
+        return 0
+    deadline = time.time() + arguments.wait
+    while True:
+        ticket = load_ticket(root, request_id)
+        if ticket is not None:
+            print(ticket.render())
+            return 0
+        if request_id in request_states(root)["failed"]:
+            raise SystemExit(
+                "request %s failed (see %s)"
+                % (request_id, os.path.join(root, "requests", "failed"))
+            )
+        if time.time() > deadline:
+            raise SystemExit(
+                "request %s not served within %.0fs — is `repro-synthesize "
+                "serve --service-root %s` running?"
+                % (request_id, arguments.wait, root)
+            )
+        time.sleep(0.2)
+
+
+def _run_status(arguments) -> int:
+    """The ``status`` subcommand: the spool table, or one ticket."""
+    from repro.service.service import load_ticket, render_status
+
+    root = arguments.service_root
+    if arguments.action:
+        ticket = load_ticket(root, arguments.action)
+        if ticket is None:
+            raise SystemExit(
+                "no finished ticket %r under %s" % (arguments.action, root)
+            )
+        print(ticket.render())
+        return 0
+    print(render_status(root))
+    return 0
+
+
 def _list_registries(action: Optional[str]) -> int:
     """The ``list`` subcommand, optionally filtered to one registry."""
     if action is not None and action not in REGISTRIES:
@@ -439,6 +737,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_pipeline(arguments)
     if arguments.experiment == "campaign":
         return _run_campaign(arguments)
+    if arguments.experiment == "service":
+        return _run_service(arguments)
+    if arguments.experiment == "serve":
+        return _run_serve(arguments)
+    if arguments.experiment == "submit":
+        return _run_submit(arguments)
+    if arguments.experiment == "status":
+        return _run_status(arguments)
+
+    if arguments.executor == "workqueue":
+        # The experiment drivers take the executor by registry name;
+        # bind the queue root through the environment (and fail here,
+        # actionably, when nothing binds one).
+        from repro.service.queue import QueueUnavailableError, resolve_queue_root
+
+        try:
+            os.environ["REPRO_QUEUE_DIR"] = resolve_queue_root(arguments.queue_dir)
+        except QueueUnavailableError as error:
+            raise SystemExit("--executor workqueue: %s" % error)
 
     kwargs = {"results_dir": arguments.results_dir, "cache": not arguments.no_cache}
     if arguments.scale is not None:

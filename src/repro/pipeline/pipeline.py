@@ -282,6 +282,9 @@ class SynthesisPipeline:
         #: Memoized name-resolved template, so cache keys, run(), and
         #: synthesizer() all see the same instance.
         self._resolved_template: Optional[ContractTemplate] = None
+        #: A contract store (duck-typed: ``datasets_dir`` +
+        #: ``put_result``) that run() persists the outcome into.
+        self._store = None
 
     # -- builder surface ----------------------------------------------
 
@@ -459,6 +462,23 @@ class SynthesisPipeline:
         """Receive a :class:`ShardProgress` event per completed shard
         (resumed shards first, then evaluated shards as they finish)."""
         self._shard_callback = callback
+        return self
+
+    def store(self, contract_store) -> "SynthesisPipeline":
+        """Persist the finished contract into a
+        :class:`~repro.service.ContractStore` (or anything exposing
+        ``datasets_dir`` and ``put_result(cell, result)``).
+
+        The store's dataset directory becomes the pipeline cache dir
+        unless one was configured explicitly, so datasets and contract
+        land side by side — and a later identical (or smaller-budget)
+        run through the contract service is a pure lookup.  Requires
+        name-addressed plugins (the store keys by registry names);
+        ``None`` detaches.
+        """
+        self._store = contract_store
+        if contract_store is not None and self._cache_dir is None:
+            self.cache_dir(contract_store.datasets_dir)
         return self
 
     def verify(
@@ -819,7 +839,63 @@ class SynthesisPipeline:
     def run(self) -> PipelineResult:
         """Run the full chain and return a :class:`PipelineResult`."""
         if self._adaptive is not None:
-            return self._run_adaptive()
+            result = self._run_adaptive()
+        else:
+            result = self._run_oneshot()
+        if self._store is not None:
+            self._store.put_result(self._store_cell(), result)
+        return result
+
+    def _store_cell(self):
+        """This configuration as a campaign cell — the contract store's
+        key shape.  Requires name-addressed plugins; retry/timeout
+        settings are deliberately absent (they never change a result,
+        so they must not fragment the store key space)."""
+        # Imported at call time: repro.campaign builds on this module.
+        from repro.campaign.spec import CampaignCell
+
+        if not (
+            isinstance(self._core, str)
+            and isinstance(self._attacker, str)
+            and isinstance(self._template, str)
+            and isinstance(self._solver, str)
+            and isinstance(self._generator, str)
+            and (self._restriction is None or isinstance(self._restriction, str))
+        ):
+            raise ValueError(
+                "store() keys contracts by registry name: configure core, "
+                "attacker, template, solver, generator, and restriction "
+                "by name when attaching a contract store"
+            )
+        stop = self._adaptive["stop"] if self._adaptive is not None else None
+        if stop is not None and not isinstance(stop, str):
+            raise ValueError(
+                "store() with an adaptive pipeline needs a name-addressed "
+                "stopping rule"
+            )
+        return CampaignCell(
+            core=self._core,
+            attacker=self._attacker,
+            template=self._template,
+            restriction=self._restriction,
+            solver=self._solver,
+            budget=self._count,
+            seed=self._seed,
+            generator=self._generator,
+            adaptive_rounds=self._adaptive["rounds"]
+            if self._adaptive is not None
+            else None,
+            batch=self._adaptive["batch"] if self._adaptive is not None else None,
+            # The adaptive() default rule maps to the cell default
+            # (None), so builder-configured and campaign-configured
+            # runs of the same loop share one store key.
+            stop=None if stop == "contract-stable" else stop,
+            fastpath=self._use_fastpath,
+            verify=self._verify_budget,
+        )
+
+    def _run_oneshot(self) -> PipelineResult:
+        """The classic fixed-budget chain."""
         timings = PhaseTimings()
         failures: List[FailureRecord] = []
         total_start = time.perf_counter()

@@ -69,9 +69,9 @@ class FailureLog(JsonlCheckpoint):
     subject = "run"
     hint = "pass a different quarantine path"
 
-    def __init__(self, path: str, key: dict):
+    def __init__(self, path: str, key: dict, durable: bool = False):
         self.records: List[FailureRecord] = []
-        super().__init__(path, key)
+        super().__init__(path, key, durable=durable)
 
     def _accept(self, entry: dict) -> None:
         self.records.append(FailureRecord.from_dict(entry))

@@ -1,0 +1,170 @@
+"""The worker loop: claim shards, evaluate, stream results back.
+
+A :class:`JobWorker` is one independent process (or thread, for
+embedded use) polling a :class:`~repro.service.queue.JobQueue`.  Per
+iteration it heartbeats, honors a shutdown event, claims the first
+pending job, rebuilds the evaluation stack from the job's registry
+names + JSON state (cached per task payload — rebuilding the
+multi-hundred-atom template per shard would dominate), and funnels the
+shard through the same :func:`_evaluate_shard` seam as every pool
+backend — so fault injection, :class:`ShardExecutionError` wrapping,
+and byte-identity hold across the machine boundary for free.
+
+Failures follow the resilience vocabulary: a retryable error appends a
+``failed`` event (the broker requeues under its
+:class:`~repro.resilience.RetryPolicy`), a fatal one marks the job
+fatal, and either lands a structured
+:class:`~repro.resilience.FailureRecord` in the shared
+:class:`~repro.resilience.FailureLog` when one is configured — which
+is why that log must survive many processes appending at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.evaluation.backends.base import ShardEvaluator
+from repro.evaluation.backends.executors import _evaluate_shard
+from repro.resilience.errors import ShardExecutionError
+from repro.resilience.injection import set_attempts
+from repro.service.queue import JobQueue, JobRecord, task_from_payload
+from repro.service.trace import Tracer
+
+
+class JobWorker:
+    """One queue-draining worker."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        worker_id: Optional[str] = None,
+        poll_seconds: float = 0.05,
+        lease_seconds: float = 30.0,
+        max_jobs: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        failure_log_path: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.queue = queue
+        self.worker_id = worker_id or "worker-%d" % os.getpid()
+        self.poll_seconds = poll_seconds
+        self.lease_seconds = lease_seconds
+        #: Exit after this many completed/failed jobs (None = forever).
+        self.max_jobs = max_jobs
+        #: Exit after this long without claiming anything (None = never);
+        #: the embedded/CI escape hatch so workers cannot run away.
+        self.idle_timeout = idle_timeout
+        self.failure_log_path = failure_log_path
+        self.tracer = (tracer or Tracer(None)).child(self.worker_id)
+        #: ShardEvaluator cache keyed by the canonical task payload.
+        self._evaluators: Dict[str, ShardEvaluator] = {}
+        self.completed = 0
+        self.failed = 0
+        #: Cooperative stop flag for embedded (in-thread) workers.
+        self.stopped = False
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current job (thread-safe)."""
+        self.stopped = True
+
+    # -- loop ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Drain the queue until shutdown / max_jobs / idle timeout.
+
+        Returns the number of jobs completed successfully.
+        """
+        self.queue.ensure()
+        self.tracer.event("worker-start", worker=self.worker_id)
+        last_progress = time.time()
+        try:
+            while not self.stopped:
+                self.queue.heartbeat(self.worker_id)
+                if self.queue.load().shutdown:
+                    self.tracer.event("worker-shutdown", worker=self.worker_id)
+                    break
+                job = self.queue.claim(self.worker_id, self.lease_seconds)
+                if job is None:
+                    if (
+                        self.idle_timeout is not None
+                        and time.time() - last_progress > self.idle_timeout
+                    ):
+                        self.tracer.event("worker-idle-exit", worker=self.worker_id)
+                        break
+                    time.sleep(self.poll_seconds)
+                    continue
+                last_progress = time.time()
+                self.tracer.event(
+                    "claim", job=job.job_id, epoch=job.epoch, shard=list(job.shard)
+                )
+                self._execute(job)
+                if self.max_jobs is not None and (
+                    self.completed + self.failed
+                ) >= self.max_jobs:
+                    self.tracer.event("worker-job-limit", worker=self.worker_id)
+                    break
+        finally:
+            self.tracer.event(
+                "worker-exit",
+                worker=self.worker_id,
+                completed=self.completed,
+                failed=self.failed,
+            )
+        return self.completed
+
+    # -- execution -----------------------------------------------------
+
+    def _evaluator(self, task_payload: dict) -> ShardEvaluator:
+        key = json.dumps(task_payload, sort_keys=True)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = ShardEvaluator(task_from_payload(task_payload))
+            self._evaluators[key] = evaluator
+        return evaluator
+
+    def _execute(self, job: JobRecord) -> None:
+        shard = tuple(job.shard)
+        # The job's winning-claim count *is* the attempt number; publish
+        # it so attempt-dependent fault plans ("fail once, then recover")
+        # behave identically in-process and across the queue boundary.
+        set_attempts({shard: job.attempts})
+        try:
+            with self.tracer.span("execute", job=job.job_id, shard=list(shard)):
+                evaluator = self._evaluator(job.task)
+                _, rows = _evaluate_shard(evaluator, shard)
+        except ShardExecutionError as error:
+            self.queue.fail(job, error=error.cause, fatal=error.fatal)
+            self.tracer.event(
+                "failed", job=job.job_id, error=error.cause, fatal=error.fatal
+            )
+            self._record_failure(job, error)
+            self.failed += 1
+            return
+        self.queue.complete(job, rows)
+        self.tracer.event("done", job=job.job_id, rows=len(rows))
+        self.completed += 1
+
+    def _record_failure(self, job: JobRecord, error: ShardExecutionError) -> None:
+        if self.failure_log_path is None:
+            return
+        from repro.resilience import FailureLog, FailureRecord
+
+        log = FailureLog(
+            self.failure_log_path, key={"scope": "service"}, durable=True
+        )
+        log.append_record(
+            FailureRecord(
+                kind="shard",
+                unit={
+                    "start_id": job.shard[0],
+                    "count": job.shard[1],
+                    "job": job.job_id,
+                    "worker": self.worker_id,
+                },
+                error=error.cause,
+                attempts=job.attempts,
+            )
+        )

@@ -230,3 +230,90 @@ def test_main_campaign_rejects_bad_action_and_filter(tmp_path):
         main(["campaign", "destroy"])
     with pytest.raises(SystemExit, match="bad --filter"):
         main(["campaign", "run", "--filter", "velocity=9"])
+
+
+def test_parser_accepts_service_flags():
+    parser = _build_parser()
+    arguments = parser.parse_args(
+        [
+            "service", "worker", "--queue-dir", "/tmp/q", "--worker-id", "w1",
+            "--lease", "10", "--poll", "0.1", "--max-jobs", "3",
+            "--idle-timeout", "5", "--failure-log", "/tmp/f.jsonl",
+            "--fault", "shard-crash", "--fault-state", '{"start_id": 0}',
+        ]
+    )
+    assert arguments.experiment == "service"
+    assert arguments.action == "worker"
+    assert arguments.queue_dir == "/tmp/q"
+    assert arguments.worker_id == "w1"
+    assert arguments.lease == 10.0
+    assert arguments.max_jobs == 3
+    serve = parser.parse_args(
+        ["serve", "--service-root", "/tmp/svc", "--executor", "workqueue",
+         "--embedded-workers", "2", "--max-requests", "1"]
+    )
+    assert serve.service_root == "/tmp/svc"
+    assert serve.embedded_workers == 2
+    submit = parser.parse_args(["submit", "--count", "50", "--wait", "30"])
+    assert submit.wait == 30.0
+
+
+@pytest.mark.service
+def test_main_list_executors_includes_workqueue(capsys):
+    assert main(["list", "executors"]) == 0
+    output = capsys.readouterr().out
+    assert "workqueue" in output
+    assert "service worker" in output
+
+
+@pytest.mark.service
+def test_main_workqueue_without_broker_fails_actionably(monkeypatch):
+    monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
+    with pytest.raises(SystemExit, match="REPRO_QUEUE_DIR"):
+        main(["run", "--executor", "workqueue", "--count", "10", "--no-cache"])
+    with pytest.raises(SystemExit, match="REPRO_QUEUE_DIR"):
+        main(["campaign", "run", "--executor", "workqueue", "--budgets", "10"])
+    with pytest.raises(SystemExit, match="REPRO_QUEUE_DIR"):
+        main(["fig2", "--executor", "workqueue"])
+    with pytest.raises(SystemExit, match="queue directory"):
+        main(["service", "worker"])
+
+
+@pytest.mark.service
+def test_main_run_on_workqueue_with_embedded_workers(tmp_path, capsys):
+    argv = [
+        "run", "--core", "ibex", "--solver", "greedy", "--count", "30",
+        "--executor", "workqueue", "--queue-dir", str(tmp_path / "q"),
+        "--embedded-workers", "1", "--shard-size", "10", "--no-cache",
+    ]
+    assert main(argv) == 0
+    output = capsys.readouterr().out
+    assert "pipeline: core=ibex" in output
+
+
+@pytest.mark.service
+def test_main_submit_serve_status_round_trip(tmp_path, capsys):
+    root = str(tmp_path / "svc")
+    submit = [
+        "submit", "--service-root", root, "--core", "ibex",
+        "--solver", "greedy", "--count", "30",
+    ]
+    assert main(submit) == 0
+    request_id = capsys.readouterr().out.split()[1]
+
+    assert main(["serve", "--service-root", root, "--max-requests", "1",
+                 "--poll", "0.01"]) == 0
+    capsys.readouterr()
+
+    assert main(["status", "--service-root", root]) == 0
+    assert "done" in capsys.readouterr().out
+
+    assert main(["status", request_id, "--service-root", root]) == 0
+    assert "Ticket %s" % request_id in capsys.readouterr().out
+
+    # Submitting again hits the finished ticket; --wait returns at once.
+    assert main(submit + ["--wait", "5"]) == 0
+    assert "from store" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit, match="no finished ticket"):
+        main(["status", "nonexistent", "--service-root", root])

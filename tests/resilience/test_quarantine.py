@@ -55,6 +55,39 @@ class TestFailureLog:
         with pytest.raises(ValueError, match="different run"):
             FailureLog(path, {"core": "cva6", "seed": 3})
 
+    def test_concurrent_processes_append_without_torn_lines(self, tmp_path):
+        """The service's worker processes share one failure log: records
+        appended from separate processes at once must all land intact."""
+        import os
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "quarantine.jsonl")
+        FailureLog(path, KEY, durable=True)  # one creator writes the header
+        source_root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = (
+            "import sys; sys.path.insert(0, %r); "
+            "from repro.resilience import FailureLog, FailureRecord; "
+            "log = FailureLog(%r, {'core': 'ibex', 'seed': 3}, durable=True); "
+            "[log.append_record(FailureRecord(kind='shard', "
+            "unit={'start_id': n, 'count': 10, 'worker': sys.argv[1]}, "
+            "error='boom' * 200, attempts=1)) for n in range(25)]"
+            % (source_root, path)
+        )
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, "w%d" % index])
+            for index in range(2)
+        ]
+        assert all(proc.wait() == 0 for proc in procs)
+
+        reloaded = FailureLog(path, KEY)
+        assert len(reloaded) == 50
+        workers = {record.unit["worker"] for record in reloaded.records}
+        assert workers == {"w0", "w1"}
+        with open(path) as stream:
+            for line in stream:
+                json.loads(line)  # every line is intact
+
     def test_torn_final_line_is_recovered(self, tmp_path):
         path = str(tmp_path / "quarantine.jsonl")
         log = FailureLog(path, KEY)

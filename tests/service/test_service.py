@@ -1,0 +1,157 @@
+"""ContractService and the file-based serve/submit/status front-end."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    ContractRequest,
+    ContractServer,
+    ContractService,
+    ContractStore,
+    ServiceTicket,
+    WorkQueueExecutor,
+)
+from repro.service.service import (
+    load_ticket,
+    render_status,
+    request_states,
+    submit_request,
+)
+
+pytestmark = pytest.mark.service
+
+
+def _service(tmp_path, **overrides):
+    store = ContractStore(str(tmp_path / "store"))
+    settings = dict(executor="serial")
+    settings.update(overrides)
+    return ContractService(store, **settings)
+
+
+def _workqueue_service(tmp_path):
+    executor = WorkQueueExecutor(
+        queue_dir=str(tmp_path / "queue"),
+        embedded_workers=2,
+        poll_seconds=0.01,
+        wait_for_workers=15.0,
+    )
+    return _service(tmp_path, executor=executor), executor
+
+
+class TestContractRequest:
+    def test_digest_normalizes_scalars_and_lists(self):
+        assert (
+            ContractRequest(core="ibex").digest()
+            == ContractRequest(core=["ibex"]).digest()
+        )
+        assert ContractRequest(budget=10).digest() != ContractRequest(budget=20).digest()
+
+    def test_round_trips_through_dict(self):
+        request = ContractRequest(core=["ibex", "cva6"], budget=[100, 200], seed=3)
+        rebuilt = ContractRequest.from_dict(request.to_dict())
+        assert rebuilt.digest() == request.digest()
+        assert len(rebuilt.cells()) == 4
+
+    def test_cells_expand_the_cross_product(self):
+        request = ContractRequest(budget=[50, 100], seed=[0, 1])
+        labels = {(cell.budget, cell.seed) for cell in request.cells()}
+        assert labels == {(50, 0), (50, 1), (100, 0), (100, 1)}
+
+
+class TestContractService:
+    def test_miss_executes_then_repeat_serves_from_store(self, tmp_path):
+        service = _service(tmp_path)
+        request = ContractRequest(budget=40, seed=1, solver="greedy")
+
+        first = service.request(request)
+        assert first.executed == 1 and first.from_store == 0
+        assert [outcome.resumed for outcome in first.outcomes] == [False]
+
+        second = service.request(request)
+        assert second.executed == 0 and second.from_store == 1
+        assert [outcome.resumed for outcome in second.outcomes] == [True]
+        assert (
+            second.outcomes[0].atom_ids == first.outcomes[0].atom_ids
+        )
+
+    def test_smaller_budget_schedules_zero_jobs(self, tmp_path):
+        service, executor = _workqueue_service(tmp_path)
+        big = service.request(ContractRequest(budget=80, seed=1, solver="greedy"))
+        assert big.jobs_enqueued > 0
+
+        # The smaller budget is a new cell (executed=1) whose dataset
+        # is a prefix of the cached 80-case corpus: the runner derives
+        # it without scheduling any evaluation work.
+        small = service.request(ContractRequest(budget=40, seed=1, solver="greedy"))
+        assert small.executed == 1
+        assert small.jobs_enqueued == 0
+
+    def test_partial_hit_executes_only_missing_cells(self, tmp_path):
+        service = _service(tmp_path)
+        service.request(ContractRequest(budget=40, seed=0, solver="greedy"))
+        both = service.request(
+            ContractRequest(budget=40, seed=[0, 1], solver="greedy")
+        )
+        assert both.from_store == 1
+        assert both.executed == 1
+        # Ticket outcomes follow cell order regardless of how each was
+        # served.
+        assert [outcome.cell.seed for outcome in both.outcomes] == [0, 1]
+
+
+class TestServiceTicket:
+    def test_round_trips_and_renders(self, tmp_path):
+        service = _service(tmp_path)
+        ticket = service.request(ContractRequest(budget=40, solver="greedy"))
+        rebuilt = ServiceTicket.from_dict(
+            json.loads(json.dumps(ticket.to_dict()))
+        )
+        assert rebuilt.request_id == ticket.request_id
+        assert rebuilt.outcomes[0].atom_ids == ticket.outcomes[0].atom_ids
+        rendered = rebuilt.render()
+        assert ticket.request_id in rendered
+        assert "served from" in rendered
+
+
+class TestFileFrontEnd:
+    def test_submit_serve_status_round_trip(self, tmp_path):
+        root = str(tmp_path / "svc")
+        service = _service(tmp_path)
+        request = ContractRequest(budget=40, solver="greedy")
+
+        request_id = submit_request(root, request)
+        assert request_states(root)["pending"] == [request_id]
+
+        server = ContractServer(service, root)
+        assert server.poll_once() == 1
+        assert request_states(root)["pending"] == []
+        ticket = load_ticket(root, request_id)
+        assert ticket is not None and ticket.executed == 1
+        assert request_id in render_status(root)
+
+        # Resubmitting a finished request is a no-op: the done ticket
+        # already answers it.
+        assert submit_request(root, request) == request_id
+        assert server.poll_once() == 0
+
+    def test_failed_requests_land_in_failed_with_the_error(self, tmp_path):
+        root = str(tmp_path / "svc")
+        service = _service(tmp_path)
+        request = ContractRequest(core="no-such-core", budget=10)
+        request_id = submit_request(root, request)
+
+        server = ContractServer(service, root)
+        assert server.poll_once() == 1
+        assert request_states(root)["failed"] == [request_id]
+        assert load_ticket(root, request_id) is None
+        with open(os.path.join(root, "requests", "failed", request_id + ".json")) as f:
+            assert "no-such-core" in json.load(f)["error"]
+
+    def test_serve_exits_on_max_requests(self, tmp_path):
+        root = str(tmp_path / "svc")
+        service = _service(tmp_path)
+        submit_request(root, ContractRequest(budget=40, solver="greedy"))
+        server = ContractServer(service, root, max_requests=1, poll_seconds=0.01)
+        assert server.serve() == 1

@@ -1,0 +1,221 @@
+"""End-to-end: real serve + worker *processes* over one service root.
+
+The acceptance scenario for the distributed service: a broker process
+(`repro-synthesize serve --executor workqueue`) and independent worker
+processes (`repro-synthesize service worker`) complete requests
+byte-identical to the in-process serial executor, repeat and
+smaller-budget requests are served without scheduling evaluation work,
+and a SIGKILLed worker's shard is reclaimed, requeued, and finished by
+a survivor with an identical final contract.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ContractRequest, ContractService, ContractStore
+from repro.service.service import load_ticket
+
+pytestmark = pytest.mark.service
+
+_SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+REQUEST = ContractRequest(core="ibex", solver="greedy", budget=60, seed=0)
+SMALLER = ContractRequest(core="ibex", solver="greedy", budget=30, seed=0)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _cli(*args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _finish(proc, timeout=180):
+    output, _ = proc.communicate(timeout=timeout)
+    assert proc.returncode == 0, output
+    return output
+
+
+def _events(queue_dir):
+    try:
+        with open(os.path.join(queue_dir, "queue.jsonl")) as stream:
+            lines = stream.read().splitlines()
+    except FileNotFoundError:
+        return []
+    events = []
+    for line in lines:
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            continue
+    return events
+
+
+def _serial_reference(tmp_path, *requests):
+    """The same requests answered entirely in-process on the serial
+    executor — the byte-identity oracle."""
+    store = ContractStore(str(tmp_path / "serial-store"))
+    service = ContractService(store, executor="serial")
+    return [service.request(request) for request in requests], store
+
+
+def _assert_identical(ticket, reference):
+    lhs = {outcome.cell.key(): outcome for outcome in ticket.outcomes}
+    rhs = {outcome.cell.key(): outcome for outcome in reference.outcomes}
+    assert lhs.keys() == rhs.keys()
+    for key, outcome in lhs.items():
+        assert outcome.atom_ids == rhs[key].atom_ids
+        assert outcome.false_positives == rhs[key].false_positives
+        assert outcome.test_cases == rhs[key].test_cases
+
+
+def _assert_same_dataset_bytes(root, serial_store):
+    """Every dataset the serial oracle cached must exist byte-for-byte
+    in the service store's cache."""
+    store_cache = os.path.join(root, "store", "cache")
+    for name in os.listdir(serial_store.datasets_dir):
+        with open(os.path.join(serial_store.datasets_dir, name), "rb") as stream:
+            expected = stream.read()
+        with open(os.path.join(store_cache, name), "rb") as stream:
+            assert stream.read() == expected, name
+
+
+class TestServeWithWorkerProcesses:
+    def test_campaign_completes_byte_identical_and_reuses_the_store(
+        self, tmp_path
+    ):
+        root = str(tmp_path / "svc")
+        queue_dir = os.path.join(root, "queue")
+        serve = _cli(
+            "serve", "--service-root", root, "--executor", "workqueue",
+            "--max-requests", "2", "--idle-timeout", "150",
+            "--shard-size", "15", "--poll", "0.05",
+        )
+        workers = [
+            _cli("service", "worker", "--queue-dir", queue_dir,
+                 "--idle-timeout", "60")
+            for _ in range(2)
+        ]
+        try:
+            first = _finish(
+                _cli("submit", "--service-root", root, "--core", "ibex",
+                     "--solver", "greedy", "--count", "60", "--wait", "120")
+            )
+            assert "1 executed" in first
+
+            # The smaller budget is a different request, but its dataset
+            # is a prefix of the cached 60-case corpus: the serve loop
+            # executes the cell without enqueueing a single shard job.
+            smaller = _finish(
+                _cli("submit", "--service-root", root, "--core", "ibex",
+                     "--solver", "greedy", "--count", "30", "--wait", "120")
+            )
+            assert "0 jobs enqueued" in smaller
+
+            # Resubmitting the finished spec returns its ticket without
+            # touching the serve loop (which has already exited).
+            assert _finish(serve, timeout=60)
+            repeat = _finish(
+                _cli("submit", "--service-root", root, "--core", "ibex",
+                     "--solver", "greedy", "--count", "60", "--wait", "5")
+            )
+            assert "Ticket %s" % REQUEST.digest() in repeat
+
+            references, serial_store = _serial_reference(
+                tmp_path, REQUEST, SMALLER
+            )
+            _assert_identical(load_ticket(root, REQUEST.digest()), references[0])
+            _assert_identical(load_ticket(root, SMALLER.digest()), references[1])
+            _assert_same_dataset_bytes(root, serial_store)
+
+            # Two real worker processes shared the shard jobs (claims
+            # name the pid-derived worker ids).
+            claimers = {
+                event["worker"]
+                for event in _events(queue_dir)
+                if event.get("event") == "claim"
+            }
+            assert len(claimers) >= 1
+        finally:
+            for proc in workers + [serve]:
+                proc.kill()
+
+
+class TestWorkerCrashRecovery:
+    def test_sigkilled_worker_is_reclaimed_and_contract_is_identical(
+        self, tmp_path
+    ):
+        root = str(tmp_path / "svc")
+        queue_dir = os.path.join(root, "queue")
+        serve = _cli(
+            "serve", "--service-root", root, "--executor", "workqueue",
+            "--lease", "2", "--max-requests", "1", "--idle-timeout", "180",
+            "--shard-size", "15", "--poll", "0.05",
+        )
+        # This worker hangs (far past its lease) on the first attempt of
+        # the shard starting at test id 0, simulating a wedged process.
+        faulty = _cli(
+            "service", "worker", "--queue-dir", queue_dir,
+            "--worker-id", "faulty", "--idle-timeout", "90",
+            "--fault", "shard-hang",
+            "--fault-state",
+            '{"start_id": 0, "delay_seconds": 300, "hang_attempts": 1}',
+        )
+        submit = _cli(
+            "submit", "--service-root", root, "--core", "ibex",
+            "--solver", "greedy", "--count", "60", "--wait", "150",
+        )
+        healthy = None
+        try:
+            deadline = time.time() + 90
+            while time.time() < deadline:
+                if any(
+                    event.get("event") == "claim"
+                    and event.get("worker") == "faulty"
+                    for event in _events(queue_dir)
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("faulty worker never claimed a shard")
+
+            faulty.kill()  # SIGKILL mid-shard, lease still held
+            healthy = _cli(
+                "service", "worker", "--queue-dir", queue_dir,
+                "--worker-id", "healthy", "--idle-timeout", "90",
+            )
+
+            output = _finish(submit, timeout=180)
+            assert "1 executed" in output
+
+            events = _events(queue_dir)
+            assert any(
+                event.get("event") == "requeue" for event in events
+            ), "the dead lease was never reclaimed"
+            assert "healthy" in {
+                event.get("worker")
+                for event in events
+                if event.get("event") == "claim"
+            }
+
+            references, serial_store = _serial_reference(tmp_path, REQUEST)
+            _assert_identical(load_ticket(root, REQUEST.digest()), references[0])
+            _assert_same_dataset_bytes(root, serial_store)
+        finally:
+            for proc in (faulty, healthy, serve, submit):
+                if proc is not None:
+                    proc.kill()

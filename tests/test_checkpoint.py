@@ -1,0 +1,109 @@
+"""The shared JSONL checkpoint mechanics: atomic appends + durability."""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import JsonlCheckpoint, append_jsonl_line
+
+
+class _Log(JsonlCheckpoint):
+    kind = "test-log"
+
+    def __init__(self, path, durable=False):
+        self.entries = []
+        super().__init__(path, {"run": 1}, durable=durable)
+
+    def _accept(self, entry):
+        self.entries.append(entry)
+
+    def _entries(self):
+        return list(self.entries)
+
+
+def _append(log, **entry):
+    log._append(entry)
+    log.entries.append(entry)
+
+
+class TestAppendJsonlLine:
+    def test_appends_one_line_per_entry(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl_line(path, {"n": 1})
+        append_jsonl_line(path, {"n": 2}, durable=True)
+        with open(path) as stream:
+            assert [json.loads(line) for line in stream] == [{"n": 1}, {"n": 2}]
+
+    def test_terminates_a_torn_tail_instead_of_concatenating(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_jsonl_line(path, {"n": 1})
+        with open(path, "a") as stream:
+            stream.write('{"n": ')  # a writer died mid-append
+        append_jsonl_line(path, {"n": 2})
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        # The torn fragment stays its own (invalid) line; the new entry
+        # is intact after it.
+        assert json.loads(lines[-1]) == {"n": 2}
+        assert lines[1] == '{"n": '
+
+
+class TestDurableCheckpoint:
+    def test_durable_default_is_off(self, tmp_path):
+        log = _Log(str(tmp_path / "log.jsonl"))
+        assert log.durable is False
+
+    def test_torn_final_line_recovery_with_durable_appends(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = _Log(path, durable=True)
+        _append(log, unit=1)
+        _append(log, unit=2)
+        with open(path, "a") as stream:
+            stream.write('{"unit": 3, "extra"')  # killed mid-append
+
+        recovered = _Log(path, durable=True)
+        assert recovered.entries == [{"unit": 1}, {"unit": 2}]
+        _append(recovered, unit=4)
+        with open(path) as stream:
+            lines = stream.read().splitlines()
+        assert len(lines) == 4  # header + 3 intact entries
+        for line in lines:
+            json.loads(line)
+
+    def test_rewrite_preserves_entries_under_durable(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = _Log(path, durable=True)
+        _append(log, unit=1)
+        log._rewrite()
+        assert _Log(path).entries == [{"unit": 1}]
+
+
+class TestMultiProcessAppend:
+    def test_concurrent_processes_never_tear_lines(self, tmp_path):
+        """Many processes hammering one file through append_jsonl_line
+        must produce only intact, complete lines."""
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "shared.jsonl")
+        script = (
+            "import sys; sys.path.insert(0, %r); "
+            "from repro.checkpoint import append_jsonl_line; "
+            "writer = int(sys.argv[1]); "
+            "[append_jsonl_line(%r, {'writer': writer, 'n': n, 'pad': 'x' * 512}, "
+            "durable=True) for n in range(50)]"
+            % (os.path.join(os.path.dirname(__file__), "..", "src"), path)
+        )
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, str(writer)])
+            for writer in range(4)
+        ]
+        assert all(proc.wait() == 0 for proc in procs)
+
+        with open(path) as stream:
+            entries = [json.loads(line) for line in stream]
+        assert len(entries) == 4 * 50
+        for writer in range(4):
+            sequence = [e["n"] for e in entries if e["writer"] == writer]
+            assert sequence == sorted(sequence)  # per-writer order holds
