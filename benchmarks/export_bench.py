@@ -37,6 +37,12 @@ OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_micro.json")
 PAIRED_BENCHMARKS = {
     "test_bench_atom_extraction": "test_bench_atom_extraction_reference",
     "test_bench_end_to_end_test_case": "test_bench_end_to_end_test_case_reference",
+    "test_bench_batch_ibex_simulation": (
+        "test_bench_batch_ibex_simulation_reference"
+    ),
+    "test_bench_batch_cva6_simulation": (
+        "test_bench_batch_cva6_simulation_reference"
+    ),
 }
 
 #: Cross-algorithm pairs reported for context but NOT gated: the

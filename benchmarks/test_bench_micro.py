@@ -124,41 +124,123 @@ def test_bench_template_construction(benchmark):
     assert len(template) == 892
 
 
-def test_bench_end_to_end_test_case(benchmark, template):
-    """One full test-case evaluation (2 simulations + extraction)."""
-    from repro.evaluation.evaluator import TestCaseEvaluator
+#: The pinned end-to-end corpus: generated once outside every timed
+#: region so both sides of each pair evaluate the identical workload.
+#: Sized to the evaluator's DEFAULT_BATCH_SIZE — the columnar engine's
+#: intended operating width.
+_E2E_COUNT = 256
+_E2E_SEED = 17
 
-    generator = TestCaseGenerator(template, seed=17)
-    evaluator = TestCaseEvaluator(IbexCore(), template)
+
+@pytest.fixture(scope="module")
+def e2e_corpus(template):
+    generator = TestCaseGenerator(template, seed=_E2E_SEED)
     rng = random.Random(0)
     atoms = list(template)
-
-    def evaluate_one():
-        atom = atoms[rng.randrange(len(atoms))]
-        case = generator.generate_for_atom(atom, 0, rng)
-        return evaluator.evaluate(case)
-
-    result = benchmark(evaluate_one)
-    assert result is not None
+    return [
+        generator.generate_for_atom(
+            atoms[rng.randrange(len(atoms))], test_id, rng
+        )
+        for test_id in range(_E2E_COUNT)
+    ]
 
 
-def test_bench_end_to_end_test_case_reference(benchmark, template):
-    """End-to-end evaluation with the fast path disabled — paired with
-    ``test_bench_end_to_end_test_case`` to measure the speedup."""
+def test_bench_end_to_end_test_case(benchmark, template, e2e_corpus):
+    """Full evaluation of the pinned corpus through the batched
+    columnar engine (``use_fastpath="batch"``) — paired with
+    ``test_bench_end_to_end_test_case_reference`` to measure the
+    end-to-end speedup over the interpreter oracle."""
     from repro.evaluation.evaluator import TestCaseEvaluator
 
-    generator = TestCaseGenerator(template, seed=17)
+    evaluator = TestCaseEvaluator(IbexCore(), template, use_fastpath="batch")
+    results = benchmark(evaluator.evaluate_batch, e2e_corpus)
+    assert len(results) == _E2E_COUNT
+
+
+def test_bench_end_to_end_test_case_reference(benchmark, template, e2e_corpus):
+    """The same corpus through the per-case interpreter path — paired
+    with ``test_bench_end_to_end_test_case`` to measure the speedup."""
+    from repro.evaluation.evaluator import TestCaseEvaluator
+
     evaluator = TestCaseEvaluator(IbexCore(), template, use_fastpath=False)
-    rng = random.Random(0)
-    atoms = list(template)
 
-    def evaluate_one():
-        atom = atoms[rng.randrange(len(atoms))]
-        case = generator.generate_for_atom(atom, 0, rng)
-        return evaluator.evaluate(case)
+    def evaluate_all():
+        return [evaluator.evaluate(case) for case in e2e_corpus]
 
-    result = benchmark(evaluate_one)
-    assert result is not None
+    results = benchmark(evaluate_all)
+    assert len(results) == _E2E_COUNT
+
+
+def test_bench_end_to_end_batch_matches_reference(template, e2e_corpus):
+    """Not a benchmark: pins the pairing of the two benchmarks above —
+    identical corpus, byte-identical results."""
+    from repro.evaluation.evaluator import TestCaseEvaluator
+    from repro.evaluation.results import EvaluationDataset
+
+    batch = TestCaseEvaluator(IbexCore(), template, use_fastpath="batch")
+    reference = TestCaseEvaluator(IbexCore(), template, use_fastpath=False)
+    batched = EvaluationDataset(batch.evaluate_batch(e2e_corpus))
+    scalar = EvaluationDataset([reference.evaluate(c) for c in e2e_corpus])
+    assert batched.to_json() == scalar.to_json()
+
+
+def _pair_lanes(corpus):
+    """Both programs of every test case — the lanes the evaluator runs."""
+    programs = [case.program_a for case in corpus]
+    programs += [case.program_b for case in corpus]
+    states = [case.initial_state for case in corpus] * 2
+    return programs, states
+
+
+def _bench_batch_simulation(benchmark, core, corpus):
+    """Time the columnar engine in the form the batched evaluator
+    consumes: one ``run_batch`` plus the attacker-sufficient lane views
+    (full ``SimulationResult`` materialization is the scalar-compat
+    path, not how the pipeline reads batches)."""
+    from repro.batchsim.simulate import run_batch
+
+    programs, states = _pair_lanes(corpus)
+
+    def simulate_batch():
+        simulation = run_batch(core, programs, states)
+        return [simulation.view(lane) for lane in range(len(programs))]
+
+    views = benchmark(simulate_batch)
+    assert len(views) == 2 * _E2E_COUNT
+
+
+def _bench_scalar_simulation(benchmark, core, corpus):
+    """The same lanes through sequential ``Core.simulate`` calls."""
+    programs, states = _pair_lanes(corpus)
+
+    def simulate_all():
+        return [
+            core.simulate(program, state)
+            for program, state in zip(programs, states)
+        ]
+
+    results = benchmark(simulate_all)
+    assert len(results) == 2 * _E2E_COUNT
+
+
+def test_bench_batch_ibex_simulation(benchmark, e2e_corpus):
+    """Corpus pair lanes through the columnar engine on ibex — paired
+    with ``test_bench_batch_ibex_simulation_reference`` to measure the
+    engine's simulation-only speedup."""
+    _bench_batch_simulation(benchmark, IbexCore(), e2e_corpus)
+
+
+def test_bench_batch_ibex_simulation_reference(benchmark, e2e_corpus):
+    _bench_scalar_simulation(benchmark, IbexCore(), e2e_corpus)
+
+
+def test_bench_batch_cva6_simulation(benchmark, e2e_corpus):
+    """The CVA6 twin of ``test_bench_batch_ibex_simulation``."""
+    _bench_batch_simulation(benchmark, CVA6Core(), e2e_corpus)
+
+
+def test_bench_batch_cva6_simulation_reference(benchmark, e2e_corpus):
+    _bench_scalar_simulation(benchmark, CVA6Core(), e2e_corpus)
 
 
 #: The pinned adaptive-convergence scenario: the riscv-mem contract on

@@ -214,7 +214,7 @@ class AdaptiveLoop:
         seed: int = 0,
         allowed_atom_ids=None,
         restriction: Optional[str] = None,
-        use_fastpath: bool = True,
+        use_fastpath: "bool | str" = True,
         executor: Optional[str] = None,
         processes: Optional[int] = None,
         shard_size: int = 250,
@@ -305,7 +305,8 @@ class AdaptiveLoop:
             "seed": self.seed,
             "generator": self.generator_name,
             "batch": self.batch,
-            "fastpath": self.use_fastpath,
+            # Fast modes are byte-identical; key on reference-vs-fast.
+            "fastpath": bool(self.use_fastpath),
             "solver": self.solver_name,
             "restriction": self.restriction,
         }

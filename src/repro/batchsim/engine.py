@@ -1,0 +1,585 @@
+"""The batched functional engine: all lanes execute in lock step.
+
+One *lane* is one program execution.  The engine keeps the register
+files as a ``[lanes, 32]`` int64 array and a per-lane program counter;
+each step gathers the active lanes' decoded instruction fields,
+computes every result primitive for all of them at once, and selects
+the per-lane result with one table gather — replacing the scalar
+interpreter's per-instruction Python dispatch with a fixed number of
+numpy operations per *step*, independent of the batch width.
+
+Retirement facts (the exact content of
+:class:`~repro.isa.executor.ExecRecord`) are written into columnar
+``[lanes, steps]`` buffers, including the dependency distances, which
+are annotated inline from per-lane last-reader/last-writer register
+maps with the same before-own-accesses semantics as
+:func:`repro.isa.executor.annotate_dependency_distances`.
+
+Memory operations fall back to a short per-lane Python loop over the
+(typically rare) load/store lanes of the step, mutating each lane's
+own lazily-created :class:`~repro.isa.memory.SparseMemory` copy with
+byte-for-byte the scalar ``_load``/``_store`` semantics.
+
+Equivalence with :class:`~repro.isa.executor.IsaExecutor` is pinned
+record-field-for-record-field by ``tests/batchsim``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.batchsim.decode import (
+    BRANCH_COND,
+    HAS_RD,
+    HAS_RS1,
+    HAS_RS2,
+    IS_BRANCH,
+    IS_MEMORY,
+    IS_TERMINAL,
+    JAL_INDEX,
+    JALR_INDEX,
+    N_OPCODES,
+    N_RESULTS,
+    OPCODE_ORDER,
+    R_ADD,
+    R_AND,
+    R_AUIPC,
+    R_DIV,
+    R_DIVU,
+    R_LINK,
+    R_LUI,
+    R_MUL,
+    R_MULH,
+    R_MULHSU,
+    R_MULHU,
+    R_OR,
+    R_REM,
+    R_REMU,
+    R_SLL,
+    R_SLT,
+    R_SLTU,
+    R_SRA,
+    R_SRL,
+    R_SUB,
+    R_XOR,
+    RESULT_INDEX,
+    USE_IMM,
+    decode_batch,
+)
+from repro.isa.executor import DEFAULT_MAX_STEPS, ExecutionLimitExceeded
+from repro.isa.instructions import Opcode
+from repro.isa.memory import SparseMemory
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+
+_MASK32 = np.int64(0xFFFFFFFF)
+_U_MASK32 = np.uint64(0xFFFFFFFF)
+_SIGN_BIT = np.int64(0x8000_0000)
+_TWO32 = np.int64(1) << 32
+#: "never" sentinel for the last-reader/last-writer maps: any distance
+#: computed against it exceeds every dependency window.
+_NEVER = np.int64(-1) << 40
+
+#: Columnar record fields, in buffer order.
+RECORD_COLUMNS = (
+    "pc",
+    "next_pc",
+    "pidx",
+    "op",
+    "rd",
+    "rs1",
+    "rs2",
+    "imm",
+    "rs1_value",
+    "rs2_value",
+    "rd_value",
+    "mem_read_addr",
+    "mem_read_data",
+    "mem_write_addr",
+    "mem_write_data",
+    "branch_taken",
+    "raw_rs1_dist",
+    "raw_rs2_dist",
+    "war_rd_dist",
+    "waw_dist",
+)
+
+
+class BatchExecution:
+    """The columnar functional trace of a whole batch.
+
+    ``counts[lane]`` retirements are valid per lane; every ``[lanes,
+    steps]`` column is zero past them.  Distance columns use ``0`` for
+    the scalar engine's ``None`` (real distances are always >= 1).
+    """
+
+    __slots__ = RECORD_COLUMNS + (
+        "programs",
+        "initial_states",
+        "counts",
+        "final_pc",
+        "final_regs",
+        "memories",
+        "dependency_window",
+    )
+
+    def __init__(self, programs, initial_states, columns, counts, final_pc,
+                 final_regs, memories, dependency_window):
+        self.programs = programs
+        self.initial_states = initial_states
+        for name, column in zip(RECORD_COLUMNS, columns):
+            setattr(self, name, column)
+        self.counts = counts
+        self.final_pc = final_pc
+        self.final_regs = final_regs
+        #: lane -> mutated SparseMemory; absent lanes never touched memory.
+        self.memories = memories
+        self.dependency_window = dependency_window
+
+    @property
+    def lanes(self) -> int:
+        return len(self.programs)
+
+    @property
+    def steps(self) -> int:
+        return self.op.shape[1]
+
+    def final_memory(self, lane: int) -> SparseMemory:
+        """The lane's final data memory (a private copy)."""
+        memory = self.memories.get(lane)
+        if memory is not None:
+            return memory
+        state = self.initial_states[lane]
+        return state.memory.copy() if state is not None else SparseMemory()
+
+
+def execute_batch(
+    programs: Sequence[Program],
+    initial_states: Optional[Sequence[Optional[ArchState]]] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    dependency_window: int = 4,
+) -> BatchExecution:
+    """Run every program to completion, lock-stepped across lanes."""
+    lanes = len(programs)
+    if initial_states is None:
+        initial_states = [None] * lanes
+    op_col, rd_col, rs1_col, rs2_col, imm_col, base, code_limit = decode_batch(
+        programs
+    )
+    max_len = op_col.shape[1]
+    op_flat = op_col.ravel()
+    rd_flat = rd_col.ravel()
+    rs1_flat = rs1_col.ravel()
+    rs2_flat = rs2_col.ravel()
+    imm_flat = imm_col.ravel()
+
+    # Batch-level opcode presence: whole classes of work (memory,
+    # branches, jumps, rare primitives) are skipped for every step when
+    # no decoded instruction in the batch can need them.
+    present = np.zeros(N_OPCODES, dtype=bool)
+    if lanes and max_len:
+        valid = np.arange(max_len) < (code_limit[:, None] >> 2)
+        present[op_col[valid]] = True
+    has_memory = bool(np.any(IS_MEMORY & present))
+    has_branch = bool(np.any(IS_BRANCH & present))
+    has_terminal = bool(np.any(IS_TERMINAL & present))
+    has_jal = bool(present[JAL_INDEX])
+    has_jalr = bool(present[JALR_INDEX])
+    needed = np.zeros(N_RESULTS, dtype=bool)
+    needed[RESULT_INDEX[present]] = True
+
+    regs = np.zeros((lanes, 32), dtype=np.int64)
+    for lane, state in enumerate(initial_states):
+        if state is not None:
+            regs[lane] = state.regs
+    regs_flat = regs.ravel()
+    pc = base.copy()
+    active = np.ones(lanes, dtype=bool)
+    counts = np.zeros(lanes, dtype=np.int64)
+    last_writer = np.full((lanes, 32), _NEVER, dtype=np.int64)
+    last_reader = np.full((lanes, 32), _NEVER, dtype=np.int64)
+    writer_flat = last_writer.ravel()
+    reader_flat = last_reader.ravel()
+    memories: dict = {}
+    lane_arange = np.arange(max(lanes, 1))
+
+    n_columns = len(RECORD_COLUMNS)
+    capacity = max(int(code_limit.max()) // 4 if lanes else 0, 1)
+    records = np.zeros((n_columns, lanes, capacity), dtype=np.int64)
+    records_flat = records.reshape(n_columns, -1)
+    stage = np.empty((n_columns, max(lanes, 1)), dtype=np.int64)
+
+    while True:
+        lane_index = np.nonzero(active)[0]
+        if lane_index.size == 0:
+            break
+        pcs = pc[lane_index]
+        offset = pcs - base[lane_index]
+        in_bounds = (offset >= 0) & ((offset & 3) == 0) & (
+            offset < code_limit[lane_index]
+        )
+        if not in_bounds.all():
+            active[lane_index[~in_bounds]] = False
+            lane_index = lane_index[in_bounds]
+            if lane_index.size == 0:
+                break
+            pcs = pcs[in_bounds]
+            offset = offset[in_bounds]
+        step = counts[lane_index]
+        step_max = int(step.max())
+        if step_max >= max_steps:
+            raise ExecutionLimitExceeded(
+                "program exceeded %d retired instructions" % max_steps
+            )
+        if step_max >= capacity:
+            capacity *= 2
+            grown = np.zeros((n_columns, lanes, capacity), dtype=np.int64)
+            grown[:, :, : records.shape[2]] = records
+            records = grown
+            records_flat = records.reshape(n_columns, -1)
+
+        pidx = offset >> 2
+        code_idx = lane_index * max_len + pidx
+        op = op_flat[code_idx]
+        rd = rd_flat[code_idx]
+        rs1 = rs1_flat[code_idx]
+        rs2 = rs2_flat[code_idx]
+        imm = imm_flat[code_idx]
+        has_rs1 = HAS_RS1[op]
+        has_rs2 = HAS_RS2[op]
+        has_rd = HAS_RD[op]
+        count = lane_index.size
+        arange = lane_arange[:count]
+        row32 = lane_index << 5
+        rs1_idx = row32 + rs1
+        rs2_idx = row32 + rs2
+        rd_idx = row32 + rd
+
+        a = np.where(has_rs1, regs_flat[rs1_idx], 0)
+        b_reg = np.where(has_rs2, regs_flat[rs2_idx], 0)
+        a_signed = np.where(a >= _SIGN_BIT, a - _TWO32, a)
+        b_reg_signed = np.where(b_reg >= _SIGN_BIT, b_reg - _TWO32, b_reg)
+        use_imm = USE_IMM[op]
+        b_masked = np.where(use_imm, imm & _MASK32, b_reg)
+        b_signed = np.where(use_imm, imm, b_reg_signed)
+        amount = np.where(use_imm, imm, b_reg) & 0x1F
+
+        result = _select_results(
+            op, arange, pcs, a, a_signed, b_masked, b_signed, amount, imm, needed
+        )
+
+        # Memory lanes: exact scalar _load/_store semantics per lane.
+        memory_step = False
+        if has_memory:
+            is_memory = IS_MEMORY[op]
+            memory_step = bool(is_memory.any())
+        if memory_step:
+            mem_raddr = np.zeros(count, dtype=np.int64)
+            mem_rdata = np.zeros(count, dtype=np.int64)
+            mem_waddr = np.zeros(count, dtype=np.int64)
+            mem_wdata = np.zeros(count, dtype=np.int64)
+            for position in np.nonzero(is_memory)[0]:
+                lane = int(lane_index[position])
+                memory = memories.get(lane)
+                if memory is None:
+                    state = initial_states[lane]
+                    memory = (
+                        state.memory.copy() if state is not None else SparseMemory()
+                    )
+                    memories[lane] = memory
+                opcode = OPCODE_ORDER[op[position]]
+                address = int((a[position] + imm[position]) & _MASK32)
+                if opcode is Opcode.SW:
+                    data = int(b_reg[position])
+                    memory.store_word(address, data)
+                elif opcode is Opcode.SH:
+                    data = int(b_reg[position]) & 0xFFFF
+                    memory.store_halfword(address, data)
+                elif opcode is Opcode.SB:
+                    data = int(b_reg[position]) & 0xFF
+                    memory.store_byte(address, data)
+                else:
+                    if opcode is Opcode.LW:
+                        data = memory.load_word(address)
+                        value = data
+                    elif opcode is Opcode.LH:
+                        data = memory.load_halfword(address)
+                        value = (
+                            (data - 0x10000) & 0xFFFFFFFF if data & 0x8000 else data
+                        )
+                    elif opcode is Opcode.LHU:
+                        data = memory.load_halfword(address)
+                        value = data
+                    elif opcode is Opcode.LB:
+                        data = memory.load_byte(address)
+                        value = (data - 0x100) & 0xFFFFFFFF if data & 0x80 else data
+                    else:  # LBU
+                        data = memory.load_byte(address)
+                        value = data
+                    mem_raddr[position] = address
+                    mem_rdata[position] = data
+                    result[position] = value
+                    continue
+                mem_waddr[position] = address
+                mem_wdata[position] = data
+
+        # Branch conditions and next pc.
+        branch_step = False
+        next_pc = (pcs + 4) & _MASK32
+        if has_branch:
+            is_branch = IS_BRANCH[op]
+            branch_step = bool(is_branch.any())
+        if branch_step:
+            conditions = np.stack(
+                (
+                    a == b_reg,
+                    a != b_reg,
+                    a_signed < b_reg_signed,
+                    a_signed >= b_reg_signed,
+                    a < b_reg,
+                    a >= b_reg,
+                )
+            )
+            taken = is_branch & conditions.ravel()[BRANCH_COND[op] * count + arange]
+            next_pc = np.where(taken, (pcs + imm) & _MASK32, next_pc)
+        if has_jal:
+            is_jal = op == JAL_INDEX
+            if is_jal.any():
+                next_pc = np.where(is_jal, (pcs + imm) & _MASK32, next_pc)
+        if has_jalr:
+            is_jalr = op == JALR_INDEX
+            if is_jalr.any():
+                next_pc = np.where(
+                    is_jalr, (a + imm) & _MASK32 & ~np.int64(1), next_pc
+                )
+
+        # Register writeback (x0 stays zero).
+        writes = has_rd & (rd != 0)
+        rd_value = np.where(writes, result, 0)
+        regs_flat[rd_idx[writes]] = result[writes]
+
+        # Dependency distances: computed against the maps *before* this
+        # step's own accesses fold in, then reader/writer updates.
+        reads_rs1 = has_rs1 & (rs1 != 0)
+        reads_rs2 = has_rs2 & (rs2 != 0)
+        window = dependency_window
+        d1 = step - writer_flat[rs1_idx]
+        d1 = np.where(reads_rs1 & (d1 <= window), d1, 0)
+        d2 = step - writer_flat[rs2_idx]
+        d2 = np.where(reads_rs2 & (d2 <= window), d2, 0)
+        d3 = step - reader_flat[rd_idx]
+        d3 = np.where(writes & (d3 <= window), d3, 0)
+        d4 = step - writer_flat[rd_idx]
+        d4 = np.where(writes & (d4 <= window), d4, 0)
+        reader_flat[rs1_idx[reads_rs1]] = step[reads_rs1]
+        reader_flat[rs2_idx[reads_rs2]] = step[reads_rs2]
+        writer_flat[rd_idx[writes]] = step[writes]
+
+        # Record scatter: the 20 columns staged as one matrix, written
+        # with a single fancy-index store per step.
+        staged = stage[:, :count]
+        staged[0] = pcs
+        staged[1] = next_pc
+        staged[2] = pidx
+        staged[3] = op
+        staged[4] = rd
+        staged[5] = rs1
+        staged[6] = rs2
+        staged[7] = imm
+        staged[8] = a
+        staged[9] = b_reg
+        staged[10] = rd_value
+        if memory_step:
+            staged[11] = mem_raddr
+            staged[12] = mem_rdata
+            staged[13] = mem_waddr
+            staged[14] = mem_wdata
+        else:
+            staged[11:15] = 0
+        staged[15] = taken if branch_step else 0
+        staged[16] = d1
+        staged[17] = d2
+        staged[18] = d3
+        staged[19] = d4
+        records_flat[:, lane_index * capacity + step] = staged
+        counts[lane_index] = step + 1
+
+        # Terminal ECALL/EBREAK: the lane stops with pc still at the
+        # terminal instruction (the scalar engine never applies its
+        # next_pc), matching IsaExecutor.run exactly.
+        if has_terminal:
+            terminal = IS_TERMINAL[op]
+            if terminal.any():
+                pc[lane_index] = np.where(terminal, pcs, next_pc)
+                active[lane_index[terminal]] = False
+            else:
+                pc[lane_index] = next_pc
+        else:
+            pc[lane_index] = next_pc
+
+    steps = int(counts.max()) if lanes else 0
+    trimmed = [records[position, :, :steps] for position in range(n_columns)]
+    return BatchExecution(
+        list(programs),
+        list(initial_states),
+        trimmed,
+        counts,
+        pc,
+        regs,
+        memories,
+        dependency_window,
+    )
+
+
+def _select_results(
+    op, arange, pcs, a, a_signed, b_masked, b_signed, amount, imm, needed
+):
+    """Compute the needed result primitives and gather per-lane results.
+
+    Primitive rows follow the ``R_*`` identifiers in
+    :mod:`repro.batchsim.decode`; rows whose result id never appears in
+    the batch (``needed`` is the batch-level presence table) stay zero
+    and are never gathered.  Overflow-prone primitives (SLL, MUL low,
+    MULHU) run in uint64 where wraparound is well-defined; signed
+    products fit int64 exactly.
+    """
+    count = arange.size
+    primitives = np.zeros((N_RESULTS, count), dtype=np.int64)
+    if needed[R_ADD]:
+        primitives[R_ADD] = (a + b_masked) & _MASK32
+    if needed[R_SUB]:
+        primitives[R_SUB] = (a - b_masked) & _MASK32
+    if needed[R_AND]:
+        primitives[R_AND] = a & b_masked
+    if needed[R_OR]:
+        primitives[R_OR] = a | b_masked
+    if needed[R_XOR]:
+        primitives[R_XOR] = a ^ b_masked
+    if needed[R_SLT]:
+        primitives[R_SLT] = a_signed < b_signed
+    if needed[R_SLTU]:
+        primitives[R_SLTU] = a < b_masked
+    if needed[R_SLL]:
+        primitives[R_SLL] = (
+            (a.astype(np.uint64) << amount.astype(np.uint64)) & _U_MASK32
+        ).astype(np.int64)
+    if needed[R_SRL]:
+        primitives[R_SRL] = a >> amount
+    if needed[R_SRA]:
+        primitives[R_SRA] = (a_signed >> amount) & _MASK32
+    if needed[R_LUI]:
+        primitives[R_LUI] = (imm << 12) & _MASK32
+    if needed[R_AUIPC]:
+        primitives[R_AUIPC] = (pcs + (imm << 12)) & _MASK32
+    if needed[R_MUL] or needed[R_MULHU]:
+        product_unsigned = a.astype(np.uint64) * b_masked.astype(np.uint64)
+        if needed[R_MUL]:
+            primitives[R_MUL] = (product_unsigned & _U_MASK32).astype(np.int64)
+        if needed[R_MULHU]:
+            primitives[R_MULHU] = (
+                product_unsigned >> np.uint64(32)
+            ).astype(np.int64)
+    if needed[R_MULH]:
+        primitives[R_MULH] = ((a_signed * b_signed) >> 32) & _MASK32
+    if needed[R_MULHSU]:
+        primitives[R_MULHSU] = ((a_signed * b_masked) >> 32) & _MASK32
+    if needed[R_DIV] or needed[R_REM]:
+        # RV32M division: divide-by-zero and signed-overflow specials
+        # via np.where over guarded denominators (garbage quotients
+        # masked out).
+        divisor_signed_safe = np.where(b_signed == 0, 1, b_signed)
+        dividend_abs = np.abs(a_signed)
+        divisor_abs = np.abs(divisor_signed_safe)
+        overflow = (a_signed == -_SIGN_BIT) & (b_signed == -1)
+        if needed[R_DIV]:
+            quotient = dividend_abs // divisor_abs
+            quotient = np.where(
+                (a_signed < 0) != (b_signed < 0), -quotient, quotient
+            )
+            primitives[R_DIV] = np.where(
+                b_signed == 0,
+                _MASK32,
+                np.where(overflow, a, quotient & _MASK32),
+            )
+        if needed[R_REM]:
+            remainder = dividend_abs % divisor_abs
+            remainder = np.where(a_signed < 0, -remainder, remainder)
+            primitives[R_REM] = np.where(
+                b_signed == 0, a, np.where(overflow, 0, remainder & _MASK32)
+            )
+    if needed[R_DIVU] or needed[R_REMU]:
+        divisor_unsigned_safe = np.where(b_masked == 0, 1, b_masked)
+        if needed[R_DIVU]:
+            primitives[R_DIVU] = np.where(
+                b_masked == 0, _MASK32, a // divisor_unsigned_safe
+            )
+        if needed[R_REMU]:
+            primitives[R_REMU] = np.where(
+                b_masked == 0, a, a % divisor_unsigned_safe
+            )
+    if needed[R_LINK]:
+        primitives[R_LINK] = (pcs + 4) & _MASK32
+    return primitives.ravel()[RESULT_INDEX[op] * count + arange]
+
+
+def materialize_records(execution: BatchExecution, lane: int) -> List:
+    """Rebuild the lane's scalar :class:`ExecRecord` list from columns.
+
+    Field-for-field identical to the scalar interpreter's records —
+    including the ``None`` conventions for non-applicable memory,
+    branch, and dependency fields.
+    """
+    from repro.isa.executor import ExecRecord
+    from repro.batchsim.decode import IS_BRANCH, IS_LOAD, IS_STORE
+
+    instructions = execution.programs[lane].instructions
+    count = int(execution.counts[lane])
+    # Bulk-convert the lane's column slices once: list indexing in the
+    # record loop is an order of magnitude cheaper than per-element
+    # numpy scalar reads.
+    lane_slice = slice(0, count)
+    ops = execution.op[lane, lane_slice].tolist()
+    pcs = execution.pc[lane, lane_slice].tolist()
+    next_pcs = execution.next_pc[lane, lane_slice].tolist()
+    pidxs = execution.pidx[lane, lane_slice].tolist()
+    rs1_values = execution.rs1_value[lane, lane_slice].tolist()
+    rs2_values = execution.rs2_value[lane, lane_slice].tolist()
+    rd_values = execution.rd_value[lane, lane_slice].tolist()
+    read_addrs = execution.mem_read_addr[lane, lane_slice].tolist()
+    read_datas = execution.mem_read_data[lane, lane_slice].tolist()
+    write_addrs = execution.mem_write_addr[lane, lane_slice].tolist()
+    write_datas = execution.mem_write_data[lane, lane_slice].tolist()
+    takens = execution.branch_taken[lane, lane_slice].tolist()
+    raw_rs1 = execution.raw_rs1_dist[lane, lane_slice].tolist()
+    raw_rs2 = execution.raw_rs2_dist[lane, lane_slice].tolist()
+    war_rd = execution.war_rd_dist[lane, lane_slice].tolist()
+    waw = execution.waw_dist[lane, lane_slice].tolist()
+
+    records = []
+    for step in range(count):
+        op = ops[step]
+        record = ExecRecord(
+            step,
+            pcs[step],
+            next_pcs[step],
+            instructions[pidxs[step]],
+            rs1_values[step],
+            rs2_values[step],
+            rd_values[step],
+        )
+        if IS_LOAD[op]:
+            record.mem_read_addr = read_addrs[step]
+            record.mem_read_data = read_datas[step]
+        elif IS_STORE[op]:
+            record.mem_write_addr = write_addrs[step]
+            record.mem_write_data = write_datas[step]
+        if IS_BRANCH[op]:
+            record.branch_taken = bool(takens[step])
+        record.raw_rs1_dist = raw_rs1[step] or None
+        record.raw_rs2_dist = raw_rs2[step] or None
+        record.war_rd_dist = war_rd[step] or None
+        record.waw_dist = waw[step] or None
+        records.append(record)
+    return records

@@ -1,0 +1,190 @@
+"""Columnar distinguishing-atom extraction over a whole batch.
+
+Mirrors :meth:`repro.contracts.compiled.CompiledTemplate.distinguishing_atoms`
+— the diff-aware merge over two executions — but compares whole
+``[pairs, steps]`` columns at once instead of per-record feature rows.
+For every feature-row slot that any atom observes, one vectorized
+comparison yields the positions where the two halves of the batch
+disagree; only those (sparse) positions are walked in Python to union
+the affected atom ids.  Opcode divergence and length tails contribute
+every atom of the unmatched opcodes, exactly as the scalar merge does.
+
+Batch lanes are paired half-and-half: lane ``i`` of the *a* half
+diffs against lane ``i + pairs`` (the *b* half).
+
+Pinned set-identical to the scalar merge by the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.batchsim.decode import (
+    IS_BRANCH,
+    IS_LOAD,
+    IS_MEMORY,
+    IS_STORE,
+    OP_INDEX,
+)
+from repro.batchsim.engine import BatchExecution
+from repro.contracts.compiled import (
+    _SIMPLE_COUNT,
+    CompiledTemplate,
+    SIMPLE_SLOT_ORDER,
+)
+
+_SLOT = {source: slot for slot, source in enumerate(SIMPLE_SLOT_ORDER)}
+
+_PLAN_CACHE: "weakref.WeakKeyDictionary[CompiledTemplate, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _plan(compiled: CompiledTemplate):
+    """The compiled template's slot index, keyed by opcode *index*."""
+    plan = _PLAN_CACHE.get(compiled)
+    if plan is None:
+        slot_atoms, opcode_atoms = compiled.atom_slot_index()
+        slot_atoms = {
+            (OP_INDEX[opcode], slot): ids
+            for (opcode, slot), ids in slot_atoms.items()
+        }
+        opcode_atoms = {
+            OP_INDEX[opcode]: ids for opcode, ids in opcode_atoms.items()
+        }
+        used_slots = tuple(sorted({slot for (_, slot) in slot_atoms}))
+        plan = (slot_atoms, opcode_atoms, used_slots)
+        _PLAN_CACHE[compiled] = plan
+    return plan
+
+
+def _slot_diff(execution: BatchExecution, pairs: int, slot: int, max_distance: int):
+    """``[pairs, steps]`` disagreement mask for one feature-row slot.
+
+    Only meaningful where both halves retired the *same* opcode — the
+    caller masks with the aligned-equal-opcode positions, which is what
+    makes the per-kind masks (loads, stores, branches) well-defined.
+    """
+
+    def half(column):
+        return column[:pairs], column[pairs:]
+
+    op_a = execution.op[:pairs]
+    if slot < _SIMPLE_COUNT:
+        name = SIMPLE_SLOT_ORDER[slot]
+        if name == "OP":
+            # Equal by construction on aligned same-opcode positions.
+            return np.zeros(op_a.shape, dtype=bool)
+        if name in ("RD", "RS1", "RS2", "IMM"):
+            a, b = half(getattr(execution, name.lower()))
+            return a != b
+        if name == "REG_RS1":
+            a, b = half(execution.rs1_value)
+            return a != b
+        if name == "REG_RS2":
+            a, b = half(execution.rs2_value)
+            return a != b
+        if name == "REG_RD":
+            a, b = half(execution.rd_value)
+            return a != b
+        if name == "IS_ZERO_RS1":
+            a, b = half(execution.rs1_value)
+            return (a == 0) != (b == 0)
+        if name == "IS_ZERO_RS2":
+            a, b = half(execution.rs2_value)
+            return (a == 0) != (b == 0)
+        if name == "MEM_R_ADDR":
+            a, b = half(execution.mem_read_addr)
+            return IS_LOAD[op_a] & (a != b)
+        if name == "MEM_R_DATA":
+            a, b = half(execution.mem_read_data)
+            return IS_LOAD[op_a] & (a != b)
+        if name == "MEM_W_ADDR":
+            a, b = half(execution.mem_write_addr)
+            return IS_STORE[op_a] & (a != b)
+        if name == "MEM_W_DATA":
+            a, b = half(execution.mem_write_data)
+            return IS_STORE[op_a] & (a != b)
+        if name in ("IS_WORD_ALIGNED", "IS_HALF_ALIGNED"):
+            is_load = IS_LOAD[op_a]
+            read_a, read_b = half(execution.mem_read_addr)
+            write_a, write_b = half(execution.mem_write_addr)
+            address_a = np.where(is_load, read_a, write_a) & 0x3
+            address_b = np.where(is_load, read_b, write_b) & 0x3
+            if name == "IS_WORD_ALIGNED":
+                flag_a, flag_b = address_a == 0, address_b == 0
+            else:
+                flag_a, flag_b = address_a != 0x3, address_b != 0x3
+            return IS_MEMORY[op_a] & (flag_a != flag_b)
+        if name == "BRANCH_TAKEN":
+            a, b = half(execution.branch_taken)
+            return IS_BRANCH[op_a] & (a != b)
+        # NEW_PC
+        a, b = half(execution.next_pc)
+        return a != b
+
+    # Dependency-window slot: (distance valid and <= n) booleans.
+    offset = slot - _SIMPLE_COUNT
+    prefix_index, distance_n = divmod(offset, max_distance)
+    distance_n += 1
+    column = (
+        execution.raw_rs1_dist,
+        execution.raw_rs2_dist,
+        execution.war_rd_dist,
+        execution.waw_dist,
+    )[prefix_index]
+    a, b = column[:pairs], column[pairs:]
+    within_a = (a != 0) & (a <= distance_n)
+    within_b = (b != 0) & (b <= distance_n)
+    return within_a != within_b
+
+
+def batch_distinguishing_atoms(
+    compiled: CompiledTemplate, execution: BatchExecution, pairs: int
+) -> List[FrozenSet[int]]:
+    """Per-pair distinguishing-atom sets for a half-and-half batch."""
+    slot_atoms, opcode_atoms, used_slots = _plan(compiled)
+    counts_a = execution.counts[:pairs]
+    counts_b = execution.counts[pairs:]
+    op_a = execution.op[:pairs]
+    op_b = execution.op[pairs:]
+    steps = execution.steps
+    distinguishing: List[set] = [set() for _ in range(pairs)]
+    if steps == 0:
+        return [frozenset(atoms) for atoms in distinguishing]
+
+    aligned = np.minimum(counts_a, counts_b)
+    position = np.arange(steps) < aligned[:, None]
+    same_opcode = op_a == op_b
+    matched = position & same_opcode
+
+    # Aligned same-opcode positions: per-slot columnar diffs.
+    for slot in used_slots:
+        diff = matched & _slot_diff(execution, pairs, slot, compiled.max_distance)
+        for pair, step in zip(*np.nonzero(diff)):
+            atoms = slot_atoms.get((int(op_a[pair, step]), slot))
+            if atoms:
+                distinguishing[pair].update(atoms)
+
+    # Control-flow divergence: all atoms of both opcodes apply.
+    for pair, step in zip(*np.nonzero(position & ~same_opcode)):
+        atoms = opcode_atoms.get(int(op_a[pair, step]))
+        if atoms:
+            distinguishing[pair].update(atoms)
+        atoms = opcode_atoms.get(int(op_b[pair, step]))
+        if atoms:
+            distinguishing[pair].update(atoms)
+
+    # Length tails: every atom of the longer side's extra records.
+    for pair in np.nonzero(counts_a != counts_b)[0]:
+        longer = op_a if counts_a[pair] > counts_b[pair] else op_b
+        stop = int(max(counts_a[pair], counts_b[pair]))
+        for step in range(int(aligned[pair]), stop):
+            atoms = opcode_atoms.get(int(longer[pair, step]))
+            if atoms:
+                distinguishing[pair].update(atoms)
+
+    return [frozenset(atoms) for atoms in distinguishing]

@@ -1,0 +1,132 @@
+"""Batched simulation façade: functional engine + per-core timing.
+
+:func:`run_batch` is the batch analogue of :meth:`Core.simulate`: it
+executes every program through the columnar engine, dispatches to the
+vectorized timing model matching the core's exact type, and returns a
+:class:`BatchSimulation` whose lanes can be read two ways:
+
+- :meth:`BatchSimulation.view` — a zero-copy, attacker-sufficient view
+  exposing ``trace.retirement_cycles``, ``trace.total_cycles``, and
+  ``uarch_state`` (what every registered attacker observes);
+- :meth:`BatchSimulation.materialize` — a full
+  :class:`~repro.uarch.core.SimulationResult`, record-for-record equal
+  to the scalar ``Core.simulate`` output, for callers that need the
+  complete trace or final architectural state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.batchsim.engine import BatchExecution, execute_batch, materialize_records
+from repro.isa.executor import DEFAULT_MAX_STEPS
+from repro.isa.program import Program
+from repro.isa.state import ArchState
+
+
+class _BatchTrace:
+    """Attacker-facing slice of one lane's trace."""
+
+    __slots__ = ("retirement_cycles", "total_cycles")
+
+    def __init__(self, retirement_cycles, total_cycles):
+        self.retirement_cycles = retirement_cycles
+        self.total_cycles = total_cycles
+
+    def __len__(self) -> int:
+        return len(self.retirement_cycles)
+
+
+class _BatchResultView:
+    """Duck-typed stand-in for :class:`SimulationResult` — exactly the
+    attributes the registered attackers observe."""
+
+    __slots__ = ("trace", "uarch_state")
+
+    def __init__(self, trace, uarch_state):
+        self.trace = trace
+        self.uarch_state = uarch_state
+
+    @property
+    def cycles(self) -> int:
+        return self.trace.total_cycles
+
+
+class BatchSimulation:
+    """All lanes' timing and functional outcomes, columnar."""
+
+    def __init__(self, core, execution: BatchExecution, retire, total, uarch_states):
+        self.core = core
+        self.execution = execution
+        self.retire = retire
+        self.total = total
+        self.uarch_states = uarch_states
+
+    @property
+    def lanes(self) -> int:
+        return self.execution.lanes
+
+    def view(self, lane: int) -> _BatchResultView:
+        count = int(self.execution.counts[lane])
+        trace = _BatchTrace(
+            tuple(self.retire[lane, :count].tolist()),
+            int(self.total[lane]),
+        )
+        return _BatchResultView(trace, self.uarch_states[lane])
+
+    def materialize(self, lane: int):
+        """The lane as a full scalar-equal :class:`SimulationResult`."""
+        from repro.uarch.core import SimulationResult
+        from repro.uarch.rvfi import RvfiRecord, RvfiTrace
+
+        execution = self.execution
+        count = int(execution.counts[lane])
+        exec_records = materialize_records(execution, lane)
+        records = [
+            RvfiRecord(exec_record=record, retire_cycle=int(cycle))
+            for record, cycle in zip(exec_records, self.retire[lane, :count])
+        ]
+        state = ArchState(
+            pc=int(execution.final_pc[lane]),
+            regs=[int(value) for value in execution.final_regs[lane]],
+            memory=execution.final_memory(lane),
+        )
+        return SimulationResult(
+            trace=RvfiTrace(records, int(self.total[lane])),
+            final_state=state,
+            uarch_state=dict(self.uarch_states[lane]),
+        )
+
+
+def run_batch(
+    core,
+    programs: Sequence[Program],
+    initial_states: Optional[Sequence[Optional[ArchState]]] = None,
+    max_instructions: int = DEFAULT_MAX_STEPS,
+) -> BatchSimulation:
+    """Simulate every program on ``core``, all lanes at once.
+
+    ``core`` must be a batch-supported exact type (see
+    :func:`repro.batchsim.supports_core`); dispatch is on exact type so
+    user subclasses with overridden timing always take the scalar path.
+    """
+    from repro.uarch.ibex import IbexCore
+    from repro.uarch.cva6 import CVA6Core
+
+    execution = execute_batch(
+        programs,
+        initial_states,
+        max_steps=max_instructions,
+        dependency_window=core._executor.dependency_window,
+    )
+    if type(core) is IbexCore:
+        from repro.batchsim.timing_ibex import ibex_timing
+
+        retire, total, uarch_states = ibex_timing(core, execution)
+    elif type(core) is CVA6Core:
+        from repro.batchsim.timing_cva6 import cva6_timing
+
+        retire, total, uarch_states = cva6_timing(core, execution)
+    else:
+        raise TypeError("core %r has no batched timing model" % (core.name,))
+    return BatchSimulation(core, execution, retire, total, uarch_states)

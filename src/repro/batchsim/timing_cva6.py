@@ -1,0 +1,198 @@
+"""Vectorized CVA6 timing: the scoreboarded 6-stage pipeline, lock-step.
+
+The scalar model (:class:`repro.uarch.cva6.CVA6Core`) threads mutable
+state — operand ready cycles, unit busy times, predictor tables, the
+commit port — through a per-record loop.  Here every piece of that
+state becomes a per-lane array and the loop runs over *steps* (program
+positions, typically < 10) instead of ``lanes * steps`` records: each
+iteration advances all lanes' scoreboards with a fixed number of numpy
+operations.
+
+Execution-unit latencies are value-dependent but stateless, so they
+are precomputed for the whole batch before the lock-step walk.
+
+Pinned cycle-identical to ``CVA6Core._timing`` by ``tests/batchsim``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.batchsim.decode import (
+    HAS_RD,
+    HAS_RS1,
+    HAS_RS2,
+    IS_BRANCH,
+    IS_DIVIDE,
+    IS_LOAD,
+    IS_MULTIPLY,
+    IS_SHIFT_IMMEDIATE,
+    IS_SHIFT_REGISTER,
+    IS_SIGNED_DIV,
+    IS_STORE,
+    JAL_INDEX,
+    JALR_INDEX,
+    N_OPCODES,
+    bit_length,
+    magnitude32,
+)
+from repro.batchsim.engine import BatchExecution
+from repro.uarch.cva6 import CVA6Core
+
+#: Dense execution-unit ids: 0 alu, 1 mul, 2 div, 3 lsu.
+N_UNITS = 4
+CVA6_UNIT = np.zeros(N_OPCODES, dtype=np.int64)
+CVA6_UNIT[IS_MULTIPLY] = 1
+CVA6_UNIT[IS_DIVIDE] = 2
+CVA6_UNIT[IS_LOAD | IS_STORE] = 3
+
+
+def _exec_latencies(config, execution: BatchExecution) -> np.ndarray:
+    """The ``[lanes, steps]`` value-dependent execution latencies."""
+    op = execution.op
+    latency = np.ones(op.shape, dtype=np.int64)
+    step = config.shifter.step
+    mask = IS_SHIFT_IMMEDIATE[op]
+    if mask.any():
+        latency[mask] = 1 + (execution.imm[mask] & 0x1F) // step
+    mask = IS_SHIFT_REGISTER[op]
+    if mask.any():
+        latency[mask] = 1 + (execution.rs2_value[mask] & 0x1F) // step
+    mask = IS_MULTIPLY[op]
+    if mask.any():
+        zero = (execution.rs1_value[mask] == 0) | (execution.rs2_value[mask] == 0)
+        latency[mask] = np.where(
+            zero, config.multiplier.zero_cycles, config.multiplier.cycles
+        )
+    mask = IS_DIVIDE[op]
+    if mask.any():
+        divider = config.divider
+        signed = IS_SIGNED_DIV[op[mask]]
+        dividend = magnitude32(execution.rs1_value[mask], signed)
+        divisor = magnitude32(execution.rs2_value[mask], signed)
+        cycles = divider.base_cycles + bit_length(dividend) - bit_length(divisor) + 1
+        cycles = np.where(dividend < divisor, divider.trivial_cycles, cycles)
+        latency[mask] = np.where(divisor == 0, divider.zero_cycles, cycles)
+    mask = IS_LOAD[op]
+    if mask.any():
+        latency[mask] = config.memory_port.load_cycles
+    mask = IS_STORE[op]
+    if mask.any():
+        latency[mask] = config.memory_port.store_cycles
+    return latency
+
+
+def cva6_timing(
+    core: CVA6Core, execution: BatchExecution
+) -> Tuple[np.ndarray, np.ndarray, List[dict]]:
+    """Per-lane retirement cycles, total cycles, and uarch states.
+
+    Returns ``(retire [lanes, steps], total [lanes], uarch_states)``;
+    retire values past ``execution.counts[lane]`` are meaningless.
+    """
+    config = core.config
+    lanes = execution.lanes
+    steps = execution.steps
+    counts = execution.counts
+    uarch_states: List[dict] = [{} for _ in range(lanes)]
+    retire = np.zeros((lanes, steps), dtype=np.int64)
+    commit_cycle = np.zeros(lanes, dtype=np.int64)
+    if steps == 0:
+        return retire, commit_cycle + 1, uarch_states
+
+    latency = _exec_latencies(config, execution)
+    frontend = config.frontend_depth
+    commit_width = config.commit_width
+    redirect = config.decode_redirect_penalty
+    entries = config.predictor_entries
+    predictor = core._predictor
+    counter_max = predictor.COUNTER_MAX
+    taken_threshold = predictor.TAKEN_THRESHOLD
+
+    ready = np.zeros((lanes, 32), dtype=np.int64)
+    unit_free = np.zeros((lanes, N_UNITS), dtype=np.int64)
+    next_fetch = np.zeros(lanes, dtype=np.int64)
+    prev_issue = np.full(lanes, -1, dtype=np.int64)
+    commit_slots_used = np.full(lanes, commit_width, dtype=np.int64)
+    counters = np.full((lanes, entries), predictor.initial_counter, dtype=np.int64)
+    btb_tags = np.full((lanes, entries), -1, dtype=np.int64)
+    btb_targets = np.zeros((lanes, entries), dtype=np.int64)
+
+    for step in range(steps):
+        lane_index = np.nonzero(step < counts)[0]
+        op = execution.op[lane_index, step]
+        rd = execution.rd[lane_index, step]
+        rs1 = execution.rs1[lane_index, step]
+        rs2 = execution.rs2[lane_index, step]
+        pc = execution.pc[lane_index, step]
+        next_pc = execution.next_pc[lane_index, step]
+        taken = execution.branch_taken[lane_index, step] != 0
+
+        fetch = next_fetch[lane_index]
+        fetch_next = fetch + 1
+
+        issue = np.maximum(fetch + frontend, prev_issue[lane_index] + 1)
+        wait = np.where(HAS_RS1[op] & (rs1 != 0), ready[lane_index, rs1], 0)
+        wait = np.maximum(
+            wait, np.where(HAS_RS2[op] & (rs2 != 0), ready[lane_index, rs2], 0)
+        )
+        issue = np.where(IS_STORE[op], issue, np.maximum(issue, wait))
+        unit = CVA6_UNIT[op]
+        issue = np.maximum(issue, unit_free[lane_index, unit])
+        prev_issue[lane_index] = issue
+
+        done = issue + latency[lane_index, step]
+        unit_free[lane_index, unit] = done
+        writes = HAS_RD[op] & (rd != 0)
+        ready[lane_index[writes], rd[writes]] = done[writes]
+
+        # Control flow: branch/JALR prediction, JAL decode redirect.
+        is_branch = IS_BRANCH[op]
+        is_jal = op == JAL_INDEX
+        is_jalr = op == JALR_INDEX
+        index = (pc >> 2) & (entries - 1)
+        counter = counters[lane_index, index]
+        tag = btb_tags[lane_index, index]
+        target = btb_targets[lane_index, index]
+        predicted_taken = (counter >= taken_threshold) & (tag == pc)
+        mispredicted = (predicted_taken != taken) | (
+            predicted_taken & (target != next_pc)
+        )
+        fetch_next = np.where(
+            is_branch, np.where(mispredicted, done + 1, fetch_next), fetch_next
+        )
+        fetch_next = np.where(is_jal, fetch + 1 + redirect, fetch_next)
+        jalr_hit = predicted_taken & (target == next_pc)
+        fetch_next = np.where(
+            is_jalr, np.where(jalr_hit, fetch + 1, done + 1), fetch_next
+        )
+        updates = is_branch | is_jalr
+        update_taken = (is_branch & taken) | is_jalr
+        new_counter = np.where(
+            update_taken,
+            np.minimum(counter_max, counter + 1),
+            np.maximum(0, counter - 1),
+        )
+        counters[lane_index[updates], index[updates]] = new_counter[updates]
+        fills = updates & update_taken
+        btb_tags[lane_index[fills], index[fills]] = pc[fills]
+        btb_targets[lane_index[fills], index[fills]] = next_pc[fills]
+        next_fetch[lane_index] = fetch_next
+
+        # Commit port: up to commit_width retirements per cycle.
+        commit = np.maximum(done + 1, commit_cycle[lane_index])
+        commit += (commit == commit_cycle[lane_index]) & (
+            commit_slots_used[lane_index] >= commit_width
+        )
+        advanced = commit > commit_cycle[lane_index]
+        commit_cycle[lane_index] = np.where(
+            advanced, commit, commit_cycle[lane_index]
+        )
+        commit_slots_used[lane_index] = (
+            np.where(advanced, 0, commit_slots_used[lane_index]) + 1
+        )
+        retire[lane_index, step] = commit
+
+    return retire, commit_cycle + 1, uarch_states

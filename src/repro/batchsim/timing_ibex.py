@@ -1,0 +1,196 @@
+"""Vectorized Ibex timing: the blocking 2-stage pipeline over all lanes.
+
+The scalar model (:class:`repro.uarch.ibex.IbexCore`) accumulates, per
+retirement, ``hazard stall + occupancy + fetch-straddle penalty`` into
+a running cycle counter.  That per-record cost is a pure function of
+the record's columns, so the whole batch reduces to one masked cost
+matrix and a row-wise cumulative sum.  Only the optional data cache is
+stateful across retirements; those (extension-config) lanes take a
+short per-lane Python walk over their memory operations, replicating
+:class:`~repro.uarch.components.cache.DirectMappedCache` inline.
+
+Pinned cycle-identical to ``IbexCore._timing`` by ``tests/batchsim``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.batchsim.decode import (
+    IS_BRANCH,
+    IS_DIVIDE_QUOTIENT,
+    IS_DIVIDE_REMAINDER,
+    IS_JUMP,
+    IS_LOAD,
+    IS_MULTIPLY,
+    IS_SHIFT_IMMEDIATE,
+    IS_SHIFT_REGISTER,
+    IS_SIGNED_DIV,
+    IS_STORE,
+    MEM_WIDTH,
+    N_OPCODES,
+    OP_INDEX,
+    bit_length,
+    magnitude32,
+)
+from repro.batchsim.engine import BatchExecution
+from repro.uarch.ibex import IbexCore, _straddling_indices_cached
+
+NON_FORWARDED = np.zeros(N_OPCODES, dtype=bool)
+for _opcode in IbexCore.NON_FORWARDED_CONSUMERS:
+    NON_FORWARDED[OP_INDEX[_opcode]] = True
+del _opcode
+
+
+def _multiplier_cycles(config) -> np.ndarray:
+    table = np.ones(N_OPCODES, dtype=np.int64)
+    for opcode, cycles in config.multiplier.cycles_by_opcode.items():
+        table[OP_INDEX[opcode]] = cycles
+    return table
+
+
+def ibex_timing(
+    core: IbexCore, execution: BatchExecution
+) -> Tuple[np.ndarray, np.ndarray, List[dict]]:
+    """Per-lane retirement cycles, total cycles, and uarch states.
+
+    Returns ``(retire [lanes, steps], total [lanes], uarch_states)``;
+    retire values past ``execution.counts[lane]`` are meaningless.
+    """
+    config = core.config
+    lanes = execution.lanes
+    steps = execution.steps
+    counts = execution.counts
+    uarch_states: List[dict] = [{} for _ in range(lanes)]
+    if steps == 0:
+        if config.dcache:
+            reset_tags = (None,) * config.dcache_line_count
+            uarch_states = [{"dcache_tags": reset_tags} for _ in range(lanes)]
+        return (
+            np.zeros((lanes, 0), dtype=np.int64),
+            np.full(lanes, 2, dtype=np.int64),
+            uarch_states,
+        )
+
+    op = execution.op
+    valid = np.arange(steps) < counts[:, None]
+
+    # Base occupancy: one cycle unless a handler applies.
+    occupancy = np.ones((lanes, steps), dtype=np.int64)
+
+    mask = IS_SHIFT_IMMEDIATE[op]
+    if mask.any():
+        amount = execution.imm[mask] & 0x1F
+        occupancy[mask] = 1 + amount // config.shifter.step
+    mask = IS_SHIFT_REGISTER[op]
+    if mask.any():
+        amount = execution.rs2_value[mask] & 0x1F
+        occupancy[mask] = 1 + amount // config.shifter.step
+    mask = IS_MULTIPLY[op]
+    if mask.any():
+        occupancy[mask] = _multiplier_cycles(config)[op[mask]]
+    mask = IS_DIVIDE_QUOTIENT[op]
+    if mask.any():
+        divider = config.divider
+        signed = IS_SIGNED_DIV[op[mask]]
+        dividend = magnitude32(execution.rs1_value[mask], signed)
+        divisor = magnitude32(execution.rs2_value[mask], signed)
+        latency = divider.base_cycles + bit_length(dividend) - bit_length(divisor) + 1
+        latency = np.where(dividend < divisor, divider.trivial_cycles, latency)
+        occupancy[mask] = np.where(divisor == 0, divider.zero_cycles, latency)
+    mask = IS_DIVIDE_REMAINDER[op]
+    if mask.any():
+        occupancy[mask] = config.remainder_divider.cycles
+    mask = IS_STORE[op]
+    if mask.any():
+        occupancy[mask] = 1 + config.memory_port.store_cycles
+    load_mask = IS_LOAD[op]
+    if load_mask.any() and not config.dcache:
+        address = execution.mem_read_addr[load_mask]
+        crosses = (address & 0x3) + MEM_WIDTH[op[load_mask]] > 4
+        occupancy[load_mask] = 1 + config.memory_port.cycles_per_transaction * (
+            1 + crosses
+        )
+    mask = IS_BRANCH[op]
+    if mask.any():
+        occupancy[mask] = 1 + execution.branch_taken[mask] * (
+            config.taken_branch_penalty
+        )
+    mask = IS_JUMP[op]
+    if mask.any():
+        occupancy[mask] = 1 + config.jump_penalty
+
+    if config.dcache:
+        _dcache_pass(config, execution, valid, occupancy, uarch_states)
+
+    cost = occupancy
+    hazard = NON_FORWARDED[op] & (
+        (execution.raw_rs1_dist == 1) | (execution.raw_rs2_dist == 1)
+    )
+    cost += hazard * config.hazard_stall_cycles
+
+    if config.compressed_fetch:
+        penalty = config.fetch_straddle_penalty
+        for lane in range(lanes):
+            straddlers = _straddling_indices_cached(execution.programs[lane])
+            if not straddlers:
+                continue
+            count = int(counts[lane])
+            row = execution.pidx[lane, :count]
+            cost[lane, :count] += penalty * np.isin(
+                row, np.fromiter(straddlers, dtype=np.int64, count=len(straddlers))
+            )
+
+    cost = np.where(valid, cost, 0)
+    retire = 1 + np.cumsum(cost, axis=1)
+    total = 2 + cost.sum(axis=1)
+    return retire, total, uarch_states
+
+
+def _dcache_pass(config, execution, valid, occupancy, uarch_states) -> None:
+    """Stateful per-lane cache walk (extension configs only).
+
+    Replays every lane's loads *and* stores in retirement order against
+    a private tag array, overwriting load occupancies with the scalar
+    model's ``1 + sum(access(...))`` and publishing the final tags —
+    including for lanes that never touch memory (their state is the
+    all-``None`` reset array, exactly what ``DirectMappedCache`` of an
+    untouched core reports).
+    """
+    line_size = config.dcache_line_size
+    line_count = config.dcache_line_count
+    hit_cycles = config.dcache_hit_cycles
+    miss_cycles = config.dcache_miss_cycles
+    cycles_per_transaction = config.memory_port.cycles_per_transaction
+    memory_mask = valid & (IS_LOAD[execution.op] | IS_STORE[execution.op])
+    lanes_with_memory, step_of = np.nonzero(memory_mask)
+    per_lane: Dict[int, List[Tuple[int, int]]] = {}
+    for lane, step in zip(lanes_with_memory.tolist(), step_of.tolist()):
+        per_lane.setdefault(lane, []).append(step)
+
+    for lane in range(execution.lanes):
+        tags: List = [None] * line_count
+
+        def access(address: int) -> int:
+            line_address = address // line_size
+            index = line_address % line_count
+            tag = line_address // line_count
+            if tags[index] == tag:
+                return hit_cycles
+            tags[index] = tag
+            return miss_cycles
+
+        for step in per_lane.get(lane, ()):
+            opcode_index = int(execution.op[lane, step])
+            if IS_LOAD[opcode_index]:
+                address = int(execution.mem_read_addr[lane, step])
+                width = int(MEM_WIDTH[opcode_index])
+                transactions = 2 if (address & 0x3) + width > 4 else 1
+                occupancy[lane, step] = 1 + sum(
+                    access((address & ~0x3) + 4 * i) for i in range(transactions)
+                )
+            else:
+                access(int(execution.mem_write_addr[lane, step]) & ~0x3)
+        uarch_states[lane] = {"dcache_tags": tuple(tags)}

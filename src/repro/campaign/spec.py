@@ -85,7 +85,9 @@ class CampaignCell:
     #: Stopping rule of an adaptive cell (``STOPPING_REGISTRY`` name;
     #: ``None`` → the pipeline default, ``contract-stable``).
     stop: Optional[str] = None
-    fastpath: bool = True
+    #: Fast-path mode: ``False`` (reference), ``True`` (compiled), or
+    #: ``"batch"`` — see :mod:`repro.evaluation.fastpath`.
+    fastpath: "bool | str" = True
     #: Pipeline verification budget: ``None`` checks the synthesized
     #: contract against its own dataset, ``0`` skips, ``n`` runs
     #: directed satisfaction testing.
@@ -119,7 +121,9 @@ class CampaignCell:
             "adaptive_rounds": self.adaptive_rounds,
             "batch": self.batch,
             "stop": self.stop,
-            "fastpath": self.fastpath,
+            # Compiled and batch fast paths are byte-identical, so the
+            # identity only splits on reference-vs-fast.
+            "fastpath": bool(self.fastpath),
             "verify": self.verify,
         }
         if self.retries is not None:
@@ -178,7 +182,7 @@ class CampaignCell:
             self.template,
             self.attacker,
             self.seed,
-            self.fastpath,
+            bool(self.fastpath),
             self.generator,
             self.adaptive_rounds,
         )
@@ -277,7 +281,7 @@ class CampaignSpec:
     adaptive_rounds: Optional[int] = None
     batch: Optional[int] = None
     stop: Optional[str] = None
-    fastpath: bool = True
+    fastpath: "bool | str" = True
     verify: Optional[int] = None
     #: Fault tolerance, applied to every cell (overridable per axis
     #: value): ``retries`` grants each cell (and each of its evaluation

@@ -29,28 +29,36 @@ import json
 import os
 from typing import Iterable, Optional
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 
 def append_jsonl_line(path: str, entry: dict, durable: bool = False) -> None:
     """Append ``entry`` to ``path`` as one JSONL line, atomically.
 
-    The line goes out through a single ``os.write`` on an ``O_APPEND``
-    descriptor, so concurrent appenders — pool workers, service worker
-    *processes* sharing one failure log, queue brokers — never
-    interleave partial lines, even for records larger than stdio's
-    buffer.  With ``durable=True`` the write is fsynced before the
-    descriptor closes: the line survives a machine crash, not just a
-    process crash.  (A process killed *inside* the write can still
-    leave a torn final line; readers recover via the torn-line rule.)
+    Cooperating appenders — pool workers, service worker *processes*
+    sharing one failure log, queue brokers — are serialized by an
+    exclusive ``flock`` on the descriptor (released on close, including
+    by a killed process), so the tail inspection below never races a
+    concurrent writer's in-flight append, and lines never interleave.
+    With ``durable=True`` the write is fsynced before the descriptor
+    closes: the line survives a machine crash, not just a process
+    crash.  (A process killed *inside* the write can still leave a torn
+    final line; readers recover via the torn-line rule.)
 
     If the file does not currently end in a newline — a previous writer
     died mid-append — the new line is prefixed with one, so the torn
-    fragment is terminated instead of concatenated onto.  Two appenders
-    racing on the same torn tail can each contribute the terminator,
-    which costs a blank line; readers of multi-writer logs skip those.
+    fragment is terminated instead of concatenated onto.  Files written
+    before appends were lock-serialized may also carry blank lines from
+    terminator races; readers of multi-writer logs skip those.
     """
     data = (json.dumps(entry) + "\n").encode("utf-8")
     descriptor = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
     try:
+        if fcntl is not None:
+            fcntl.flock(descriptor, fcntl.LOCK_EX)
         size = os.fstat(descriptor).st_size
         if size and os.pread(descriptor, 1, size - 1) != b"\n":
             data = b"\n" + data

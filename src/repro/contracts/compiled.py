@@ -145,6 +145,33 @@ class CompiledTemplate:
         #: contract.atom_ids -> per-opcode (source, slot) pairs, for
         #: :meth:`contract_observation_trace`.
         self._contract_plans: Dict[FrozenSet[int], dict] = {}
+        #: lazily-built inverse index for the batched engine.
+        self._slot_index = None
+
+    def atom_slot_index(self):
+        """Inverse index for columnar batch extraction.
+
+        Returns ``(slot_atoms, opcode_atoms)`` where ``slot_atoms``
+        maps ``(opcode, slot) -> atom_ids`` (the atoms whose
+        observation lives in that feature-row slot) and
+        ``opcode_atoms`` maps ``opcode -> all atom_ids`` (the
+        divergence/tail contribution).  Memoized — the index is a pure
+        function of the template.
+        """
+        if self._slot_index is None:
+            slot_atoms: Dict[Tuple[Opcode, int], Tuple[int, ...]] = {}
+            opcode_atoms: Dict[Opcode, Tuple[int, ...]] = {}
+            for opcode, (atom_ids, slots, _) in self._by_opcode.items():
+                grouped: Dict[int, List[int]] = {}
+                for position in range(len(atom_ids)):
+                    grouped.setdefault(slots[position], []).append(
+                        atom_ids[position]
+                    )
+                for slot, ids in grouped.items():
+                    slot_atoms[(opcode, slot)] = tuple(ids)
+                opcode_atoms[opcode] = atom_ids
+            self._slot_index = (slot_atoms, opcode_atoms)
+        return self._slot_index
 
     # ------------------------------------------------------------------
     # Row extraction

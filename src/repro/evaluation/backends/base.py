@@ -60,7 +60,9 @@ class EvaluationTask:
     core_name: str
     seed: int
     max_distance: int = 4
-    use_fastpath: bool = True
+    #: Fast-path mode: ``False`` (reference), ``True`` (compiled), or
+    #: ``"batch"`` — see :mod:`repro.evaluation.fastpath`.
+    use_fastpath: "bool | str" = True
     template_name: Optional[str] = None
     attacker_name: Optional[str] = None
     generator_name: str = "random"
@@ -87,7 +89,9 @@ class EvaluationTask:
             "attacker": self.attacker_name or "retirement-timing",
             "seed": self.seed,
             "max_distance": self.max_distance,
-            "fastpath": self.use_fastpath,
+            # Compiled and batch produce byte-identical rows, so the
+            # key only splits on reference-vs-fast (bool projection).
+            "fastpath": bool(self.use_fastpath),
         }
         if self.generator_name != "random":
             key["generator"] = self.generator_name
@@ -158,20 +162,23 @@ class ShardEvaluator:
         )
 
     def evaluate(self, shard: Shard) -> List[Row]:
-        """Evaluate one shard into plain result rows."""
+        """Evaluate one shard into plain result rows.
+
+        One shard is one :meth:`TestCaseEvaluator.evaluate_batch` call
+        — shards are the natural batch unit of every executor, so the
+        batched engine amortizes across the whole shard.
+        """
         start, count = shard
-        rows: List[Row] = []
-        for test_case in self.generator.iter_generate(count, start_id=start):
-            result = self.evaluator.evaluate(test_case)
-            rows.append(
-                (
-                    result.test_id,
-                    result.attacker_distinguishable,
-                    tuple(sorted(result.distinguishing_atom_ids)),
-                    result.targeted_atom_id,
-                )
+        test_cases = list(self.generator.iter_generate(count, start_id=start))
+        return [
+            (
+                result.test_id,
+                result.attacker_distinguishable,
+                tuple(sorted(result.distinguishing_atom_ids)),
+                result.targeted_atom_id,
             )
-        return rows
+            for result in self.evaluator.evaluate_batch(test_cases)
+        ]
 
 
 class EvaluationExecutor(ABC):

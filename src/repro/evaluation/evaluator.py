@@ -7,6 +7,13 @@ sequences), and the distinguishing atoms are computed from the
 architectural traces extracted from the RVFI records — piggybacking on
 the same simulation, as the paper does.
 
+**Batch-first API.**  :meth:`TestCaseEvaluator.evaluate_batch` is the
+primary surface: under the ``"batch"`` fast-path mode a whole batch of
+test cases is decoded into columnar arrays and simulated lock-step
+(:mod:`repro.batchsim`), amortizing interpreter dispatch across lanes.
+:meth:`evaluate` and :meth:`evaluate_many` remain as thin delegating
+wrappers for per-case callers.
+
 The evaluator keeps wall-clock accumulators for the simulation and
 extraction phases; Table III is reproduced from these.
 """
@@ -14,16 +21,22 @@ extraction phases; Table III is reproduced from these.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
+from repro import batchsim
 from repro.attacker.base import Attacker
 from repro.attacker.retirement import RetirementTimingAttacker
 from repro.contracts.compiled import compile_template
 from repro.contracts.observations import distinguishing_atoms_reference
 from repro.contracts.template import ContractTemplate
+from repro.evaluation.fastpath import FastpathMode, normalize_fastpath
 from repro.evaluation.results import EvaluationDataset, TestCaseResult
 from repro.testgen.testcase import TestCase
 from repro.uarch.core import Core
+
+#: Batch chunk used by :meth:`evaluate_many` when no progress cadence
+#: dictates one.
+DEFAULT_BATCH_SIZE = 256
 
 
 class TestCaseEvaluator:
@@ -36,12 +49,22 @@ class TestCaseEvaluator:
         core: Core,
         template: ContractTemplate,
         attacker: Optional[Attacker] = None,
-        use_fastpath: bool = True,
+        use_fastpath: FastpathMode = True,
     ):
         self.core = core
         self.template = template
         self.attacker = attacker if attacker is not None else RetirementTimingAttacker()
-        self._compiled = compile_template(template) if use_fastpath else None
+        mode = normalize_fastpath(use_fastpath)
+        self.fastpath_mode = mode
+        self._compiled = compile_template(template) if mode else None
+        #: Whether batched simulation actually applies here: the mode
+        #: asks for it, the core has a batched timing model, and the
+        #: attacker observes what the zero-copy views carry.
+        self._batch_engine = (
+            mode == "batch"
+            and batchsim.supports_core(core)
+            and self.attacker.name in batchsim.BATCH_SAFE_ATTACKERS
+        )
         self.simulation_seconds = 0.0
         self.extraction_seconds = 0.0
         self.simulated_test_cases = 0
@@ -56,8 +79,58 @@ class TestCaseEvaluator:
         self.extraction_seconds = 0.0
         self.simulated_test_cases = 0
 
-    def evaluate(self, test_case: TestCase) -> TestCaseResult:
-        """Evaluate one test case."""
+    # ------------------------------------------------------------------
+    # Primary surface: batches
+
+    def evaluate_batch(
+        self, test_cases: Sequence[TestCase]
+    ) -> List[TestCaseResult]:
+        """Evaluate a batch of test cases (the primary entry point).
+
+        Results are returned in input order and are byte-identical per
+        test id whichever fast-path mode is active.
+        """
+        if self._batch_engine and test_cases:
+            return self._evaluate_columnar(test_cases)
+        return [self._evaluate_single(test_case) for test_case in test_cases]
+
+    def _evaluate_columnar(
+        self, test_cases: Sequence[TestCase]
+    ) -> List[TestCaseResult]:
+        """Batched path: one columnar run for all 2N executions."""
+        count = len(test_cases)
+        start = time.perf_counter()
+        programs = [case.program_a for case in test_cases]
+        programs += [case.program_b for case in test_cases]
+        states = [case.initial_state for case in test_cases] * 2
+        simulation = batchsim.run_batch(self.core, programs, states)
+        distinguishable = [
+            self.attacker.distinguishes(
+                simulation.view(index), simulation.view(index + count)
+            )
+            for index in range(count)
+        ]
+        after_simulation = time.perf_counter()
+        atom_sets = batchsim.batch_distinguishing_atoms(
+            self._compiled, simulation.execution, count
+        )
+        after_extraction = time.perf_counter()
+
+        self.simulation_seconds += after_simulation - start
+        self.extraction_seconds += after_extraction - after_simulation
+        self.simulated_test_cases += count
+        return [
+            TestCaseResult(
+                test_id=case.test_id,
+                attacker_distinguishable=distinguishable[index],
+                distinguishing_atom_ids=atom_sets[index],
+                targeted_atom_id=case.targeted_atom_id,
+            )
+            for index, case in enumerate(test_cases)
+        ]
+
+    def _evaluate_single(self, test_case: TestCase) -> TestCaseResult:
+        """Scalar path: two simulations + per-pair extraction."""
         start = time.perf_counter()
         result_a = self.core.simulate(test_case.program_a, test_case.initial_state)
         result_b = self.core.simulate(test_case.program_b, test_case.initial_state)
@@ -87,20 +160,57 @@ class TestCaseEvaluator:
             targeted_atom_id=test_case.targeted_atom_id,
         )
 
+    # ------------------------------------------------------------------
+    # Delegating wrappers (kept for per-case callers; prefer
+    # evaluate_batch in new code)
+
+    def evaluate(self, test_case: TestCase) -> TestCaseResult:
+        """Evaluate one test case.
+
+        Thin wrapper over :meth:`evaluate_batch`; per-case callers keep
+        working, but batch-sized callers should pass whole batches.
+        """
+        return self.evaluate_batch([test_case])[0]
+
     def evaluate_many(
         self,
         test_cases: Iterable[TestCase],
         progress_every: Optional[int] = None,
     ) -> EvaluationDataset:
-        """Evaluate a stream of test cases into a dataset."""
-        results = []
-        for count, test_case in enumerate(test_cases, start=1):
-            results.append(self.evaluate(test_case))
-            if progress_every and count % progress_every == 0:
-                print(
-                    "evaluated %d test cases (%d distinguishable)"
-                    % (count, sum(1 for r in results if r.attacker_distinguishable))
-                )
+        """Evaluate a stream of test cases into a dataset.
+
+        Thin wrapper over :meth:`evaluate_batch`: the stream is chunked
+        (at the progress cadence when one is given) so the batched
+        engine sees full batches while progress reporting stays exact.
+        """
+        chunk_size = progress_every or DEFAULT_BATCH_SIZE
+        results: List[TestCaseResult] = []
+        pending: List[TestCase] = []
+        count = 0
+
+        def flush() -> None:
+            nonlocal count
+            for result in self.evaluate_batch(pending):
+                results.append(result)
+                count += 1
+                if progress_every and count % progress_every == 0:
+                    print(
+                        "evaluated %d test cases (%d distinguishable)"
+                        % (
+                            count,
+                            sum(
+                                1 for r in results if r.attacker_distinguishable
+                            ),
+                        )
+                    )
+            pending.clear()
+
+        for test_case in test_cases:
+            pending.append(test_case)
+            if len(pending) >= chunk_size:
+                flush()
+        if pending:
+            flush()
         return EvaluationDataset(
             results,
             core_name=self.core.name,

@@ -1,0 +1,77 @@
+"""The fast-path axis: how test-case evaluation is executed.
+
+Historically ``use_fastpath`` was a boolean (compiled vs. reference
+extraction).  The batched engine adds a third point, so the axis is
+now a named mode — one user-visible choice listed by ``repro list``
+and selectable through ``SynthesisPipeline.fastpath()`` and the CLI
+``--fastpath`` flag:
+
+``"reference"`` (``False``)
+    Scalar simulation + closure-based reference extraction.  The
+    oracle everything else is pinned against.
+``"compiled"`` (``True``)
+    Scalar simulation + columnar compiled extraction (PR 1).
+``"batch"``
+    Batched columnar simulation *and* extraction
+    (:mod:`repro.batchsim`), falling back to ``"compiled"`` behaviour
+    per evaluator when the core/attacker/environment cannot batch.
+
+All three produce byte-identical datasets; identity keys (checkpoints,
+campaign cells, service job ids) therefore alias ``"batch"`` with
+``"compiled"`` via :func:`fastpath_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.registry import Registry
+
+#: Canonical internal values: ``False`` | ``True`` | ``"batch"``.
+FastpathMode = Union[bool, str]
+
+#: The user-visible mode axis (``repro list`` renders this).
+FASTPATH_REGISTRY = Registry("fastpath-mode", "evaluation fast-path modes")
+FASTPATH_REGISTRY.register(
+    "reference",
+    lambda: False,
+    description="scalar simulation + reference closure extraction (oracle)",
+)
+FASTPATH_REGISTRY.register(
+    "compiled",
+    lambda: True,
+    description="scalar simulation + columnar compiled extraction (default)",
+)
+FASTPATH_REGISTRY.register(
+    "batch",
+    lambda: "batch",
+    description="batched columnar simulation + extraction (fastest)",
+)
+
+
+def normalize_fastpath(mode: FastpathMode) -> FastpathMode:
+    """Canonicalize a fast-path selection.
+
+    Accepts the legacy booleans and the registry names; returns the
+    canonical ``False`` / ``True`` / ``"batch"`` value.
+    """
+    if mode is False or mode == "reference":
+        return False
+    if mode is True or mode == "compiled":
+        return True
+    if mode == "batch":
+        return "batch"
+    raise ValueError(
+        "unknown fastpath mode %r (choose from: %s)"
+        % (mode, ", ".join(FASTPATH_REGISTRY.names()))
+    )
+
+
+def fastpath_key(mode: FastpathMode) -> bool:
+    """The identity-key projection of a fast-path mode.
+
+    Every mode with a truthy value produces byte-identical datasets, so
+    checkpoint keys, campaign-cell identities, and service job ids must
+    not split on compiled-vs-batch — only on reference-vs-fast.
+    """
+    return bool(normalize_fastpath(mode))

@@ -50,7 +50,7 @@ def evaluate_parallel(
     processes: Optional[int] = None,
     shard_size: int = 250,
     max_distance: int = 4,
-    use_fastpath: bool = True,
+    use_fastpath: "bool | str" = True,
     template_name: Optional[str] = None,
     attacker_name: Optional[str] = None,
     executor: Union[str, EvaluationExecutor] = "multiprocess",

@@ -122,6 +122,18 @@ def _sign_extend(value: int, bits: int) -> int:
     return (value & (sign_bit - 1)) - (value & sign_bit)
 
 
+def signed32(value: int) -> int:
+    """The signed (two's-complement) reading of a 32-bit register value.
+
+    The single sign-extension helper shared by the scalar interpreter
+    (:mod:`repro.isa.executor`) and the batched columnar engine
+    (:mod:`repro.batchsim`): both paths must agree bit-for-bit on
+    signed comparisons, shifts, and division, so the conversion lives
+    here exactly once.
+    """
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
 def encode_instruction(instruction: Instruction) -> int:
     """Encode ``instruction`` into its 32-bit machine word."""
     opcode = instruction.opcode

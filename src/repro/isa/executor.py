@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.isa.encoding import signed32
 from repro.isa.instructions import Instruction, Opcode, OPCODE_INFO
 from repro.isa.program import Program
 from repro.isa.state import ArchState
@@ -33,8 +34,9 @@ class ExecutionLimitExceeded(RuntimeError):
     """Raised when a program does not terminate within the step bound."""
 
 
-def _signed(value: int) -> int:
-    return value - 0x1_0000_0000 if value & _SIGN_BIT else value
+#: Shared with the batched engine via :func:`repro.isa.encoding.signed32`
+#: so the two interpreters cannot drift on signed semantics.
+_signed = signed32
 
 
 @dataclass(slots=True)

@@ -18,7 +18,7 @@ DEFAULT_BASE_ADDRESS = 0x0000_1000
 class Program:
     """An immutable sequence of instructions at a fixed base address."""
 
-    __slots__ = ("_instructions", "base_address")
+    __slots__ = ("_instructions", "base_address", "_hash")
 
     def __init__(
         self,
@@ -29,6 +29,7 @@ class Program:
             raise ValueError("base address must be word aligned")
         self._instructions: Tuple[Instruction, ...] = tuple(instructions)
         self.base_address = base_address
+        self._hash: Optional[int] = None
 
     @property
     def instructions(self) -> Tuple[Instruction, ...]:
@@ -82,7 +83,12 @@ class Program:
         )
 
     def __hash__(self) -> int:
-        return hash((self.base_address, self._instructions))
+        # Memoized: programs are immutable and hashing re-hashes every
+        # instruction, which dominates cached per-program lookups (e.g.
+        # the batch engine's decode cache).
+        if self._hash is None:
+            self._hash = hash((self.base_address, self._instructions))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Program(%d instructions @ 0x%08x)" % (

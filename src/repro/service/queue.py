@@ -97,9 +97,15 @@ def job_id_for(task: EvaluationTask, shard: Shard) -> str:
 
     Budget-free by construction — the payload has no total budget, so
     the same ``(task, shard)`` enqueued by any broker at any time maps
-    to the same id and finished results are reused.
+    to the same id and finished results are reused.  The fastpath
+    field is projected to its bool identity key before hashing — the
+    compiled and batch modes produce byte-identical rows, so their jobs
+    must alias (the shipped payload keeps the real mode, so workers
+    still run the requested engine).
     """
-    body = {"task": task_to_payload(task), "shard": list(shard)}
+    payload = task_to_payload(task)
+    payload["fastpath"] = bool(payload["fastpath"])
+    body = {"task": payload, "shard": list(shard)}
     digest = hashlib.md5(json.dumps(body, sort_keys=True).encode("utf-8"))
     return digest.hexdigest()
 

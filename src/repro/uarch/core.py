@@ -89,6 +89,41 @@ class Core:
             uarch_state=self._uarch_state(),
         )
 
+    def simulate_batch(
+        self,
+        programs: List[Program],
+        initial_states: Optional[List[Optional[ArchState]]] = None,
+        max_instructions: int = DEFAULT_MAX_STEPS,
+    ) -> List[SimulationResult]:
+        """Run a batch of programs; the batch-first primary surface.
+
+        Cores with a vectorized timing model (see
+        :func:`repro.batchsim.supports_core`) simulate all programs at
+        once through the columnar engine; every other core falls back
+        to per-program :meth:`simulate` calls.  Either way the results
+        are byte-identical to sequential ``simulate`` calls — the
+        batched path is pinned against the scalar one by the
+        equivalence suite.
+        """
+        if initial_states is not None and len(initial_states) != len(programs):
+            raise ValueError(
+                "got %d initial states for %d programs"
+                % (len(initial_states), len(programs))
+            )
+        from repro import batchsim
+
+        if programs and batchsim.supports_core(self):
+            simulation = batchsim.run_batch(
+                self, programs, initial_states, max_instructions
+            )
+            return [simulation.materialize(lane) for lane in range(len(programs))]
+        if initial_states is None:
+            initial_states = [None] * len(programs)
+        return [
+            self.simulate(program, state, max_instructions)
+            for program, state in zip(programs, initial_states)
+        ]
+
     def _uarch_state(self) -> Dict[str, Hashable]:
         """Attacker-visible microarchitectural residue after a run.
 

@@ -1,0 +1,193 @@
+"""Record-level equivalence: the batched engine vs. the scalar oracle.
+
+The contracts-level equivalence suite pins dataset bytes; these tests
+pin the layer below — every :class:`ExecRecord` field, retirement
+cycle, total cycle, final architectural state, and published uarch
+state must match the scalar ``Core.simulate`` path lane for lane.
+"""
+
+import pytest
+
+from repro.batchsim import supports_core
+from repro.batchsim.simulate import run_batch
+from repro.contracts.riscv_template import build_riscv_template
+from repro.isa.assembler import assemble
+from repro.isa.encoding import signed32
+from repro.isa.executor import ExecutionLimitExceeded, _signed
+from repro.isa.program import Program
+from repro.testgen.generator import TestCaseGenerator
+from repro.uarch.cva6 import CVA6Core
+from repro.uarch.ibex import IbexCore, IbexConfig
+
+RECORD_FIELDS = (
+    "index",
+    "pc",
+    "next_pc",
+    "instruction",
+    "rs1_value",
+    "rs2_value",
+    "rd_value",
+    "mem_read_addr",
+    "mem_read_data",
+    "mem_write_addr",
+    "mem_write_data",
+    "branch_taken",
+    "raw_rs1_dist",
+    "raw_rs2_dist",
+    "war_rd_dist",
+    "waw_dist",
+)
+
+CORE_FACTORIES = {
+    "ibex": IbexCore,
+    "cva6": CVA6Core,
+    "ibex-dcache": lambda: IbexCore(IbexConfig(dcache=True)),
+    "ibex-compressed": lambda: IbexCore(IbexConfig(compressed_fetch=True)),
+}
+
+#: Arithmetic corner cases: INT_MIN / -1 overflow, division by zero,
+#: full-width shifts, signed/unsigned high products.
+EDGE_PROGRAM = """
+addi x1, x0, -1
+lui x2, 0x80000
+div x3, x2, x1
+rem x4, x2, x1
+divu x5, x1, x0
+remu x6, x1, x0
+div x7, x1, x0
+sll x8, x1, x1
+sra x9, x2, x1
+mul x10, x1, x1
+mulh x11, x2, x2
+mulhsu x12, x2, x1
+mulhu x13, x1, x1
+slli x14, x1, 31
+srai x15, x2, 31
+sltu x16, x2, x1
+slt x17, x2, x1
+"""
+
+#: Taken/not-taken branches, JAL/JALR, unaligned loads and stores,
+#: sign-extending narrow loads, and an early terminal.
+CONTROL_PROGRAM = """
+addi x1, x0, 12
+jalr x2, x1, 0x100
+addi x3, x0, 1
+beq x0, x0, 8
+addi x4, x0, 2
+jal x5, 8
+addi x6, x0, 3
+sw x1, 2(x0)
+lh x7, 3(x0)
+lw x8, 2(x0)
+lb x9, 5(x0)
+ecall
+"""
+
+
+def _assert_lane_equal(reference, batched):
+    assert reference.trace.retirement_cycles == batched.trace.retirement_cycles
+    assert reference.trace.total_cycles == batched.trace.total_cycles
+    assert reference.final_state == batched.final_state
+    assert reference.uarch_state == batched.uarch_state
+    records_a = reference.trace.exec_records
+    records_b = batched.trace.exec_records
+    assert len(records_a) == len(records_b)
+    for record_a, record_b in zip(records_a, records_b):
+        for field in RECORD_FIELDS:
+            assert getattr(record_a, field) == getattr(record_b, field), field
+
+
+@pytest.mark.parametrize("core_name", sorted(CORE_FACTORIES))
+def test_generated_corpus_record_identical(core_name):
+    core = CORE_FACTORIES[core_name]()
+    template = build_riscv_template()
+    generator = TestCaseGenerator(template, seed=13)
+    cases = list(generator.iter_generate(30))
+    programs = [case.program_a for case in cases]
+    programs += [case.program_b for case in cases]
+    states = [case.initial_state for case in cases] * 2
+    simulation = run_batch(core, programs, states)
+    for lane, program in enumerate(programs):
+        reference = core.simulate(program, states[lane])
+        _assert_lane_equal(reference, simulation.materialize(lane))
+
+
+@pytest.mark.parametrize("source", [EDGE_PROGRAM, CONTROL_PROGRAM])
+@pytest.mark.parametrize("core_name", sorted(CORE_FACTORIES))
+def test_handwritten_programs_record_identical(core_name, source):
+    core = CORE_FACTORIES[core_name]()
+    program = assemble(source)
+    simulation = run_batch(core, [program])
+    _assert_lane_equal(core.simulate(program), simulation.materialize(0))
+
+
+def test_empty_program_and_mixed_lengths():
+    core = IbexCore()
+    programs = [
+        Program(()),
+        assemble("addi x1, x0, 5"),
+        assemble(EDGE_PROGRAM),
+    ]
+    simulation = run_batch(core, programs)
+    for lane, program in enumerate(programs):
+        _assert_lane_equal(core.simulate(program), simulation.materialize(lane))
+
+
+def test_batch_views_match_materialized_lanes():
+    core = CVA6Core()
+    program = assemble(CONTROL_PROGRAM)
+    simulation = run_batch(core, [program])
+    view = simulation.view(0)
+    full = simulation.materialize(0)
+    assert view.trace.retirement_cycles == full.trace.retirement_cycles
+    assert view.trace.total_cycles == full.trace.total_cycles
+    assert view.uarch_state == full.uarch_state
+
+
+def test_execution_limit_raises_like_scalar():
+    looping = assemble("beq x0, x0, 0")
+    core = IbexCore()
+    with pytest.raises(ExecutionLimitExceeded):
+        core.simulate(looping, max_instructions=16)
+    with pytest.raises(ExecutionLimitExceeded):
+        run_batch(core, [looping], max_instructions=16)
+
+
+def test_simulate_batch_is_the_primary_core_surface():
+    core = IbexCore()
+    template = build_riscv_template()
+    generator = TestCaseGenerator(template, seed=29)
+    cases = list(generator.iter_generate(8))
+    programs = [case.program_a for case in cases]
+    states = [case.initial_state for case in cases]
+    batched = core.simulate_batch(programs, states)
+    for program, state, result in zip(programs, states, batched):
+        _assert_lane_equal(core.simulate(program, state), result)
+    assert core.simulate_batch([]) == []
+    with pytest.raises(ValueError):
+        core.simulate_batch(programs, states[:-1])
+
+
+def test_supports_core_is_exact_type():
+    assert supports_core(IbexCore())
+    assert supports_core(CVA6Core())
+
+    class Subclassed(IbexCore):
+        pass
+
+    assert not supports_core(Subclassed())
+
+
+def test_signed32_is_the_shared_sign_extension_helper():
+    """The scalar interpreter and the batch engine must not drift on
+    signed semantics: one helper, used by both."""
+    assert _signed is signed32
+    for value, expected in (
+        (0, 0),
+        (1, 1),
+        (0x7FFFFFFF, 0x7FFFFFFF),
+        (0x80000000, -0x80000000),
+        (0xFFFFFFFF, -1),
+    ):
+        assert signed32(value) == expected

@@ -226,3 +226,88 @@ def test_randomized_feature_rows_cover_every_source(template):
                 slot = _slot_of_source(applicable.source, compiled.max_distance)
                 assert row[slot] == applicable.observe(record)
     assert len(seen_opcodes) > 10
+
+
+# ----------------------------------------------------------------------
+# Batched engine (fastpath mode "batch") vs. reference
+
+
+@pytest.mark.parametrize("core_name", ["cva6", "ibex", "ibex-dcache"])
+@pytest.mark.parametrize(
+    "attacker_name", ["retirement-timing", "total-time", "cache-state"]
+)
+@pytest.mark.parametrize(
+    "template_name", ["riscv-rv32im", "riscv-rv32im-zref", "riscv-mem"]
+)
+def test_batch_matrix_byte_identical(core_name, attacker_name, template_name):
+    """Batch-vs-reference matrix: every registered core x attacker x
+    template produces byte-identical datasets under the batched engine."""
+    from repro.attacker import ATTACKER_REGISTRY
+    from repro.contracts.riscv_template import TEMPLATE_REGISTRY
+    from repro.uarch import CORE_REGISTRY
+
+    matrix_template = TEMPLATE_REGISTRY.create(template_name)
+    generator = TestCaseGenerator(matrix_template, seed=41)
+    cases = list(generator.iter_generate(25))
+    batch = TestCaseEvaluator(
+        CORE_REGISTRY.create(core_name),
+        matrix_template,
+        attacker=ATTACKER_REGISTRY.create(attacker_name),
+        use_fastpath="batch",
+    )
+    reference = TestCaseEvaluator(
+        CORE_REGISTRY.create(core_name),
+        matrix_template,
+        attacker=ATTACKER_REGISTRY.create(attacker_name),
+        use_fastpath=False,
+    )
+    dataset_batch = batch.evaluate_many(iter(cases))
+    dataset_reference = reference.evaluate_many(iter(cases))
+    assert dataset_batch.to_json() == dataset_reference.to_json()
+
+
+def test_batch_empty_and_odd_sized_batches(template):
+    """Edge sizes: empty, single-case, and odd batch sizes all agree."""
+    evaluator = TestCaseEvaluator(IbexCore(), template, use_fastpath="batch")
+    reference = TestCaseEvaluator(IbexCore(), template, use_fastpath=False)
+    assert evaluator.evaluate_batch([]) == []
+    generator = TestCaseGenerator(template, seed=19)
+    cases = list(generator.iter_generate(23))
+    for size in (1, 3, 7, 23):
+        got = evaluator.evaluate_batch(cases[:size])
+        want = [reference.evaluate(case) for case in cases[:size]]
+        assert got == want
+
+
+def test_batch_boundary_straddling_shards(template):
+    """A batched parallel run whose shard size straddles the count is
+    byte-identical to the sequential reference."""
+    parallel = evaluate_parallel(
+        "ibex",
+        53,
+        seed=47,
+        executor="serial",
+        shard_size=17,
+        use_fastpath="batch",
+    )
+    generator = TestCaseGenerator(template, seed=47)
+    reference = TestCaseEvaluator(IbexCore(), template, use_fastpath=False)
+    sequential = reference.evaluate_many(generator.iter_generate(53))
+    assert parallel.to_json() == sequential.to_json()
+
+
+def test_batch_mode_falls_back_for_unknown_core(template):
+    """Subclassed cores (possibly overridden timing) take the scalar
+    path even under the "batch" mode, staying byte-identical."""
+
+    class TweakedIbex(IbexCore):
+        name = "tweaked-ibex"
+
+    evaluator = TestCaseEvaluator(TweakedIbex(), template, use_fastpath="batch")
+    assert not evaluator._batch_engine
+    generator = TestCaseGenerator(template, seed=5)
+    cases = list(generator.iter_generate(5))
+    reference = TestCaseEvaluator(TweakedIbex(), template, use_fastpath=False)
+    assert evaluator.evaluate_batch(cases) == [
+        reference.evaluate(case) for case in cases
+    ]
