@@ -42,6 +42,7 @@ from repro.synthesis import SOLVER_REGISTRY
 from repro.synthesis.solvers import IlpSolver
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
 from repro.testgen.strategies import GENERATOR_REGISTRY, GenerationStrategy
+from repro.trace.tracer import Tracer
 from repro.uarch import CORE_REGISTRY
 from repro.uarch.core import Core
 
@@ -224,6 +225,7 @@ class AdaptiveLoop:
         shard_timeout: Optional[float] = None,
         failure_log_path: Optional[str] = None,
         on_failure: Optional[Callable[[FailureRecord], None]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if rounds < 1:
             raise ValueError("rounds must be at least 1")
@@ -277,6 +279,10 @@ class AdaptiveLoop:
         self.shard_timeout = shard_timeout
         self.failure_log_path = failure_log_path
         self.on_failure = on_failure
+        #: Trace emitter: one ``round`` span per live round (with
+        #: coverage/convergence end fields), one ``round-resumed``
+        #: event per replayed round.  No-op when not configured.
+        self.tracer = tracer if tracer is not None else Tracer(None)
         #: In-process evaluator, built lazily on the first evaluated round.
         self._evaluator: Optional[TestCaseEvaluator] = None
         if executor is not None and not (
@@ -359,6 +365,14 @@ class AdaptiveLoop:
                 )
                 records.append(record)
                 previous_contract = record.contract_atom_ids
+                self.tracer.event(
+                    "round-resumed",
+                    round=record.round_index,
+                    cases=record.cases,
+                    cumulative_cases=record.cumulative_cases,
+                    atom_coverage=record.atom_coverage,
+                    contract_size=record.contract_size,
+                )
                 self._emit(record)
                 if stop_reason is not None:
                     break
@@ -371,32 +385,46 @@ class AdaptiveLoop:
                 break
             started = time.perf_counter()
             start_id = round_index * self.batch
-            state = self.strategy.state()
-            round_results = self._evaluate_round_resilient(
-                round_index, start_id, state
+            round_span = self.tracer.span(
+                "round", round=round_index, start_id=start_id
             )
-            self.strategy.observe(round_results)
-            accumulator.ingest(round_results)
-            synthesis = synthesizer.synthesize(
-                self._dataset(accumulator),
-                allowed_atom_ids=self.allowed_atom_ids,
-                warm_start=previous_contract,
-            )
-            contract_ids = tuple(sorted(synthesis.contract.atom_ids))
-            accumulator.contracts.append(contract_ids)
-            stop_reason = self._check_stop(round_index, accumulator)
-            if stop_reason is None and round_index == self.rounds - 1:
-                stop_reason = "budget-exhausted"
-            record = self._record(
-                round_index,
-                start_id,
-                len(round_results),
-                accumulator,
-                synthesis,
-                stop_reason,
-                resumed=False,
-                seconds=time.perf_counter() - started,
-            )
+            with round_span:
+                state = self.strategy.state()
+                round_results = self._evaluate_round_resilient(
+                    round_index, start_id, state
+                )
+                self.strategy.observe(round_results)
+                accumulator.ingest(round_results)
+                synthesis = synthesizer.synthesize(
+                    self._dataset(accumulator),
+                    allowed_atom_ids=self.allowed_atom_ids,
+                    warm_start=previous_contract,
+                )
+                contract_ids = tuple(sorted(synthesis.contract.atom_ids))
+                accumulator.contracts.append(contract_ids)
+                stop_reason = self._check_stop(round_index, accumulator)
+                if stop_reason is None and round_index == self.rounds - 1:
+                    stop_reason = "budget-exhausted"
+                record = self._record(
+                    round_index,
+                    start_id,
+                    len(round_results),
+                    accumulator,
+                    synthesis,
+                    stop_reason,
+                    resumed=False,
+                    seconds=time.perf_counter() - started,
+                )
+                round_span.add(
+                    cases=record.cases,
+                    cumulative_cases=record.cumulative_cases,
+                    covered_atoms=record.covered_atoms,
+                    atom_coverage=record.atom_coverage,
+                    contract_size=record.contract_size,
+                    false_positives=record.false_positives,
+                    warm_started=record.warm_started,
+                    stop_reason=record.stop_reason,
+                )
             records.append(record)
             previous_contract = contract_ids
             if manifest is not None:
@@ -474,6 +502,13 @@ class AdaptiveLoop:
                     error=repr(error),
                     attempts=attempt,
                 )
+                self.tracer.event(
+                    "failure",
+                    failure=record.kind,
+                    unit=record.unit,
+                    error=record.error,
+                    attempts=record.attempts,
+                )
                 if self.on_failure is not None:
                     self.on_failure(record)
                 if not retryable or exhausted:
@@ -511,6 +546,7 @@ class AdaptiveLoop:
                 # records are written by the loop under its stable
                 # manifest key instead.
                 on_failure=self.on_failure,
+                tracer=self.tracer,
             )
             return list(dataset)
         if self._evaluator is None:

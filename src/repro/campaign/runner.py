@@ -47,6 +47,7 @@ from repro.reporting.tables import render_comparison_table
 from repro.resilience.injection import maybe_inject
 from repro.resilience.quarantine import FailureLog, FailureRecord
 from repro.resilience.retry import RetryPolicy, is_retryable
+from repro.trace.tracer import Tracer
 
 #: Optional per-cell progress callback.
 CellCallback = Callable[["CellProgress"], None]
@@ -127,6 +128,7 @@ class CampaignRunner:
         filters: Optional[Mapping[str, str]] = None,
         progress: Optional[CellCallback] = None,
         keep_results: bool = True,
+        trace: Union[None, str, Tracer] = None,
     ):
         if max_parallel_cells < 1:
             raise ValueError("max_parallel_cells must be at least 1")
@@ -155,6 +157,20 @@ class CampaignRunner:
         self._failures: List[FailureRecord] = []
         self._failures_lock = threading.Lock()
         self._failure_log: Optional[FailureLog] = None
+        #: Campaign-level trace emitter: ``campaign-start``/``-end``
+        #: events, one ``cell`` span per executed cell, a
+        #: ``cell-resumed`` event per manifest-reused cell.  ``trace``
+        #: is a path, a ready :class:`Tracer` (the contract service
+        #: passes a child of its own), or ``None`` — which falls back
+        #: to ``spec.trace_path``.  Cell pipelines get the same path,
+        #: so one file interleaves every layer of the campaign.
+        if isinstance(trace, Tracer):
+            self.tracer = trace
+        else:
+            self.tracer = Tracer(
+                trace if trace is not None else spec.trace_path,
+                source="campaign",
+            )
 
     # -- configuration surface -----------------------------------------
 
@@ -203,6 +219,7 @@ class CampaignRunner:
             executor=self.executor,
             processes=processes,
             shard_size=self.shard_size,
+            trace_path=self.tracer.path,
         )
 
     def status(self) -> CampaignStatus:
@@ -251,6 +268,9 @@ class CampaignRunner:
         if manifest is not None and not self.resume:
             manifest.reset()
         stored = manifest.stored(cells) if manifest is not None else {}
+        self.tracer.event(
+            "campaign-start", campaign=self.spec.name, cells=len(cells)
+        )
 
         outcomes: Dict[str, CellOutcome] = {}
         pipeline_results: Dict[str, PipelineResult] = {}
@@ -275,6 +295,7 @@ class CampaignRunner:
             key = cell.key()
             if key in stored:
                 outcomes[key] = stored[key]
+                self.tracer.event("cell-resumed", cell=cell.label())
                 emit(stored[key], resumed=True)
         pending = [cell for cell in cells if cell.key() not in outcomes]
 
@@ -316,6 +337,12 @@ class CampaignRunner:
         else:
             self._run_parallel(ordered, group_max, handle)
 
+        self.tracer.event(
+            "campaign-end",
+            campaign=self.spec.name,
+            completed=completed,
+            seconds=round(time.perf_counter() - started, 6),
+        )
         return CampaignResult(
             spec=self.spec,
             cells=cells,
@@ -406,10 +433,23 @@ class CampaignRunner:
         while True:
             attempt += 1
             try:
-                maybe_inject("cell", cell=cell.label(), attempt=attempt)
-                pipeline = self.cell_pipeline(cell, processes=processes)
-                dataset_reused = self._provision_dataset(pipeline, cell, group_max)
-                return pipeline.run(), dataset_reused
+                cell_span = self.tracer.span(
+                    "cell", cell=cell.label(), attempt=attempt
+                )
+                with cell_span:
+                    maybe_inject("cell", cell=cell.label(), attempt=attempt)
+                    pipeline = self.cell_pipeline(cell, processes=processes)
+                    dataset_reused = self._provision_dataset(
+                        pipeline, cell, group_max
+                    )
+                    result = pipeline.run()
+                    cell_span.add(
+                        atoms=result.atom_count,
+                        false_positives=result.false_positives,
+                        cases=len(result.dataset),
+                        dataset_reused=dataset_reused,
+                    )
+                return result, dataset_reused
             except Exception as error:
                 if policy is None or not is_retryable(error):
                     raise
@@ -437,6 +477,13 @@ class CampaignRunner:
     def _record_failure(self, record: FailureRecord, durable: bool = False) -> None:
         """Collect one failure record (thread-safe; ``_execute`` runs
         on pool threads), appending quarantines to the failure log."""
+        self.tracer.event(
+            "failure",
+            failure=record.kind,
+            unit=record.unit,
+            error=record.error,
+            attempts=record.attempts,
+        )
         with self._failures_lock:
             self._failures.append(record)
             if durable:

@@ -214,8 +214,14 @@ class CampaignCell:
         executor: Union[None, str, EvaluationExecutor] = None,
         processes: Optional[int] = None,
         shard_size: Optional[int] = None,
+        trace_path: Optional[str] = None,
     ) -> SynthesisPipeline:
-        """A :class:`SynthesisPipeline` configured exactly as this cell."""
+        """A :class:`SynthesisPipeline` configured exactly as this cell.
+
+        ``trace_path`` wires the cell's run into a shared trace file
+        (its phase/round/shard spans interleave with the campaign's
+        cell spans); like executor sizing it is runner-level plumbing,
+        never part of the cell identity."""
         pipeline = (
             SynthesisPipeline()
             .core(self.core)
@@ -246,6 +252,8 @@ class CampaignCell:
             pipeline.timeout(self.shard_timeout)
         if executor is not None:
             pipeline.executor(executor, processes=processes, shard_size=shard_size)
+        if trace_path is not None:
+            pipeline.trace(trace_path)
         return pipeline
 
 
@@ -289,6 +297,11 @@ class CampaignSpec:
     #: arms the per-shard watchdog.
     retries: Optional[int] = None
     shard_timeout: Optional[float] = None
+    #: Trace file every cell (and the runner itself) appends spans to.
+    #: Pure observability: not a cell axis, never part of any cell
+    #: identity or cache key — tracing on and off produce identical
+    #: results.  ``CampaignRunner``'s ``trace`` argument overrides it.
+    trace_path: Optional[str] = None
     #: Axis value -> cell-field replacements, applied to every cell
     #: carrying that value on any axis (e.g. ``{"cva6": {"budget":
     #: 3000}}``).

@@ -44,6 +44,7 @@ from repro.evaluation.backends.base import (
 )
 from repro.resilience.errors import FatalInjectedFault, ShardExecutionError
 from repro.resilience.injection import maybe_inject
+from repro.trace.tracer import current_tracer
 
 #: Per-process worker state for the process-pool backends; populated by
 #: the pool initializer in each forked child.
@@ -57,11 +58,23 @@ def _initialize_process(task: EvaluationTask) -> None:
 def _evaluate_shard(worker: ShardEvaluator, shard: Shard) -> Tuple[Shard, List[Row]]:
     """The one shard-evaluation call every backend funnels through.
 
-    Hosts the ``"shard"`` fault-injection seam and wraps any worker
-    error in a :class:`ShardExecutionError` naming ``(start_id,
-    count)`` — a bare exception crossing a pool boundary would
-    otherwise carry no clue which shard died.
+    Hosts the ``"shard"`` fault-injection seam, the shard trace span
+    (the process-wide tracer is fork-inherited from the parent that
+    installed it, so pool workers append to the same trace file), and
+    wraps any worker error in a :class:`ShardExecutionError` naming
+    ``(start_id, count)`` — a bare exception crossing a pool boundary
+    would otherwise carry no clue which shard died.
     """
+    tracer = current_tracer()
+    if tracer.path is None:
+        return _evaluate_shard_inner(worker, shard)
+    with tracer.span("shard", start_id=shard[0], count=shard[1]):
+        return _evaluate_shard_inner(worker, shard)
+
+
+def _evaluate_shard_inner(
+    worker: ShardEvaluator, shard: Shard
+) -> Tuple[Shard, List[Row]]:
     try:
         maybe_inject("shard", shard=shard)
         return shard, worker.evaluate(shard)

@@ -35,6 +35,7 @@ from repro.evaluation.backends import (
 from repro.evaluation.results import EvaluationDataset
 from repro.resilience.quarantine import FailureLog, FailureRecord
 from repro.resilience.retry import RetryPolicy
+from repro.trace.tracer import Tracer
 
 #: Optional per-shard progress callback.
 ProgressCallback = Callable[[ShardProgress], None]
@@ -63,6 +64,7 @@ def evaluate_parallel(
     shard_timeout: Optional[float] = None,
     failure_log_path: Optional[str] = None,
     on_failure: Optional[FailureCallback] = None,
+    tracer: Optional[Tracer] = None,
 ) -> EvaluationDataset:
     """Evaluate ``count`` generated test cases on ``core_name`` using
     the named executor backend.  Equivalent to the sequential evaluator
@@ -102,6 +104,13 @@ def evaluate_parallel(
     Retry settings never enter the task identity, so fault-tolerant
     and plain runs share manifests and produce byte-identical
     datasets.
+
+    ``tracer``, when active, receives one ``failure`` event per
+    resilience event (retries, timeouts, quarantines, downgrades) and
+    one ``shard-resumed`` event per manifest-resumed shard; completed
+    shard *spans* are emitted by the workers themselves through the
+    process-wide tracer installed by the pipeline (fork-inherited into
+    pool children).  Tracing never changes results.
     """
     if template_name is not None and max_distance != 4:
         raise ValueError(
@@ -128,6 +137,23 @@ def evaluate_parallel(
         # (an instance's own explicit worker count always wins).
         executor = copy.copy(executor)
         executor.processes = processes
+    if tracer is not None and tracer.active:
+        # Surface resilience events on the trace stream without
+        # disturbing the caller's callback.  Wrapped *before* the
+        # ResilientExecutor captures on_event below.
+        caller_on_failure = on_failure
+
+        def on_failure(record: FailureRecord) -> None:
+            tracer.event(
+                "failure",
+                failure=record.kind,
+                unit=record.unit,
+                error=record.error,
+                attempts=record.attempts,
+            )
+            if caller_on_failure is not None:
+                caller_on_failure(record)
+
     if retry is not None or shard_timeout is not None:
         # Imported here: the resilient wrapper itself builds on the
         # backend modules this package initializes.
@@ -183,6 +209,8 @@ def evaluate_parallel(
     for shard in shards:
         if shard in stored:
             batches.append(stored[shard])
+            if tracer is not None and tracer.active:
+                tracer.event("shard-resumed", start_id=shard[0], count=shard[1])
             emit(shard, resumed=True)
     if pending:  # a fully-resumed run never builds a worker stack
         for shard, rows in executor.run(task, pending):

@@ -25,6 +25,15 @@ request front-end (see README "Running the contract service")::
     repro-synthesize service worker --queue-dir service/queue
     repro-synthesize submit --core ibex --budget 500 --wait 60
     repro-synthesize status
+
+Every run/campaign/serve/worker invocation accepts ``--trace PATH``
+to append :mod:`repro.trace` spans to one shared JSONL file, and
+``repro-synthesize watch`` tails that file as a live progress view::
+
+    repro-synthesize run --count 5000 --trace trace.jsonl
+    repro-synthesize campaign run --budgets 500,2000 --trace trace.jsonl
+    repro-synthesize watch --trace trace.jsonl
+    repro-synthesize watch --service-root service
 """
 
 from __future__ import annotations
@@ -51,6 +60,7 @@ _COMMANDS = _EXPERIMENTS + (
     "serve",
     "submit",
     "status",
+    "watch",
 )
 _CAMPAIGN_ACTIONS = ("run", "status", "report")
 _SERVICE_ACTIONS = ("worker",)
@@ -68,8 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which figure/table to regenerate, 'all' for every "
         "experiment, 'list' to print the plugin registries, 'run' "
         "for an ad-hoc pipeline, 'campaign' for a resumable grid "
-        "sweep, or serve/submit/status/'service worker' for the "
-        "contract service",
+        "sweep, serve/submit/status/'service worker' for the "
+        "contract service, or 'watch' to tail a trace file live",
     )
     parser.add_argument(
         "action",
@@ -355,6 +365,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="submit: block until the ticket lands (or fail after "
         "SECONDS) instead of returning immediately",
     )
+    trace_group = parser.add_argument_group(
+        "observability (run/campaign/serve/'service worker'/submit/watch)"
+    )
+    trace_group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append repro.trace span/event records to this JSONL file "
+        "(serve and workers default to <service-root>/trace.jsonl; "
+        "watch tails it)",
+    )
+    trace_group.add_argument(
+        "--once",
+        action="store_true",
+        help="watch: render one frame and exit instead of tailing",
+    )
+    trace_group.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="watch: refresh interval (default: 1.0)",
+    )
     return parser
 
 
@@ -400,6 +433,8 @@ def _run_pipeline(arguments) -> int:
         )
     if arguments.resume is not None:
         pipeline.resume(arguments.resume)
+    if arguments.trace:
+        pipeline.trace(arguments.trace)
     if not arguments.no_cache:
         config = ExperimentConfig(results_dir=arguments.results_dir)
         pipeline.cache_dir(config.cache_dir())
@@ -502,6 +537,7 @@ def _campaign_runner(arguments):
         manifest=manifest,
         resume=arguments.resume is not None,
         filters=_parse_filters(arguments.filters),
+        trace=arguments.trace,
         keep_results=False,
         progress=lambda event: print(
             "[%d/%d] %s (%s%.3fs)"
@@ -578,8 +614,8 @@ def _run_service(arguments) -> int:
     import json
 
     from repro.service.queue import JobQueue, QueueUnavailableError, resolve_queue_root
-    from repro.service.trace import Tracer
     from repro.service.worker import JobWorker
+    from repro.trace import Tracer
 
     action = arguments.action or "worker"
     if action not in _SERVICE_ACTIONS:
@@ -609,7 +645,7 @@ def _run_service(arguments) -> int:
         max_jobs=arguments.max_jobs,
         idle_timeout=arguments.idle_timeout,
         failure_log_path=arguments.failure_log,
-        tracer=Tracer(os.path.join(root, "trace.jsonl")),
+        tracer=Tracer(arguments.trace or os.path.join(root, "trace.jsonl")),
     )
     completed = worker.run()
     print("worker %s: completed %d job(s)" % (worker.worker_id, completed))
@@ -619,11 +655,13 @@ def _run_service(arguments) -> int:
 def _run_serve(arguments) -> int:
     """The ``serve`` subcommand: the contract-service broker loop."""
     from repro.service import ContractServer, ContractService, ContractStore
-    from repro.service.trace import Tracer
+    from repro.trace import Tracer
 
     root = arguments.service_root
     os.makedirs(root, exist_ok=True)
-    tracer = Tracer(os.path.join(root, "trace.jsonl"), source="serve")
+    tracer = Tracer(
+        arguments.trace or os.path.join(root, "trace.jsonl"), source="serve"
+    )
     store = ContractStore(os.path.join(root, "store"))
     executor = arguments.executor or "serial"
     if executor == "workqueue" and arguments.queue_dir is None:
@@ -686,6 +724,12 @@ def _run_submit(arguments) -> int:
     root = arguments.service_root
     request = _submit_request(arguments)
     request_id = submit_request(root, request)
+    if arguments.trace:
+        from repro.trace import Tracer
+
+        Tracer(arguments.trace, source="submit").event(
+            "submit", request=request_id
+        )
     print("submitted %s to %s" % (request_id, root))
     if arguments.wait is None:
         return 0
@@ -726,6 +770,22 @@ def _run_status(arguments) -> int:
     return 0
 
 
+def _run_watch(arguments) -> int:
+    """The ``watch`` subcommand: tail a trace file as a live view."""
+    from repro.trace import watch
+
+    path = arguments.trace or os.path.join(
+        arguments.service_root, "trace.jsonl"
+    )
+    if not os.path.exists(path):
+        raise SystemExit(
+            "watch: no trace file at %r — pass --trace PATH (the same "
+            "path given to run/campaign/serve), or --service-root DIR "
+            "for a service's default <root>/trace.jsonl" % path
+        )
+    return watch(path, interval=arguments.interval, once=arguments.once)
+
+
 def _list_registries(action: Optional[str]) -> int:
     """The ``list`` subcommand, optionally filtered to one registry."""
     if action is not None and action not in REGISTRIES:
@@ -753,6 +813,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_submit(arguments)
     if arguments.experiment == "status":
         return _run_status(arguments)
+    if arguments.experiment == "watch":
+        return _run_watch(arguments)
 
     if arguments.executor == "workqueue":
         # The experiment drivers take the executor by registry name;

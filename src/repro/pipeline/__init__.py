@@ -40,6 +40,7 @@ Builder surface
 ``.executor(name, ...)``        sharded evaluation backend (EXECUTOR_REGISTRY)
 ``.resume(path_or_True)``       shard-manifest checkpointing and resumption
 ``.on_shard(callback)``         per-shard :class:`ShardProgress` events
+``.trace(path)``                append :mod:`repro.trace` spans to a JSONL file
 ==============================  ==================================================
 
 Besides ``.run()`` (the full chain, returning :class:`PipelineResult`),

@@ -15,7 +15,6 @@ cache file.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Tuple, Union
 
@@ -38,6 +37,7 @@ from repro.evaluation.results import EvaluationDataset
 from repro.resilience.quarantine import FailureRecord
 from repro.resilience.retry import RetryPolicy
 from repro.synthesis import SOLVER_REGISTRY
+from repro.trace.tracer import Tracer, install_tracer
 from repro.synthesis.solvers import IlpSolver
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
 from repro.testgen.strategies import GENERATOR_REGISTRY, GenerationStrategy
@@ -62,7 +62,15 @@ ShardCallback = Callable[[ShardProgress], None]
 
 @dataclass
 class PhaseTimings:
-    """Wall-clock seconds per pipeline phase (Table III's columns)."""
+    """Wall-clock seconds per pipeline phase (Table III's columns).
+
+    Since the observability layer landed, a run's timings are a
+    *projection of its trace span stream* (:meth:`from_spans`): the
+    pipeline emits ``phase`` spans and the phase timers fall out of
+    them, so CLI tables, trace files, and bench accounting can never
+    disagree.  The field names and semantics predate the trace layer
+    and are kept byte-compatible.
+    """
 
     #: Core/template/generator/evaluator construction (the paper's
     #: "testbench compilation" phase).
@@ -92,6 +100,53 @@ class PhaseTimings:
     #: Backend the executor fallback chain downgraded to (``None``
     #: when the configured backend survived the whole run).
     executor_downgraded: Optional[str] = None
+
+    @classmethod
+    def from_spans(cls, records: Iterable[dict]) -> "PhaseTimings":
+        """Project phase timings out of a trace span stream.
+
+        Consumes completed span records (the ones carrying
+        ``seconds``): the ``pipeline`` span supplies the total, and
+        each ``phase`` span supplies its phase timer — the ``evaluate``
+        span additionally carries the cache/executor/sim-extract detail
+        fields.  Begin records and event records pass through
+        untouched, so the whole of a run's trace stream (or its
+        in-memory collector) can be fed directly.
+        """
+        timings = cls()
+        for record in records:
+            if "seconds" not in record:
+                continue
+            kind = record.get("kind")
+            if kind == "pipeline":
+                timings.total_seconds = record["seconds"]
+            elif kind == "phase":
+                phase = record.get("phase")
+                if phase == "setup":
+                    timings.setup_seconds = record["seconds"]
+                elif phase == "evaluate":
+                    timings.evaluation_seconds = record["seconds"]
+                    timings.cache_hit = bool(record.get("cache_hit", False))
+                    timings.simulation_seconds = record.get(
+                        "simulation_seconds", 0.0
+                    )
+                    timings.extraction_seconds = record.get(
+                        "extraction_seconds", 0.0
+                    )
+                    timings.executor_name = record.get("executor")
+                    timings.shards_total = record.get("shards_total", 0)
+                    timings.shards_resumed = record.get("shards_resumed", 0)
+                    timings.shards_quarantined = record.get(
+                        "shards_quarantined", 0
+                    )
+                    timings.executor_downgraded = record.get(
+                        "executor_downgraded"
+                    )
+                elif phase == "synthesize":
+                    timings.synthesis_seconds = record["seconds"]
+                elif phase == "verify":
+                    timings.verification_seconds = record["seconds"]
+        return timings
 
     def render(self) -> str:
         if self.cache_hit:
@@ -286,6 +341,9 @@ class SynthesisPipeline:
         #: A contract store (duck-typed: ``datasets_dir`` +
         #: ``put_result``) that run() persists the outcome into.
         self._store = None
+        #: Trace file the run's spans append to (``None`` → no file;
+        #: timings still project from the in-memory span collector).
+        self._trace_path: Optional[str] = None
 
     # -- builder surface ----------------------------------------------
 
@@ -487,6 +545,21 @@ class SynthesisPipeline:
         self._store = contract_store
         if contract_store is not None and self._cache_dir is None:
             self.cache_dir(contract_store.datasets_dir)
+        return self
+
+    def trace(self, path: Optional[str]) -> "SynthesisPipeline":
+        """Append structured trace spans to the JSONL file at ``path``.
+
+        The run emits ``pipeline`` and per-phase spans (plus shard
+        spans from executor workers and round spans from adaptive
+        loops) through :class:`repro.trace.Tracer`; campaigns and the
+        service share the same schema, so one file interleaves every
+        layer and ``repro-synthesize watch`` can tail it live.
+        ``None`` (the default) disables the file; phase timings are
+        projected from an in-memory span collector either way, at zero
+        file-I/O cost.
+        """
+        self._trace_path = path
         return self
 
     def verify(
@@ -722,11 +795,18 @@ class SynthesisPipeline:
     def _evaluate_sharded(
         self,
         executor: ExecutorLike,
-        timings: Optional[PhaseTimings] = None,
+        stats: Optional[dict] = None,
         failures: Optional[List[FailureRecord]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> EvaluationDataset:
         """The executor-backed evaluation phase (shard fan-out,
         checkpointing, retry/quarantine, per-shard progress).
+
+        ``stats``, when given, receives the executor accounting fields
+        of the evaluate phase span (``executor``, ``shards_total``,
+        ``shards_resumed``, ``shards_quarantined``,
+        ``executor_downgraded``) — the span-era replacement for
+        mutating :class:`PhaseTimings` directly.
 
         Owns the dataset cache write: a dataset missing quarantined
         shards must never be cached under the full-budget key, or the
@@ -742,12 +822,12 @@ class SynthesisPipeline:
                 "inside each worker: configure core, attacker, template, "
                 "and generator by name when using .executor()/.resume()"
             )
-        stats = {"total": 0, "resumed": 0}
+        counters = {"total": 0, "resumed": 0}
 
         def on_shard(event: ShardProgress) -> None:
-            stats["total"] = event.total_shards
+            counters["total"] = event.total_shards
             if event.resumed:
-                stats["resumed"] += 1
+                counters["resumed"] += 1
             if self._progress_every:
                 print(
                     "evaluated %d/%d test cases (shard %d/%d%s)"
@@ -780,16 +860,17 @@ class SynthesisPipeline:
             shard_timeout=self._shard_timeout,
             failure_log_path=self.quarantine_path(),
             on_failure=collected.append,
+            tracer=tracer,
         )
         quarantined = sum(1 for record in collected if record.kind == "shard")
-        if timings is not None:
-            timings.executor_name = (
+        if stats is not None:
+            stats["executor"] = (
                 executor if isinstance(executor, str) else executor.name
             )
-            timings.shards_total = stats["total"]
-            timings.shards_resumed = stats["resumed"]
-            timings.shards_quarantined = quarantined
-            timings.executor_downgraded = next(
+            stats["shards_total"] = counters["total"]
+            stats["shards_resumed"] = counters["resumed"]
+            stats["shards_quarantined"] = quarantined
+            stats["executor_downgraded"] = next(
                 (
                     record.unit.get("to")
                     for record in collected
@@ -822,7 +903,15 @@ class SynthesisPipeline:
         if executor is not None:
             # The sharded path owns the cache write (quarantined
             # datasets must not be cached).
-            return self._evaluate_sharded(executor, timings), None
+            stats: dict = {}
+            dataset = self._evaluate_sharded(executor, stats)
+            if timings is not None:
+                timings.executor_name = stats["executor"]
+                timings.shards_total = stats["shards_total"]
+                timings.shards_resumed = stats["shards_resumed"]
+                timings.shards_quarantined = stats["shards_quarantined"]
+                timings.executor_downgraded = stats["executor_downgraded"]
+            return dataset, None
         template = self.resolve_template()
         generator = self.resolve_generator(template)
         evaluator = TestCaseEvaluator(
@@ -845,11 +934,28 @@ class SynthesisPipeline:
         return dataset
 
     def run(self) -> PipelineResult:
-        """Run the full chain and return a :class:`PipelineResult`."""
-        if self._adaptive is not None:
-            result = self._run_adaptive()
-        else:
-            result = self._run_oneshot()
+        """Run the full chain and return a :class:`PipelineResult`.
+
+        Every run traces: spans land in an in-memory collector that
+        :class:`PhaseTimings` projects from, and — when :meth:`trace`
+        configured a path — in the shared JSONL trace file.  A
+        file-backed tracer is also installed process-wide for the
+        duration of the run so ``@trace_step``/``@profile_step``
+        decorated internals (and forked executor workers, which
+        inherit the installation) emit into the same file.  (Parallel
+        campaign cells in one process share the installation; they
+        also share one trace file, so the raced value is identical.)
+        """
+        tracer = Tracer(self._trace_path, source="pipeline", collector=[])
+        previous = install_tracer(tracer) if tracer.enabled else None
+        try:
+            if self._adaptive is not None:
+                result = self._run_adaptive(tracer)
+            else:
+                result = self._run_oneshot(tracer)
+        finally:
+            if previous is not None:
+                install_tracer(previous)
         if self._store is not None:
             self._store.put_result(self._store_cell(), result)
         return result
@@ -902,73 +1008,96 @@ class SynthesisPipeline:
             verify=self._verify_budget,
         )
 
-    def _run_oneshot(self) -> PipelineResult:
-        """The classic fixed-budget chain."""
-        timings = PhaseTimings()
+    def _run_oneshot(self, tracer: Tracer) -> PipelineResult:
+        """The classic fixed-budget chain, as a span stream.
+
+        Each legacy phase timer became a ``phase`` span with the same
+        boundaries; :meth:`PhaseTimings.from_spans` projects the
+        timings back out of the tracer's collector, so the trace file
+        and the CLI timing table share one measurement."""
         failures: List[FailureRecord] = []
-        total_start = time.perf_counter()
+        with tracer.span(
+            "pipeline",
+            core=self.core_name(),
+            attacker=self.attacker_name(),
+            solver=self.solver_name(),
+            template=self.template_name(),
+            budget=self._count,
+            seed=self._seed,
+        ):
+            with tracer.span("phase", phase="setup"):
+                core = self.resolve_core()
+                template = self.resolve_template()
+                attacker = self.resolve_attacker()
+                solver = self.resolve_solver()
+                cache_path = self.cache_path()
+                cached = cache_path is not None and os.path.exists(cache_path)
+                executor = self._effective_executor()
+                if not cached and executor is None:
+                    # Generator/evaluator construction (template
+                    # fast-path compilation included) is part of the
+                    # setup phase, like the paper's testbench
+                    # compilation; a cache hit skips it, and executor
+                    # workers each build (and time) their own.
+                    generator = self.resolve_generator(template)
+                    evaluator = TestCaseEvaluator(
+                        core,
+                        template,
+                        attacker=attacker,
+                        use_fastpath=self._use_fastpath,
+                    )
 
-        core = self.resolve_core()
-        template = self.resolve_template()
-        attacker = self.resolve_attacker()
-        solver = self.resolve_solver()
-        cache_path = self.cache_path()
-        cached = cache_path is not None and os.path.exists(cache_path)
-        executor = self._effective_executor()
-        if not cached and executor is None:
-            # Generator/evaluator construction (template fast-path
-            # compilation included) is part of the setup phase, like
-            # the paper's testbench compilation; a cache hit skips it,
-            # and executor workers each build (and time) their own.
-            generator = self.resolve_generator(template)
-            evaluator = TestCaseEvaluator(
-                core, template, attacker=attacker, use_fastpath=self._use_fastpath
-            )
-        timings.setup_seconds = time.perf_counter() - total_start
+            evaluate_span = tracer.span("phase", phase="evaluate")
+            with evaluate_span:
+                if cached:
+                    dataset = EvaluationDataset.load(cache_path)
+                    evaluate_span.add(cache_hit=True)
+                elif executor is not None:
+                    stats: dict = {}
+                    dataset = self._evaluate_sharded(
+                        executor, stats, failures, tracer
+                    )
+                    evaluate_span.add(**stats)
+                else:
+                    dataset = evaluator.evaluate_many(
+                        generator.iter_generate(self._count),
+                        progress_every=self._progress_every,
+                    )
+                    if cache_path is not None:
+                        dataset.save(cache_path)
+                    evaluate_span.add(
+                        simulation_seconds=evaluator.simulation_seconds,
+                        extraction_seconds=evaluator.extraction_seconds,
+                    )
 
-        evaluation_start = time.perf_counter()
-        if cached:
-            dataset = EvaluationDataset.load(cache_path)
-            timings.cache_hit = True
-        elif executor is not None:
-            dataset = self._evaluate_sharded(executor, timings, failures)
-        else:
-            dataset = evaluator.evaluate_many(
-                generator.iter_generate(self._count),
-                progress_every=self._progress_every,
-            )
-            if cache_path is not None:
-                dataset.save(cache_path)
-            timings.simulation_seconds = evaluator.simulation_seconds
-            timings.extraction_seconds = evaluator.extraction_seconds
-        timings.evaluation_seconds = time.perf_counter() - evaluation_start
+            with tracer.span("phase", phase="synthesize"):
+                restriction_name, allowed_atom_ids = self.resolve_restriction(
+                    template
+                )
+                synthesis = ContractSynthesizer(template, solver).synthesize(
+                    dataset, allowed_atom_ids=allowed_atom_ids
+                )
 
-        synthesis_start = time.perf_counter()
-        restriction_name, allowed_atom_ids = self.resolve_restriction(template)
-        synthesis = ContractSynthesizer(template, solver).synthesize(
-            dataset, allowed_atom_ids=allowed_atom_ids
-        )
-        timings.synthesis_seconds = time.perf_counter() - synthesis_start
+            with tracer.span("phase", phase="verify"):
+                verification: Optional[SatisfactionReport]
+                if self._verify_budget is None:
+                    verification = check_dataset_satisfaction(
+                        synthesis.contract, dataset
+                    )
+                elif self._verify_budget > 0:
+                    verification = check_contract_satisfaction(
+                        synthesis.contract,
+                        core,
+                        test_cases=self._verify_budget,
+                        seed=self._verify_seed
+                        if self._verify_seed is not None
+                        else self._seed + 1,
+                        attacker=attacker,
+                    )
+                else:
+                    verification = None
 
-        verification_start = time.perf_counter()
-        verification: Optional[SatisfactionReport]
-        if self._verify_budget is None:
-            verification = check_dataset_satisfaction(synthesis.contract, dataset)
-        elif self._verify_budget > 0:
-            verification = check_contract_satisfaction(
-                synthesis.contract,
-                core,
-                test_cases=self._verify_budget,
-                seed=self._verify_seed
-                if self._verify_seed is not None
-                else self._seed + 1,
-                attacker=attacker,
-            )
-        else:
-            verification = None
-        timings.verification_seconds = time.perf_counter() - verification_start
-
-        timings.total_seconds = time.perf_counter() - total_start
+        timings = PhaseTimings.from_spans(tracer.collector)
         return PipelineResult(
             core_name=self.core_name(),
             attacker_name=self.attacker_name(),
@@ -1005,7 +1134,7 @@ class SynthesisPipeline:
 
         return emit
 
-    def _run_adaptive(self) -> PipelineResult:
+    def _run_adaptive(self, tracer: Tracer) -> PipelineResult:
         """The adaptive run: rounds executed by
         :class:`~repro.adaptive.AdaptiveLoop`, repackaged as a
         :class:`PipelineResult` (the loop's accumulated dataset and
@@ -1013,82 +1142,96 @@ class SynthesisPipeline:
         per-round records travel in ``result.adaptive``).
 
         Timing semantics differ from the one-shot run: evaluation and
-        synthesis interleave per round, so ``evaluation_seconds`` is
-        the whole loop and ``synthesis_seconds`` only the final
-        round's solve (already included in the former).
+        synthesis interleave per round, so the ``evaluate`` span is
+        the whole loop and the ``synthesize`` phase record only the
+        final round's solve (already included in the former; emitted
+        via :meth:`Tracer.record` since the duration is accounted by
+        the loop, not re-measured here).  The loop itself emits one
+        ``round`` span per live round through a child tracer.
         """
-        timings = PhaseTimings()
         failures: List[FailureRecord] = []
-        total_start = time.perf_counter()
-
-        template = self.resolve_template()
-        restriction_name, allowed_atom_ids = self.resolve_restriction(template)
-        rounds, batch = self._adaptive_plan()
-        manifest_path = self.adaptive_manifest_path()
-        quarantine_path = (
-            manifest_path[: -len(".rounds.jsonl")] + ".quarantine.jsonl"
-            if manifest_path is not None
-            and manifest_path.endswith(".rounds.jsonl")
-            and (self._retry is not None or self._shard_timeout is not None)
-            else None
-        )
-        loop = AdaptiveLoop(
-            core=self._core,
-            template=self._template,
-            attacker=self._attacker,
-            solver=self._solver,
-            generator=self._generator,
-            rounds=rounds,
-            batch=batch,
-            stop=self._adaptive["stop"],
+        with tracer.span(
+            "pipeline",
+            core=self.core_name(),
+            attacker=self.attacker_name(),
+            solver=self.solver_name(),
+            template=self.template_name(),
+            budget=self._count,
             seed=self._seed,
-            allowed_atom_ids=allowed_atom_ids,
-            restriction=restriction_name,
-            use_fastpath=self._use_fastpath,
-            executor=self._executor,
-            processes=self._processes,
-            shard_size=self._shard_size,
-            manifest_path=manifest_path,
-            progress=self._adaptive_progress(),
-            retry=self._retry,
-            shard_timeout=self._shard_timeout,
-            failure_log_path=quarantine_path,
-            on_failure=failures.append,
-        )
-        timings.setup_seconds = time.perf_counter() - total_start
+            adaptive=True,
+        ):
+            with tracer.span("phase", phase="setup"):
+                template = self.resolve_template()
+                restriction_name, allowed_atom_ids = self.resolve_restriction(
+                    template
+                )
+                rounds, batch = self._adaptive_plan()
+                manifest_path = self.adaptive_manifest_path()
+                quarantine_path = (
+                    manifest_path[: -len(".rounds.jsonl")] + ".quarantine.jsonl"
+                    if manifest_path is not None
+                    and manifest_path.endswith(".rounds.jsonl")
+                    and (self._retry is not None or self._shard_timeout is not None)
+                    else None
+                )
+                loop = AdaptiveLoop(
+                    core=self._core,
+                    template=self._template,
+                    attacker=self._attacker,
+                    solver=self._solver,
+                    generator=self._generator,
+                    rounds=rounds,
+                    batch=batch,
+                    stop=self._adaptive["stop"],
+                    seed=self._seed,
+                    allowed_atom_ids=allowed_atom_ids,
+                    restriction=restriction_name,
+                    use_fastpath=self._use_fastpath,
+                    executor=self._executor,
+                    processes=self._processes,
+                    shard_size=self._shard_size,
+                    manifest_path=manifest_path,
+                    progress=self._adaptive_progress(),
+                    retry=self._retry,
+                    shard_timeout=self._shard_timeout,
+                    failure_log_path=quarantine_path,
+                    on_failure=failures.append,
+                    tracer=tracer.child("adaptive"),
+                )
 
-        evaluation_start = time.perf_counter()
-        adaptive = loop.run()
-        timings.evaluation_seconds = time.perf_counter() - evaluation_start
-        timings.synthesis_seconds = adaptive.synthesis.wall_seconds
-        if self._executor is not None:
-            timings.executor_name = (
-                self._executor
-                if isinstance(self._executor, str)
-                else self._executor.name
+            evaluate_span = tracer.span("phase", phase="evaluate")
+            with evaluate_span:
+                adaptive = loop.run()
+                if self._executor is not None:
+                    evaluate_span.add(
+                        executor=self._executor
+                        if isinstance(self._executor, str)
+                        else self._executor.name
+                    )
+            tracer.record(
+                "phase", adaptive.synthesis.wall_seconds, phase="synthesize"
             )
 
-        verification_start = time.perf_counter()
-        verification: Optional[SatisfactionReport]
-        if self._verify_budget is None:
-            verification = check_dataset_satisfaction(
-                adaptive.synthesis.contract, adaptive.dataset
-            )
-        elif self._verify_budget > 0:
-            verification = check_contract_satisfaction(
-                adaptive.synthesis.contract,
-                self.resolve_core(),
-                test_cases=self._verify_budget,
-                seed=self._verify_seed
-                if self._verify_seed is not None
-                else self._seed + 1,
-                attacker=self.resolve_attacker(),
-            )
-        else:
-            verification = None
-        timings.verification_seconds = time.perf_counter() - verification_start
+            with tracer.span("phase", phase="verify"):
+                verification: Optional[SatisfactionReport]
+                if self._verify_budget is None:
+                    verification = check_dataset_satisfaction(
+                        adaptive.synthesis.contract, adaptive.dataset
+                    )
+                elif self._verify_budget > 0:
+                    verification = check_contract_satisfaction(
+                        adaptive.synthesis.contract,
+                        self.resolve_core(),
+                        test_cases=self._verify_budget,
+                        seed=self._verify_seed
+                        if self._verify_seed is not None
+                        else self._seed + 1,
+                        attacker=self.resolve_attacker(),
+                    )
+                else:
+                    verification = None
 
-        timings.total_seconds = time.perf_counter() - total_start
+        timings = PhaseTimings.from_spans(tracer.collector)
         return PipelineResult(
             core_name=self.core_name(),
             attacker_name=self.attacker_name(),

@@ -52,6 +52,9 @@ from repro.resilience.retry import RetryPolicy, is_retryable
 _TICK_SECONDS = 0.05
 
 #: Observer for failure events (retries, quarantines, downgrades).
+#: :func:`repro.evaluation.parallel.evaluate_parallel` bridges these
+#: records into ``failure`` events on the run's trace file, so every
+#: retry/quarantine/downgrade decision is visible to ``watch``.
 FailureCallback = Callable[[FailureRecord], None]
 
 

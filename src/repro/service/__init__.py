@@ -36,7 +36,7 @@ from repro.service.service import (
     ServiceTicket,
 )
 from repro.service.store import ContractStore
-from repro.service.trace import Tracer
+from repro.trace import Tracer
 from repro.service.worker import JobWorker
 from repro.service.workqueue import WorkQueueExecutor
 

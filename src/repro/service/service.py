@@ -39,7 +39,7 @@ from repro.campaign.result import CellOutcome
 from repro.evaluation.backends.base import EvaluationExecutor
 from repro.reporting.tables import render_comparison_table
 from repro.service.store import ContractStore
-from repro.service.trace import Tracer
+from repro.trace import Tracer
 
 #: Request axes accept one value or a list of values.
 Scalar = Union[str, int, None]
@@ -274,6 +274,9 @@ class ContractService:
             # would duplicate it per request name.
             manifest=False,
             keep_results=False,
+            # Cell spans land in the service trace file, interleaved
+            # with the request/job events.
+            trace=self.tracer.child("campaign"),
         )
         result = runner.run()
         executed = {}

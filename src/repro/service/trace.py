@@ -1,81 +1,22 @@
-"""JSONL trace spans for the service layer.
+"""Deprecated shim: the service tracer is now :mod:`repro.trace`.
 
-Every job transition, worker step, and service request appends one
-structured JSON line to a shared trace file — the observability seed
-for the ROADMAP's ``campaign watch`` direction.  The idiom follows the
-OpenEvent-AI workflow exemplar (``@trace_step``-style hooks emitting
-per-step records), adapted to multi-process appenders: lines go out
-through :func:`repro.checkpoint.append_jsonl_line`, a single atomic
-``O_APPEND`` write, so brokers and workers can share one file.
-
-Events carry a monotonic-free wall-clock timestamp, the emitting
-process id, an event ``kind`` (``"enqueue"``, ``"claim"``, ``"done"``,
-``"request"``...), and arbitrary JSON fields.  Spans add a duration::
-
-    {"ts": 1754650000.1, "pid": 4242, "kind": "claim", "job": "a1b2..."}
-    {"ts": 1754650001.7, "pid": 4242, "kind": "execute",
-     "job": "a1b2...", "seconds": 1.55, "ok": true}
-
-A :class:`Tracer` constructed with ``path=None`` is a no-op, so call
-sites never need to guard on tracing being configured.
+The tracing layer that started here grew repo-wide (pipeline phases,
+executor shards, campaign cells, adaptive rounds all emit the same span
+schema), so the implementation moved to :mod:`repro.trace`.  This
+module re-exports :class:`repro.trace.Tracer` so existing imports keep
+working; new code should import from :mod:`repro.trace` directly.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from contextlib import contextmanager
-from typing import Iterator, Optional
+import warnings
 
-from repro.checkpoint import append_jsonl_line
+from repro.trace import Tracer
 
+__all__ = ["Tracer"]
 
-class Tracer:
-    """Append structured trace events to a shared JSONL file."""
-
-    def __init__(self, path: Optional[str], source: str = ""):
-        self.path = path
-        #: Emitting component ("broker", "worker-3", "service"...),
-        #: stamped on every event so one file interleaves cleanly.
-        self.source = source
-        if path:
-            parent = os.path.dirname(path)
-            if parent:
-                os.makedirs(parent, exist_ok=True)
-
-    @property
-    def enabled(self) -> bool:
-        return self.path is not None
-
-    def event(self, kind: str, **fields) -> None:
-        """Emit one instantaneous event."""
-        if not self.path:
-            return
-        record = {"ts": round(time.time(), 6), "pid": os.getpid(), "kind": kind}
-        if self.source:
-            record["source"] = self.source
-        record.update(fields)
-        append_jsonl_line(self.path, record)
-
-    @contextmanager
-    def span(self, kind: str, **fields) -> Iterator[None]:
-        """Emit one event on exit carrying the elapsed ``seconds`` and
-        whether the body raised (``ok``)."""
-        started = time.perf_counter()
-        try:
-            yield
-        except BaseException:
-            self.event(
-                kind,
-                seconds=round(time.perf_counter() - started, 6),
-                ok=False,
-                **fields,
-            )
-            raise
-        self.event(
-            kind, seconds=round(time.perf_counter() - started, 6), ok=True, **fields
-        )
-
-    def child(self, source: str) -> "Tracer":
-        """A tracer on the same file with a different source label."""
-        return Tracer(self.path, source=source)
+warnings.warn(
+    "repro.service.trace is deprecated; import Tracer from repro.trace",
+    DeprecationWarning,
+    stacklevel=2,
+)

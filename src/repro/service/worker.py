@@ -31,7 +31,7 @@ from repro.evaluation.backends.executors import _evaluate_shard
 from repro.resilience.errors import ShardExecutionError
 from repro.resilience.injection import set_attempts
 from repro.service.queue import JobQueue, JobRecord, task_from_payload
-from repro.service.trace import Tracer
+from repro.trace import Tracer
 
 
 class JobWorker:
@@ -80,9 +80,22 @@ class JobWorker:
         self.queue.ensure()
         self.tracer.event("worker-start", worker=self.worker_id)
         last_progress = time.time()
+        #: Trace heartbeats are throttled well below the queue-level
+        #: heartbeat rate: the queue one feeds lease accounting (every
+        #: iteration), the trace one feeds the ``watch`` liveness view
+        #: and would otherwise dominate the file at tight poll loops.
+        last_trace_beat = 0.0
         try:
             while not self.stopped:
                 self.queue.heartbeat(self.worker_id)
+                if self.tracer.enabled and time.time() - last_trace_beat >= 2.0:
+                    last_trace_beat = time.time()
+                    self.tracer.event(
+                        "heartbeat",
+                        worker=self.worker_id,
+                        completed=self.completed,
+                        failed=self.failed,
+                    )
                 if self.queue.load().shutdown:
                     self.tracer.event("worker-shutdown", worker=self.worker_id)
                     break

@@ -49,7 +49,7 @@ from repro.service.queue import (
     job_id_for,
     resolve_queue_root,
 )
-from repro.service.trace import Tracer
+from repro.trace import Tracer
 from repro.service.worker import JobWorker
 
 

@@ -20,6 +20,7 @@ from repro.synthesis.solvers import (
     SolverResult,
     eliminate_redundant_atoms,
 )
+from repro.trace.tracer import profile_step
 
 
 @dataclass
@@ -64,6 +65,11 @@ class ContractSynthesizer:
         self.template = template
         self.solver = solver if solver is not None else ScipyMilpSolver()
 
+    # Profiled (end-only span records, via the process-wide tracer the
+    # pipeline installs): the ILP solve is the phase Table III shows
+    # dominating at scale, so its per-call durations are worth having
+    # in every trace file without begin-record overhead.
+    @profile_step("ilp-solve")
     def synthesize(
         self,
         dataset: EvaluationDataset,

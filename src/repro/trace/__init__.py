@@ -1,0 +1,46 @@
+"""Unified observability: structured JSONL trace spans for every layer.
+
+``repro.trace`` is the one tracing surface of the toolchain.  The
+:class:`Tracer` (promoted from the old ``repro.service.trace``, which
+remains as a deprecated re-export shim) appends events and
+``start_ts``-carrying spans to a single shared JSONL file; pipeline
+phases, executor shards, campaign cells, adaptive rounds, and service
+job/request transitions all emit into it.  :mod:`repro.trace.metrics`
+folds a trace file into summary tables, and :mod:`repro.trace.watch`
+tails it as a live progress view (``repro-synthesize watch``).
+"""
+
+from repro.trace.metrics import (
+    SpanGroupSummary,
+    TraceMetrics,
+    fold,
+    fold_file,
+    read_trace,
+    span_group,
+)
+from repro.trace.tracer import (
+    Tracer,
+    current_tracer,
+    install_tracer,
+    profile_step,
+    trace_step,
+)
+from repro.trace.watch import TraceTail, TraceWatch, render_once, watch
+
+__all__ = [
+    "SpanGroupSummary",
+    "TraceMetrics",
+    "TraceTail",
+    "TraceWatch",
+    "Tracer",
+    "current_tracer",
+    "fold",
+    "fold_file",
+    "install_tracer",
+    "profile_step",
+    "read_trace",
+    "render_once",
+    "span_group",
+    "trace_step",
+    "watch",
+]

@@ -1,0 +1,215 @@
+"""Fold a trace file into per-phase / per-cell / per-round summaries.
+
+:func:`read_trace` is the tolerant reader shared by metrics and
+``watch``: it skips blank and unparseable lines instead of raising,
+because a live multi-writer trace file legitimately ends in a torn
+line while a writer is mid-append (readers recover; the next append
+repairs the boundary — see :func:`repro.checkpoint.append_jsonl_line`).
+
+:func:`fold` aggregates completed span records (the ones carrying
+``seconds``) into :class:`TraceMetrics`: count/total/mean/max per span
+group, per-cell and per-round detail tables, and a slowest-spans
+table — the offline complement to the live ``watch`` view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.reporting.tables import render_comparison_table
+
+
+def read_trace(path: str) -> List[dict]:
+    """Every parseable record of a trace file, in file order."""
+    try:
+        with open(path) as stream:
+            content = stream.read()
+    except FileNotFoundError:
+        return []
+    records = []
+    for line in content.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn or in-flight line: skip, never raise
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def span_group(record: dict) -> str:
+    """The summary group of one span record: pipeline phases split by
+    phase name, everything else by its ``kind``."""
+    kind = record.get("kind", "?")
+    if kind == "phase" and record.get("phase"):
+        return "phase:%s" % record["phase"]
+    return str(kind)
+
+
+@dataclass
+class SpanGroupSummary:
+    """Aggregate of one span group (``phase:evaluate``, ``shard``...)."""
+
+    group: str
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    failed: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def ingest(self, record: dict) -> None:
+        seconds = float(record.get("seconds", 0.0))
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+        if record.get("ok") is False:
+            self.failed += 1
+
+
+@dataclass
+class TraceMetrics:
+    """Everything :func:`fold` derived from one record stream."""
+
+    records: List[dict] = field(default_factory=list)
+    #: Completed span records (the ones carrying ``seconds``).
+    spans: List[dict] = field(default_factory=list)
+    #: Instantaneous events (no ``start_ts``).
+    events: List[dict] = field(default_factory=list)
+    summaries: Dict[str, SpanGroupSummary] = field(default_factory=dict)
+
+    def summary(self, group: str) -> Optional[SpanGroupSummary]:
+        return self.summaries.get(group)
+
+    def slowest(self, limit: int = 10) -> List[dict]:
+        """The ``limit`` slowest completed spans, slowest first."""
+        ranked = sorted(
+            self.spans, key=lambda record: record.get("seconds", 0.0), reverse=True
+        )
+        return ranked[:limit]
+
+    def cells(self) -> List[dict]:
+        return [record for record in self.spans if record.get("kind") == "cell"]
+
+    def rounds(self) -> List[dict]:
+        return [record for record in self.spans if record.get("kind") == "round"]
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, slowest: int = 10) -> str:
+        sections = [self._render_summary()]
+        if self.cells():
+            sections.append(self._render_cells())
+        if self.rounds():
+            sections.append(self._render_rounds())
+        if self.spans:
+            sections.append(self._render_slowest(slowest))
+        return "\n\n".join(sections)
+
+    def _render_summary(self) -> str:
+        rows = []
+        for group in sorted(self.summaries):
+            summary = self.summaries[group]
+            rows.append(
+                [
+                    group,
+                    str(summary.count),
+                    "%.3f" % summary.total_seconds,
+                    "%.3f" % summary.mean_seconds,
+                    "%.3f" % summary.max_seconds,
+                    str(summary.failed),
+                ]
+            )
+        if not rows:
+            rows = [["-", "0", "-", "-", "-", "0"]]
+        return render_comparison_table(
+            ["span", "count", "total s", "mean s", "max s", "failed"],
+            rows,
+            title="Trace summary: %d records (%d spans, %d events)"
+            % (len(self.records), len(self.spans), len(self.events)),
+        )
+
+    def _render_cells(self) -> str:
+        rows = [
+            [
+                str(record.get("cell", "?")),
+                "%.3f" % float(record.get("seconds", 0.0)),
+                "ok" if record.get("ok", True) else "FAILED",
+                str(record.get("atoms", "-")),
+            ]
+            for record in self.cells()
+        ]
+        return render_comparison_table(
+            ["cell", "seconds", "status", "atoms"], rows, title="Campaign cells"
+        )
+
+    def _render_rounds(self) -> str:
+        rows = [
+            [
+                str(record.get("round", "?")),
+                str(record.get("cumulative_cases", "-")),
+                "%.1f%%" % (100.0 * float(record.get("atom_coverage", 0.0))),
+                str(record.get("contract_size", "-")),
+                "%.3f" % float(record.get("seconds", 0.0)),
+                str(record.get("stop_reason") or "-"),
+            ]
+            for record in self.rounds()
+        ]
+        return render_comparison_table(
+            ["round", "cases", "coverage", "atoms", "seconds", "stop"],
+            rows,
+            title="Adaptive rounds",
+        )
+
+    def _render_slowest(self, limit: int) -> str:
+        rows = []
+        for record in self.slowest(limit):
+            detail = []
+            for key in ("phase", "cell", "round", "start_id", "job", "request"):
+                if key in record:
+                    detail.append("%s=%s" % (key, record[key]))
+            rows.append(
+                [
+                    span_group(record),
+                    str(record.get("source", "-")),
+                    " ".join(detail) or "-",
+                    "%.3f" % float(record.get("seconds", 0.0)),
+                ]
+            )
+        return render_comparison_table(
+            ["span", "source", "detail", "seconds"],
+            rows,
+            title="Slowest spans",
+        )
+
+
+def fold(records: Iterable[dict]) -> TraceMetrics:
+    """Aggregate a record stream into :class:`TraceMetrics`."""
+    metrics = TraceMetrics()
+    for record in records:
+        metrics.records.append(record)
+        if "start_ts" not in record:
+            # Events may carry a ``seconds`` payload field (e.g.
+            # ``campaign-end``); only ``start_ts`` marks a span record.
+            metrics.events.append(record)
+        elif "seconds" in record:
+            metrics.spans.append(record)
+            group = span_group(record)
+            summary = metrics.summaries.get(group)
+            if summary is None:
+                summary = metrics.summaries[group] = SpanGroupSummary(group)
+            summary.ingest(record)
+        # begin records (start_ts, no seconds) count as neither: their
+        # span lands via the matching end record.
+    return metrics
+
+
+def fold_file(path: str) -> TraceMetrics:
+    """:func:`fold` over :func:`read_trace`."""
+    return fold(read_trace(path))

@@ -1,0 +1,86 @@
+"""@trace_step / @profile_step against the process-wide tracer."""
+
+import json
+
+import pytest
+
+from repro.trace import Tracer, current_tracer, install_tracer, profile_step, trace_step
+
+pytestmark = pytest.mark.trace
+
+
+def _lines(path):
+    with open(path) as stream:
+        return [json.loads(line) for line in stream.read().splitlines() if line]
+
+
+@pytest.fixture
+def installed(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    previous = install_tracer(Tracer(path, source="test"))
+    try:
+        yield path
+    finally:
+        install_tracer(previous)
+
+
+class TestTraceStep:
+    def test_emits_begin_and_end_records_with_static_fields(self, installed):
+        @trace_step("compile", stage="frontend")
+        def step(value):
+            return value * 2
+
+        assert step(21) == 42
+        begin, end = _lines(installed)
+        assert begin["kind"] == "compile"
+        assert begin["stage"] == "frontend"
+        assert "seconds" not in begin
+        assert end["stage"] == "frontend"
+        assert end["ok"] is True
+
+    def test_without_an_installed_tracer_the_call_is_plain(self, tmp_path):
+        calls = []
+
+        @trace_step("compile")
+        def step():
+            calls.append(1)
+
+        step()
+        assert calls == [1]  # no tracer: nothing written anywhere
+
+
+class TestProfileStep:
+    def test_emits_one_end_only_record_per_call(self, installed):
+        @profile_step("ilp-solve", solver="greedy")
+        def solve():
+            return "contract"
+
+        assert solve() == "contract"
+        assert solve() == "contract"
+        records = _lines(installed)
+        assert len(records) == 2  # no begin lines: half the file volume
+        for record in records:
+            assert record["kind"] == "ilp-solve"
+            assert record["solver"] == "greedy"
+            assert "start_ts" in record and "seconds" in record
+
+    def test_records_ok_false_and_reraises(self, installed):
+        @profile_step("ilp-solve")
+        def solve():
+            raise RuntimeError("infeasible")
+
+        with pytest.raises(RuntimeError):
+            solve()
+        (record,) = _lines(installed)
+        assert record["ok"] is False
+
+
+class TestInstall:
+    def test_install_returns_the_previous_tracer_for_restoration(self):
+        baseline = current_tracer()
+        first = Tracer(None, source="a")
+        assert install_tracer(first) is baseline
+        assert current_tracer() is first
+        assert install_tracer(None) is first
+        assert current_tracer() is not first
+        install_tracer(baseline)

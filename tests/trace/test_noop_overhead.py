@@ -1,0 +1,44 @@
+"""The disabled tracer's hot path allocates nothing.
+
+Call sites never guard on tracing being configured (the whole point of
+the no-op tracer), so the disabled path runs inside every shard and
+every worker poll iteration — it must stay allocation-free.
+"""
+
+import gc
+import tracemalloc
+
+import pytest
+
+import repro.trace.tracer as tracer_module
+from repro.trace import Tracer
+
+pytestmark = pytest.mark.trace
+
+
+class TestNoopHotPath:
+    def test_disabled_span_is_one_shared_singleton(self):
+        tracer = Tracer(None)
+        assert tracer.span("a", x=1) is tracer.span("b")
+        assert not tracer.enabled and not tracer.active
+
+    def test_disabled_event_and_span_allocate_nothing(self):
+        tracer = Tracer(None)
+        for _ in range(200):  # warm CPython's dict/frame freelists
+            tracer.event("x", a=1)
+            with tracer.span("y", b=2):
+                pass
+        gc.collect()
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(1000):
+            tracer.event("x", a=1)
+            with tracer.span("y", b=2):
+                pass
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        only_tracer = tracemalloc.Filter(True, tracer_module.__file__)
+        growth = after.filter_traces([only_tracer]).compare_to(
+            before.filter_traces([only_tracer]), "lineno"
+        )
+        assert sum(entry.size_diff for entry in growth) == 0

@@ -1,0 +1,19 @@
+"""repro.service.trace is a deprecated re-export of repro.trace."""
+
+import importlib
+import sys
+
+import pytest
+
+import repro.trace
+
+pytestmark = pytest.mark.trace
+
+
+class TestDeprecatedShim:
+    def test_import_warns_and_reexports_the_same_tracer_class(self):
+        sys.modules.pop("repro.service.trace", None)
+        with pytest.warns(DeprecationWarning, match="repro.trace"):
+            shim = importlib.import_module("repro.service.trace")
+        assert shim.Tracer is repro.trace.Tracer
+        assert shim.__all__ == ["Tracer"]
