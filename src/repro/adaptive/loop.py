@@ -38,6 +38,7 @@ from repro.attacker.base import Attacker
 from repro.contracts.template import ContractTemplate, template_digest
 from repro.evaluation.evaluator import TestCaseEvaluator
 from repro.evaluation.results import EvaluationDataset, TestCaseResult
+from repro.metrics.registry import current_metrics
 from repro.synthesis import SOLVER_REGISTRY
 from repro.synthesis.solvers import IlpSolver
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
@@ -425,6 +426,13 @@ class AdaptiveLoop:
                     warm_started=record.warm_started,
                     stop_reason=record.stop_reason,
                 )
+                metrics = current_metrics()
+                metrics.counter("adaptive.rounds").inc()
+                metrics.counter("adaptive.cases").inc(record.cases)
+                metrics.gauge("adaptive.round.coverage").set(
+                    round(record.atom_coverage, 6)
+                )
+                metrics.maybe_flush()
             records.append(record)
             previous_contract = contract_ids
             if manifest is not None:

@@ -69,6 +69,7 @@ from repro.batchsim.decode import (
     decode_batch,
 )
 from repro.isa.executor import DEFAULT_MAX_STEPS, ExecutionLimitExceeded
+from repro.metrics.registry import current_metrics
 from repro.isa.instructions import Opcode
 from repro.isa.memory import SparseMemory
 from repro.isa.program import Program
@@ -211,10 +212,18 @@ def execute_batch(
     records_flat = records.reshape(n_columns, -1)
     stage = np.empty((n_columns, max(lanes, 1)), dtype=np.int64)
 
+    # Engine occupancy telemetry: instruments are resolved once per
+    # batch (shared no-op singletons when metrics are disabled), so the
+    # per-step cost is one method call on the hot loop.
+    run_metrics = current_metrics()
+    lanes_active_hist = run_metrics.histogram("batchsim.lanes.active")
+    memory_fallbacks = run_metrics.counter("batchsim.fallback.memory_ops")
+
     while True:
         lane_index = np.nonzero(active)[0]
         if lane_index.size == 0:
             break
+        lanes_active_hist.observe(lane_index.size)
         pcs = pc[lane_index]
         offset = pcs - base[lane_index]
         in_bounds = (offset >= 0) & ((offset & 3) == 0) & (
@@ -280,7 +289,9 @@ def execute_batch(
             mem_rdata = np.zeros(count, dtype=np.int64)
             mem_waddr = np.zeros(count, dtype=np.int64)
             mem_wdata = np.zeros(count, dtype=np.int64)
-            for position in np.nonzero(is_memory)[0]:
+            memory_positions = np.nonzero(is_memory)[0]
+            memory_fallbacks.inc(memory_positions.size)
+            for position in memory_positions:
                 lane = int(lane_index[position])
                 memory = memories.get(lane)
                 if memory is None:

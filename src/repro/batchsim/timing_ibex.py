@@ -166,6 +166,11 @@ def _dcache_pass(config, execution, valid, occupancy, uarch_states) -> None:
     cycles_per_transaction = config.memory_port.cycles_per_transaction
     memory_mask = valid & (IS_LOAD[execution.op] | IS_STORE[execution.op])
     lanes_with_memory, step_of = np.nonzero(memory_mask)
+    from repro.metrics.registry import current_metrics
+
+    current_metrics().counter("batchsim.fallback.dcache_ops").inc(
+        lanes_with_memory.size
+    )
     per_lane: Dict[int, List[Tuple[int, int]]] = {}
     for lane, step in zip(lanes_with_memory.tolist(), step_of.tolist()):
         per_lane.setdefault(lane, []).append(step)

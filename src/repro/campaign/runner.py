@@ -42,6 +42,8 @@ from repro.campaign.result import CampaignResult, CellOutcome
 from repro.campaign.spec import CampaignCell, CampaignSpec, filter_cells
 from repro.evaluation.backends.base import EvaluationExecutor
 from repro.evaluation.results import EvaluationDataset
+from repro.metrics.registry import Metrics, current_metrics, install_metrics
+from repro.metrics.runs import record_run
 from repro.pipeline import PipelineResult, SynthesisPipeline
 from repro.reporting.tables import render_comparison_table
 from repro.resilience.injection import maybe_inject
@@ -257,7 +259,46 @@ class CampaignRunner:
     # -- execution -----------------------------------------------------
 
     def run(self) -> CampaignResult:
-        """Execute every pending cell and return the aggregate result."""
+        """Execute every pending cell and return the aggregate result.
+
+        Traced runs own the process-wide metrics registry for their
+        duration (cell pipelines accumulate into it instead of
+        installing their own) and append one campaign record to the
+        results root's run-history index.
+        """
+        previous_metrics = None
+        if self.tracer.enabled and not current_metrics().enabled:
+            previous_metrics = install_metrics(Metrics(self.tracer))
+        try:
+            result = self._run()
+        finally:
+            if previous_metrics is not None:
+                current_metrics().flush(final=True)
+                install_metrics(previous_metrics)
+        cases = sum(outcome.test_cases for outcome in result.outcomes)
+        record_run(
+            self.results_dir,
+            kind="campaign",
+            label=self.spec.name,
+            seconds=result.total_seconds,
+            cases=cases,
+            phases={
+                "cell:%s" % outcome.cell.label(): sum(
+                    outcome.timings.values()
+                )
+                for outcome in result.outcomes
+                if not outcome.resumed
+            },
+            extra={
+                "cells": len(result.outcomes),
+                "reused": sum(
+                    1 for outcome in result.outcomes if outcome.dataset_reused
+                ),
+            },
+        )
+        return result
+
+    def _run(self) -> CampaignResult:
         started = time.perf_counter()
         with self._failures_lock:
             self._failures = []
@@ -525,6 +566,7 @@ class CampaignRunner:
             superset = self._superset_cache_path(cache_path, cell.budget)
             if superset is not None:
                 EvaluationDataset.load(superset).prefix(cell.budget).save(cache_path)
+                current_metrics().counter("dataset.prefix.derived").inc()
                 return True
             target = max(cell.budget, (group_max or {}).get(cell.dataset_group(), 0))
             if target > cell.budget:
@@ -534,6 +576,7 @@ class CampaignRunner:
                 EvaluationDataset.load(
                     self._superset_cache_path(cache_path, cell.budget)
                 ).prefix(cell.budget).save(cache_path)
+                current_metrics().counter("dataset.prefix.derived").inc()
                 return False
             pipeline.evaluate()  # populates the cache for run() and siblings
             return False

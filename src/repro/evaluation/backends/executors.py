@@ -42,6 +42,7 @@ from repro.evaluation.backends.base import (
     Shard,
     ShardEvaluator,
 )
+from repro.metrics.registry import current_metrics
 from repro.resilience.errors import FatalInjectedFault, ShardExecutionError
 from repro.resilience.injection import maybe_inject
 from repro.trace.tracer import current_tracer
@@ -68,8 +69,14 @@ def _evaluate_shard(worker: ShardEvaluator, shard: Shard) -> Tuple[Shard, List[R
     tracer = current_tracer()
     if tracer.path is None:
         return _evaluate_shard_inner(worker, shard)
-    with tracer.span("shard", start_id=shard[0], count=shard[1]):
-        return _evaluate_shard_inner(worker, shard)
+    try:
+        with tracer.span("shard", start_id=shard[0], count=shard[1]):
+            return _evaluate_shard_inner(worker, shard)
+    finally:
+        # Pool workers inherit the installed registry by fork; a
+        # periodic snapshot per shard bounds how much of a long sweep's
+        # telemetry a dying worker can take with it.
+        current_metrics().maybe_flush()
 
 
 def _evaluate_shard_inner(

@@ -34,6 +34,17 @@ to append :mod:`repro.trace` spans to one shared JSONL file, and
     repro-synthesize campaign run --budgets 500,2000 --trace trace.jsonl
     repro-synthesize watch --trace trace.jsonl
     repro-synthesize watch --service-root service
+
+After a run, the same trace file feeds the reporting rung — a
+self-contained run report, a Chrome-trace export for Perfetto /
+``chrome://tracing``, and the run-history index (see README "Run
+reports & metrics")::
+
+    repro-synthesize report --trace trace.jsonl
+    repro-synthesize report --trace trace.jsonl --format html --output run.html
+    repro-synthesize trace export --trace trace.jsonl
+    repro-synthesize runs list
+    repro-synthesize runs diff -2 -1
 """
 
 from __future__ import annotations
@@ -61,9 +72,14 @@ _COMMANDS = _EXPERIMENTS + (
     "submit",
     "status",
     "watch",
+    "report",
+    "runs",
+    "trace",
 )
 _CAMPAIGN_ACTIONS = ("run", "status", "report")
 _SERVICE_ACTIONS = ("worker",)
+_TRACE_ACTIONS = ("export",)
+_RUNS_ACTIONS = ("list", "diff")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,7 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment, 'list' to print the plugin registries, 'run' "
         "for an ad-hoc pipeline, 'campaign' for a resumable grid "
         "sweep, serve/submit/status/'service worker' for the "
-        "contract service, or 'watch' to tail a trace file live",
+        "contract service, 'watch' to tail a trace file live, "
+        "'report' for a run report from a trace, 'trace export' for "
+        "a Chrome-trace file, or 'runs' for the run-history index",
     )
     parser.add_argument(
         "action",
@@ -88,7 +106,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="for 'campaign': run (default), status, or report; "
         "for 'list': a registry name to print just that registry; "
         "for 'service': worker; for 'status': a request id to render "
-        "that ticket",
+        "that ticket; for 'trace': export; for 'runs': list "
+        "(default) or diff",
+    )
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        default=[],
+        help="for 'runs diff': the two runs to compare, each an id, "
+        "an unambiguous id prefix, or a 1-based index (-1 = latest)",
     )
     parser.add_argument(
         "--scale",
@@ -309,6 +335,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="queue/spool poll interval (default: 0.05 worker, 0.2 serve)",
     )
     service_group.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="worker: lease-refresh/telemetry heartbeat interval "
+        "(default: 2.0)",
+    )
+    service_group.add_argument(
         "--max-jobs",
         type=int,
         default=None,
@@ -366,7 +400,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "SECONDS) instead of returning immediately",
     )
     trace_group = parser.add_argument_group(
-        "observability (run/campaign/serve/'service worker'/submit/watch)"
+        "observability (run/campaign/serve/'service worker'/submit/"
+        "watch/report/'trace export'/runs)"
     )
     trace_group.add_argument(
         "--trace",
@@ -374,7 +409,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append repro.trace span/event records to this JSONL file "
         "(serve and workers default to <service-root>/trace.jsonl; "
-        "watch tails it)",
+        "watch tails it; report and 'trace export' read it)",
     )
     trace_group.add_argument(
         "--once",
@@ -387,6 +422,29 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1.0,
         metavar="SECONDS",
         help="watch: refresh interval (default: 1.0)",
+    )
+    trace_group.add_argument(
+        "--format",
+        default=None,
+        dest="output_format",
+        metavar="FMT",
+        help="report: markdown (default) or html; trace export: "
+        "chrome (default)",
+    )
+    trace_group.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="report/'trace export': write here instead of stdout "
+        "(export default: <trace>.chrome.json)",
+    )
+    trace_group.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="runs diff: relative change flagged as a regression "
+        "(default: 0.10)",
     )
     return parser
 
@@ -435,6 +493,7 @@ def _run_pipeline(arguments) -> int:
         pipeline.resume(arguments.resume)
     if arguments.trace:
         pipeline.trace(arguments.trace)
+    pipeline.run_history(arguments.results_dir)
     if not arguments.no_cache:
         config = ExperimentConfig(results_dir=arguments.results_dir)
         pipeline.cache_dir(config.cache_dir())
@@ -614,7 +673,7 @@ def _run_service(arguments) -> int:
     import json
 
     from repro.service.queue import JobQueue, QueueUnavailableError, resolve_queue_root
-    from repro.service.worker import JobWorker
+    from repro.service.worker import DEFAULT_HEARTBEAT_INTERVAL, JobWorker
     from repro.trace import Tracer
 
     action = arguments.action or "worker"
@@ -645,6 +704,9 @@ def _run_service(arguments) -> int:
         max_jobs=arguments.max_jobs,
         idle_timeout=arguments.idle_timeout,
         failure_log_path=arguments.failure_log,
+        heartbeat_interval=arguments.heartbeat_interval
+        if arguments.heartbeat_interval is not None
+        else DEFAULT_HEARTBEAT_INTERVAL,
         tracer=Tracer(arguments.trace or os.path.join(root, "trace.jsonl")),
     )
     completed = worker.run()
@@ -786,6 +848,98 @@ def _run_watch(arguments) -> int:
     return watch(path, interval=arguments.interval, once=arguments.once)
 
 
+def _run_report(arguments) -> int:
+    """The ``report`` subcommand: a self-contained run report."""
+    from repro.metrics import render_report
+
+    if not arguments.trace:
+        raise SystemExit("report: pass --trace PATH (the run's trace file)")
+    if not os.path.exists(arguments.trace):
+        raise SystemExit("report: no trace file at %r" % arguments.trace)
+    fmt = arguments.output_format or "markdown"
+    try:
+        document = render_report(arguments.trace, fmt=fmt)
+    except ValueError as error:
+        raise SystemExit("report: %s" % error)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as stream:
+            stream.write(document)
+            if not document.endswith("\n"):
+                stream.write("\n")
+        print("report written to %s" % arguments.output)
+        return 0
+    print(document)
+    return 0
+
+
+def _run_trace(arguments) -> int:
+    """The ``trace`` subcommand: currently just the chrome export."""
+    from repro.trace.export import export_chrome
+
+    action = arguments.action or "export"
+    if action not in _TRACE_ACTIONS:
+        raise SystemExit(
+            "unknown trace action %r (choose from %s)"
+            % (action, ", ".join(_TRACE_ACTIONS))
+        )
+    if not arguments.trace:
+        raise SystemExit(
+            "trace export: pass --trace PATH (the run's trace file)"
+        )
+    if not os.path.exists(arguments.trace):
+        raise SystemExit("trace export: no trace file at %r" % arguments.trace)
+    fmt = arguments.output_format or "chrome"
+    if fmt != "chrome":
+        raise SystemExit(
+            "trace export: unknown format %r (only 'chrome')" % fmt
+        )
+    output = arguments.output or arguments.trace + ".chrome.json"
+    document = export_chrome(arguments.trace, output)
+    print(
+        "exported %d trace event(s) to %s"
+        % (len(document["traceEvents"]), output)
+    )
+    return 0
+
+
+def _run_runs(arguments) -> int:
+    """The ``runs`` subcommand: list the history index, or diff two."""
+    from repro.metrics import diff_runs, load_runs, render_runs, resolve_run
+    from repro.metrics.runs import DEFAULT_THRESHOLD, runs_path
+
+    action = arguments.action or "list"
+    if action not in _RUNS_ACTIONS:
+        raise SystemExit(
+            "unknown runs action %r (choose from %s)"
+            % (action, ", ".join(_RUNS_ACTIONS))
+        )
+    runs = load_runs(arguments.results_dir)
+    if action == "list":
+        print(render_runs(runs))
+        return 0
+    if len(arguments.extra) != 2:
+        raise SystemExit(
+            "runs diff: pass exactly two runs (id, id prefix, or "
+            "1-based index; -1 = latest), e.g. `repro-synthesize runs "
+            "diff -2 -1`"
+        )
+    if not runs:
+        raise SystemExit(
+            "runs diff: no recorded runs in %s"
+            % runs_path(arguments.results_dir)
+        )
+    before = resolve_run(runs, arguments.extra[0])
+    after = resolve_run(runs, arguments.extra[1])
+    threshold = (
+        arguments.threshold
+        if arguments.threshold is not None
+        else DEFAULT_THRESHOLD
+    )
+    diff = diff_runs(before, after, threshold=threshold)
+    print(diff.render())
+    return 1 if diff.regressions else 0
+
+
 def _list_registries(action: Optional[str]) -> int:
     """The ``list`` subcommand, optionally filtered to one registry."""
     if action is not None and action not in REGISTRIES:
@@ -815,6 +969,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_status(arguments)
     if arguments.experiment == "watch":
         return _run_watch(arguments)
+    if arguments.experiment == "report":
+        return _run_report(arguments)
+    if arguments.experiment == "trace":
+        return _run_trace(arguments)
+    if arguments.experiment == "runs":
+        return _run_runs(arguments)
 
     if arguments.executor == "workqueue":
         # The experiment drivers take the executor by registry name;

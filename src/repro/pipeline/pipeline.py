@@ -37,6 +37,7 @@ from repro.evaluation.results import EvaluationDataset
 from repro.resilience.quarantine import FailureRecord
 from repro.resilience.retry import RetryPolicy
 from repro.synthesis import SOLVER_REGISTRY
+from repro.metrics.registry import Metrics, current_metrics, install_metrics
 from repro.trace.tracer import Tracer, install_tracer
 from repro.synthesis.solvers import IlpSolver
 from repro.synthesis.synthesizer import ContractSynthesizer, SynthesisResult
@@ -344,6 +345,8 @@ class SynthesisPipeline:
         #: Trace file the run's spans append to (``None`` → no file;
         #: timings still project from the in-memory span collector).
         self._trace_path: Optional[str] = None
+        #: Results root the run-history record is appended under.
+        self._run_history_dir: Optional[str] = None
 
     # -- builder surface ----------------------------------------------
 
@@ -560,6 +563,16 @@ class SynthesisPipeline:
         file-I/O cost.
         """
         self._trace_path = path
+        return self
+
+    def run_history(self, directory: Optional[str]) -> "SynthesisPipeline":
+        """Append one summary record per completed run to the
+        ``runs.jsonl`` index under ``directory`` (the results root),
+        feeding ``repro runs list`` / ``repro runs diff``.  ``None``
+        (the default) records nothing — campaign cells leave this off
+        so a campaign indexes as one run, not one per cell.
+        """
+        self._run_history_dir = directory
         return self
 
     def verify(
@@ -897,8 +910,13 @@ class SynthesisPipeline:
         workers keep their own timers).
         """
         cache_path = self.cache_path()
-        if cache_path is not None and os.path.exists(cache_path):
-            return EvaluationDataset.load(cache_path), None
+        if cache_path is not None:
+            hit = os.path.exists(cache_path)
+            current_metrics().counter(
+                "dataset.cache.hits" if hit else "dataset.cache.misses"
+            ).inc()
+            if hit:
+                return EvaluationDataset.load(cache_path), None
         executor = self._effective_executor()
         if executor is not None:
             # The sharded path owns the cache write (quarantined
@@ -948,17 +966,59 @@ class SynthesisPipeline:
         """
         tracer = Tracer(self._trace_path, source="pipeline", collector=[])
         previous = install_tracer(tracer) if tracer.enabled else None
+        # The metrics registry rides the same installation: file-backed
+        # runs get one, unless an outer owner (a campaign, a service
+        # worker) already installed a live registry this run should
+        # accumulate into.
+        previous_metrics = None
+        if tracer.enabled and not current_metrics().enabled:
+            previous_metrics = install_metrics(Metrics(tracer))
         try:
             if self._adaptive is not None:
                 result = self._run_adaptive(tracer)
             else:
                 result = self._run_oneshot(tracer)
         finally:
+            if previous_metrics is not None:
+                current_metrics().flush(final=True)
+                install_metrics(previous_metrics)
             if previous is not None:
                 install_tracer(previous)
         if self._store is not None:
             self._store.put_result(self._store_cell(), result)
+        if self._run_history_dir is not None:
+            self._record_run_history(result)
         return result
+
+    def _record_run_history(self, result: PipelineResult) -> None:
+        from repro.metrics.runs import record_run
+
+        timings = result.timings
+        record_run(
+            self._run_history_dir,
+            kind="pipeline",
+            label="core=%s attacker=%s template=%s budget=%d seed=%d"
+            % (
+                result.core_name,
+                result.attacker_name,
+                result.template_name,
+                self._count,
+                self._seed,
+            ),
+            seconds=timings.total_seconds,
+            cases=len(result.dataset),
+            phases={
+                "setup": timings.setup_seconds,
+                "evaluate": timings.evaluation_seconds,
+                "synthesize": timings.synthesis_seconds,
+                "verify": timings.verification_seconds,
+            },
+            extra={
+                "atoms": result.atom_count,
+                "false_positives": result.false_positives,
+                "cache_hit": timings.cache_hit,
+            },
+        )
 
     def _store_cell(self):
         """This configuration as a campaign cell — the contract store's
@@ -1049,6 +1109,10 @@ class SynthesisPipeline:
 
             evaluate_span = tracer.span("phase", phase="evaluate")
             with evaluate_span:
+                if cache_path is not None:
+                    current_metrics().counter(
+                        "dataset.cache.hits" if cached else "dataset.cache.misses"
+                    ).inc()
                 if cached:
                     dataset = EvaluationDataset.load(cache_path)
                     evaluate_span.add(cache_hit=True)

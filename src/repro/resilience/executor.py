@@ -43,6 +43,7 @@ from repro.evaluation.backends.base import (
     Row,
     Shard,
 )
+from repro.metrics.registry import current_metrics
 from repro.resilience import injection
 from repro.resilience.errors import ShardExecutionError, ShardTimeoutError
 from repro.resilience.quarantine import FailureLog, FailureRecord
@@ -56,6 +57,14 @@ _TICK_SECONDS = 0.05
 #: records into ``failure`` events on the run's trace file, so every
 #: retry/quarantine/downgrade decision is visible to ``watch``.
 FailureCallback = Callable[[FailureRecord], None]
+
+#: Failure-record kind -> run-metric counter name.
+_FAILURE_COUNTERS = {
+    "retry": "resilience.retries",
+    "shard": "resilience.quarantines",
+    "pool": "resilience.pool_failures",
+    "downgrade": "resilience.downgrades",
+}
 
 
 class ResilientExecutor(EvaluationExecutor):
@@ -83,6 +92,9 @@ class ResilientExecutor(EvaluationExecutor):
     # -- event plumbing ------------------------------------------------
 
     def _emit(self, record: FailureRecord, durable: bool) -> None:
+        counter = _FAILURE_COUNTERS.get(record.kind)
+        if counter is not None:
+            current_metrics().counter(counter).inc()
         if durable and self.failure_log is not None:
             self.failure_log.append_record(record)
         if self.on_event is not None:
@@ -258,6 +270,7 @@ class ResilientExecutor(EvaluationExecutor):
                 ]
                 if expired:
                     abandoned = True
+                    current_metrics().counter("resilience.timeouts").inc()
                     raise ShardTimeoutError(waiting[expired[0]], self.shard_timeout)
         except BaseException:
             abandoned = True

@@ -232,6 +232,12 @@ class ContractService:
             from_store=len(stored),
             scheduled=len(pending),
         )
+        from repro.metrics.registry import current_metrics
+
+        metrics = current_metrics()
+        metrics.counter("service.requests").inc()
+        metrics.counter("service.cells.from_store").inc(len(stored))
+        metrics.counter("service.cells.scheduled").inc(len(pending))
         enqueued_before = self._jobs_enqueued()
         executed: Dict[str, CellOutcome] = {}
         if pending:
@@ -412,7 +418,21 @@ class ContractServer:
         return handled
 
     def serve(self) -> int:
-        """Poll until idle timeout / max requests; returns requests served."""
+        """Poll until idle timeout / max requests; returns requests served.
+
+        A traced serve loop owns the process-wide metrics registry for
+        its lifetime (request handling and in-process campaign cells
+        accumulate into it) and appends one ``service`` record to the
+        store's run-history index on exit.
+        """
+        from repro.metrics.registry import Metrics, current_metrics, install_metrics
+        from repro.metrics.runs import record_run
+
+        tracer = self.service.tracer
+        previous_metrics = None
+        if tracer.enabled and not current_metrics().enabled:
+            previous_metrics = install_metrics(Metrics(tracer))
+        started = time.time()
         self.service.tracer.event("serve-start", root=self.root)
         last_progress = time.time()
         try:
@@ -433,5 +453,15 @@ class ContractServer:
                 if not handled:
                     time.sleep(self.poll_seconds)
         finally:
+            if previous_metrics is not None:
+                current_metrics().flush(final=True)
+                install_metrics(previous_metrics)
             self.service.tracer.event("serve-exit", root=self.root, served=self.served)
+            record_run(
+                self.service.store.root,
+                kind="service",
+                label=self.root,
+                seconds=time.time() - started,
+                extra={"served": self.served},
+            )
         return self.served

@@ -28,10 +28,15 @@ from typing import Dict, Optional
 
 from repro.evaluation.backends.base import ShardEvaluator
 from repro.evaluation.backends.executors import _evaluate_shard
+from repro.metrics.registry import Metrics
 from repro.resilience.errors import ShardExecutionError
 from repro.resilience.injection import set_attempts
 from repro.service.queue import JobQueue, JobRecord, task_from_payload
 from repro.trace import Tracer
+
+#: Default trace-heartbeat throttle (seconds); ``service worker
+#: --heartbeat-interval`` overrides it.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
 
 
 class JobWorker:
@@ -47,11 +52,15 @@ class JobWorker:
         idle_timeout: Optional[float] = None,
         failure_log_path: Optional[str] = None,
         tracer: Optional[Tracer] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     ):
         self.queue = queue
         self.worker_id = worker_id or "worker-%d" % os.getpid()
         self.poll_seconds = poll_seconds
         self.lease_seconds = lease_seconds
+        #: Trace-heartbeat throttle: how often the ``heartbeat`` event
+        #: and the utilization/queue-depth gauges are sampled.
+        self.heartbeat_interval = heartbeat_interval
         #: Exit after this many completed/failed jobs (None = forever).
         self.max_jobs = max_jobs
         #: Exit after this long without claiming anything (None = never);
@@ -63,8 +72,15 @@ class JobWorker:
         self._evaluators: Dict[str, ShardEvaluator] = {}
         self.completed = 0
         self.failed = 0
+        #: Wall seconds spent inside job execution (utilization input).
+        self.busy_seconds = 0.0
         #: Cooperative stop flag for embedded (in-thread) workers.
         self.stopped = False
+        #: A worker-private registry (not the process-global one):
+        #: embedded workers share a process, and per-worker gauges must
+        #: not clobber each other — ``(pid, source)`` disambiguates the
+        #: snapshots because the child tracer carries the worker id.
+        self.metrics = Metrics(self.tracer)
 
     def stop(self) -> None:
         """Ask the loop to exit after the current job (thread-safe)."""
@@ -79,7 +95,18 @@ class JobWorker:
         """
         self.queue.ensure()
         self.tracer.event("worker-start", worker=self.worker_id)
-        last_progress = time.time()
+        # Standalone worker processes adopt this worker's registry as
+        # the process-global one, so the evaluation seams (batch-engine
+        # lanes, solver, cache) record under the worker's source; an
+        # embedded worker leaves the broker's registry installed and
+        # keeps only its per-worker gauges private.
+        from repro.metrics.registry import current_metrics, install_metrics
+
+        previous_metrics = None
+        if self.metrics.enabled and not current_metrics().enabled:
+            previous_metrics = install_metrics(self.metrics)
+        started = time.time()
+        last_progress = started
         #: Trace heartbeats are throttled well below the queue-level
         #: heartbeat rate: the queue one feeds lease accounting (every
         #: iteration), the trace one feeds the ``watch`` liveness view
@@ -88,7 +115,11 @@ class JobWorker:
         try:
             while not self.stopped:
                 self.queue.heartbeat(self.worker_id)
-                if self.tracer.enabled and time.time() - last_trace_beat >= 2.0:
+                state = self.queue.load()
+                if (
+                    self.tracer.enabled
+                    and time.time() - last_trace_beat >= self.heartbeat_interval
+                ):
                     last_trace_beat = time.time()
                     self.tracer.event(
                         "heartbeat",
@@ -96,7 +127,9 @@ class JobWorker:
                         completed=self.completed,
                         failed=self.failed,
                     )
-                if self.queue.load().shutdown:
+                    self._sample_gauges(started, len(state.pending()))
+                    self.metrics.flush()
+                if state.shutdown:
                     self.tracer.event("worker-shutdown", worker=self.worker_id)
                     break
                 job = self.queue.claim(self.worker_id, self.lease_seconds)
@@ -120,6 +153,10 @@ class JobWorker:
                     self.tracer.event("worker-job-limit", worker=self.worker_id)
                     break
         finally:
+            self._sample_gauges(started)
+            self.metrics.flush(final=True)
+            if previous_metrics is not None:
+                install_metrics(previous_metrics)
             self.tracer.event(
                 "worker-exit",
                 worker=self.worker_id,
@@ -127,6 +164,20 @@ class JobWorker:
                 failed=self.failed,
             )
         return self.completed
+
+    def _sample_gauges(
+        self, started: float, queue_depth: Optional[int] = None
+    ) -> None:
+        """Refresh the per-worker gauges (no-ops when untraced)."""
+        self.metrics.gauge("worker.jobs.completed").set(self.completed)
+        self.metrics.gauge("worker.jobs.failed").set(self.failed)
+        elapsed = time.time() - started
+        if elapsed > 0:
+            self.metrics.gauge("worker.utilization").set(
+                round(self.busy_seconds / elapsed, 6)
+            )
+        if queue_depth is not None:
+            self.metrics.gauge("queue.depth").set(queue_depth)
 
     # -- execution -----------------------------------------------------
 
@@ -144,11 +195,13 @@ class JobWorker:
         # it so attempt-dependent fault plans ("fail once, then recover")
         # behave identically in-process and across the queue boundary.
         set_attempts({shard: job.attempts})
+        job_started = time.monotonic()
         try:
             with self.tracer.span("execute", job=job.job_id, shard=list(shard)):
                 evaluator = self._evaluator(job.task)
                 _, rows = _evaluate_shard(evaluator, shard)
         except ShardExecutionError as error:
+            self.busy_seconds += time.monotonic() - job_started
             self.queue.fail(job, error=error.cause, fatal=error.fatal)
             self.tracer.event(
                 "failed", job=job.job_id, error=error.cause, fatal=error.fatal
@@ -156,6 +209,7 @@ class JobWorker:
             self._record_failure(job, error)
             self.failed += 1
             return
+        self.busy_seconds += time.monotonic() - job_started
         self.queue.complete(job, rows)
         self.tracer.event("done", job=job.job_id, rows=len(rows))
         self.completed += 1

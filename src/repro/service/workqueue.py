@@ -41,6 +41,7 @@ from repro.evaluation.backends.base import (
     Row,
     Shard,
 )
+from repro.metrics.registry import current_metrics
 from repro.resilience.errors import ShardExecutionError
 from repro.resilience.retry import RetryPolicy
 from repro.service.queue import (
@@ -120,11 +121,22 @@ class WorkQueueExecutor(EvaluationExecutor):
             new=self.last_enqueued,
             reused=len(job_ids) - self.last_enqueued,
         )
+        metrics = current_metrics()
+        metrics.counter("queue.jobs.enqueued").inc(self.last_enqueued)
+        metrics.counter("queue.jobs.reused").inc(
+            len(job_ids) - self.last_enqueued
+        )
+        depth_gauge = metrics.gauge("queue.depth")
+        running_gauge = metrics.gauge("queue.running")
         outstanding: Set[str] = set(job_ids)
         started = time.time()
         worker_seen_at: Optional[float] = None
         while outstanding:
             state = queue.load()
+            counts = state.counts()
+            depth_gauge.set(counts.get("pending", 0))
+            running_gauge.set(counts.get("running", 0))
+            metrics.maybe_flush()
             now = time.time()
             progressed = False
             for job_id in sorted(outstanding):

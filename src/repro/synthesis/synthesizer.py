@@ -13,6 +13,7 @@ from typing import Iterable, Optional, Tuple
 
 from repro.contracts.template import Contract, ContractTemplate
 from repro.evaluation.results import EvaluationDataset
+from repro.metrics.registry import current_metrics
 from repro.synthesis.ilp import IlpInstance, build_ilp_instance
 from repro.synthesis.solvers import (
     IlpSolver,
@@ -92,12 +93,20 @@ class ContractSynthesizer:
         and the backend solves cold.
         """
         start = time.perf_counter()
+        metrics = current_metrics()
         instance = build_ilp_instance(dataset, allowed_atom_ids)
         solver_result = None
         if warm_start is not None:
             solver_result = self._try_warm_start(instance, warm_start)
         if solver_result is None:
             solver_result = self.solver.solve(instance)
+            metrics.counter("solver.cold_solves").inc()
+        else:
+            metrics.counter("solver.warm_starts").inc()
+        for stat in ("constraints", "variables"):
+            value = solver_result.stats.get(stat)
+            if value is not None:
+                metrics.histogram("solver.%s" % stat).observe(value)
         contract = Contract(self.template, solver_result.selected_atom_ids)
         elapsed = time.perf_counter() - start
         return SynthesisResult(

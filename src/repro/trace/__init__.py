@@ -15,6 +15,7 @@ from repro.trace.metrics import (
     TraceMetrics,
     fold,
     fold_file,
+    iter_trace,
     read_trace,
     span_group,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "fold",
     "fold_file",
     "install_tracer",
+    "iter_trace",
     "profile_step",
     "read_trace",
     "render_once",

@@ -1,44 +1,65 @@
 """Fold a trace file into per-phase / per-cell / per-round summaries.
 
-:func:`read_trace` is the tolerant reader shared by metrics and
-``watch``: it skips blank and unparseable lines instead of raising,
-because a live multi-writer trace file legitimately ends in a torn
-line while a writer is mid-append (readers recover; the next append
-repairs the boundary — see :func:`repro.checkpoint.append_jsonl_line`).
+:func:`iter_trace` is the tolerant reader shared by metrics and
+``watch``: it yields records one line at a time and skips blank and
+unparseable lines instead of raising, because a live multi-writer
+trace file legitimately ends in a torn line while a writer is
+mid-append (readers recover; the next append repairs the boundary —
+see :func:`repro.checkpoint.append_jsonl_line`).  :func:`read_trace`
+is the materialized form for callers that want a list.
 
-:func:`fold` aggregates completed span records (the ones carrying
-``seconds``) into :class:`TraceMetrics`: count/total/mean/max per span
-group, per-cell and per-round detail tables, and a slowest-spans
-table — the offline complement to the live ``watch`` view.
+:func:`fold` aggregates the stream **incrementally**: span-group
+summaries, per-cell and per-round detail, a bounded slowest-spans
+heap, and the run's metric snapshots
+(:class:`repro.metrics.fold.MetricsAggregate`) are all maintained
+record by record, so folding a million-span service trace with
+``keep_records=False`` holds only the aggregates resident — the raw
+record lists are an opt-in convenience (kept by default, which the
+``repro trace`` summary view uses for its slowest/detail tables over
+small files).
+
+Unknown record shapes pass through untouched: anything that is not a
+completed span (``seconds``), a span begin (``start_ts`` alone), or a
+``metric`` snapshot counts as an event — old readers stay correct as
+the wire format grows.
 """
 
 from __future__ import annotations
 
+import heapq
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.metrics.fold import MetricsAggregate, is_metric_record
 from repro.reporting.tables import render_comparison_table
+
+#: How many slowest spans the fold keeps, regardless of trace size.
+_SLOWEST_KEPT = 64
+
+
+def iter_trace(path: str) -> Iterator[dict]:
+    """Every parseable record of a trace file, streamed in file order
+    (a missing file yields nothing, like an empty trace)."""
+    try:
+        stream = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return
+    with stream:
+        for line in stream:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn or in-flight line: skip, never raise
+            if isinstance(record, dict):
+                yield record
 
 
 def read_trace(path: str) -> List[dict]:
-    """Every parseable record of a trace file, in file order."""
-    try:
-        with open(path) as stream:
-            content = stream.read()
-    except FileNotFoundError:
-        return []
-    records = []
-    for line in content.splitlines():
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            continue  # torn or in-flight line: skip, never raise
-        if isinstance(record, dict):
-            records.append(record)
-    return records
+    """Every parseable record of a trace file, as a list."""
+    return list(iter_trace(path))
 
 
 def span_group(record: dict) -> str:
@@ -75,41 +96,95 @@ class SpanGroupSummary:
 
 @dataclass
 class TraceMetrics:
-    """Everything :func:`fold` derived from one record stream."""
+    """Everything :func:`fold` derived from one record stream.
 
+    The count fields and aggregate tables are always maintained; the
+    ``records``/``spans``/``events`` lists fill only when the fold ran
+    with ``keep_records=True`` (the default).
+    """
+
+    record_count: int = 0
+    span_count: int = 0
+    event_count: int = 0
+    #: ``metric`` registry snapshots folded into :attr:`metrics`.
+    metric_count: int = 0
     records: List[dict] = field(default_factory=list)
     #: Completed span records (the ones carrying ``seconds``).
     spans: List[dict] = field(default_factory=list)
     #: Instantaneous events (no ``start_ts``).
     events: List[dict] = field(default_factory=list)
     summaries: Dict[str, SpanGroupSummary] = field(default_factory=dict)
+    #: Counters/gauges/histograms merged across processes.
+    metrics: MetricsAggregate = field(default_factory=MetricsAggregate)
+    _cells: List[dict] = field(default_factory=list)
+    _rounds: List[dict] = field(default_factory=list)
+    _slowest: List[Tuple[float, int, dict]] = field(default_factory=list)
 
     def summary(self, group: str) -> Optional[SpanGroupSummary]:
         return self.summaries.get(group)
 
     def slowest(self, limit: int = 10) -> List[dict]:
-        """The ``limit`` slowest completed spans, slowest first."""
-        ranked = sorted(
-            self.spans, key=lambda record: record.get("seconds", 0.0), reverse=True
-        )
-        return ranked[:limit]
+        """The ``limit`` slowest completed spans, slowest first (from
+        the fold's bounded top-``64`` heap)."""
+        ranked = sorted(self._slowest, key=lambda entry: (-entry[0], entry[1]))
+        return [record for _, _, record in ranked[:limit]]
 
     def cells(self) -> List[dict]:
-        return [record for record in self.spans if record.get("kind") == "cell"]
+        return list(self._cells)
 
     def rounds(self) -> List[dict]:
-        return [record for record in self.spans if record.get("kind") == "round"]
+        return list(self._rounds)
+
+    # -- incremental ingestion -----------------------------------------
+
+    def ingest(self, record: dict, keep_records: bool = True) -> None:
+        """Fold one record into the aggregates."""
+        self.record_count += 1
+        if keep_records:
+            self.records.append(record)
+        if is_metric_record(record):
+            self.metric_count += 1
+            self.metrics.ingest(record)
+        elif "start_ts" not in record:
+            # Events may carry a ``seconds`` payload field (e.g.
+            # ``campaign-end``); only ``start_ts`` marks a span record.
+            self.event_count += 1
+            if keep_records:
+                self.events.append(record)
+        elif "seconds" in record:
+            self.span_count += 1
+            if keep_records:
+                self.spans.append(record)
+            group = span_group(record)
+            summary = self.summaries.get(group)
+            if summary is None:
+                summary = self.summaries[group] = SpanGroupSummary(group)
+            summary.ingest(record)
+            kind = record.get("kind")
+            if kind == "cell":
+                self._cells.append(record)
+            elif kind == "round":
+                self._rounds.append(record)
+            entry = (float(record.get("seconds", 0.0)), self.span_count, record)
+            if len(self._slowest) < _SLOWEST_KEPT:
+                heapq.heappush(self._slowest, entry)
+            else:
+                heapq.heappushpop(self._slowest, entry)
+        # begin records (start_ts, no seconds) count as neither: their
+        # span lands via the matching end record.
 
     # -- rendering -----------------------------------------------------
 
     def render(self, slowest: int = 10) -> str:
         sections = [self._render_summary()]
-        if self.cells():
+        if self._cells:
             sections.append(self._render_cells())
-        if self.rounds():
+        if self._rounds:
             sections.append(self._render_rounds())
-        if self.spans:
+        if self.span_count:
             sections.append(self._render_slowest(slowest))
+        if self.metric_count:
+            sections.extend(self._render_metrics())
         return "\n\n".join(sections)
 
     def _render_summary(self) -> str:
@@ -132,7 +207,7 @@ class TraceMetrics:
             ["span", "count", "total s", "mean s", "max s", "failed"],
             rows,
             title="Trace summary: %d records (%d spans, %d events)"
-            % (len(self.records), len(self.spans), len(self.events)),
+            % (self.record_count, self.span_count, self.event_count),
         )
 
     def _render_cells(self) -> str:
@@ -143,7 +218,7 @@ class TraceMetrics:
                 "ok" if record.get("ok", True) else "FAILED",
                 str(record.get("atoms", "-")),
             ]
-            for record in self.cells()
+            for record in self._cells
         ]
         return render_comparison_table(
             ["cell", "seconds", "status", "atoms"], rows, title="Campaign cells"
@@ -159,7 +234,7 @@ class TraceMetrics:
                 "%.3f" % float(record.get("seconds", 0.0)),
                 str(record.get("stop_reason") or "-"),
             ]
-            for record in self.rounds()
+            for record in self._rounds
         ]
         return render_comparison_table(
             ["round", "cases", "coverage", "atoms", "seconds", "stop"],
@@ -188,28 +263,71 @@ class TraceMetrics:
             title="Slowest spans",
         )
 
+    def _render_metrics(self) -> List[str]:
+        sections = []
+        counters = self.metrics.counters()
+        if counters:
+            rows = [
+                [name, "%g" % counters[name]] for name in sorted(counters)
+            ]
+            sections.append(
+                render_comparison_table(
+                    ["counter", "total"], rows, title="Counters"
+                )
+            )
+        gauges = self.metrics.gauges()
+        if gauges:
+            rows = [
+                [
+                    name,
+                    "%g" % gauges[name].last,
+                    "%g" % gauges[name].min,
+                    "%g" % gauges[name].max,
+                ]
+                for name in sorted(gauges)
+            ]
+            sections.append(
+                render_comparison_table(
+                    ["gauge", "last", "min", "max"], rows, title="Gauges"
+                )
+            )
+        histograms = self.metrics.histograms()
+        if histograms:
+            rows = []
+            for name in sorted(histograms):
+                summary = histograms[name]
+                rows.append(
+                    [
+                        name,
+                        str(summary.count),
+                        "%g" % summary.mean,
+                        "%g" % summary.percentile(0.5),
+                        "%g" % summary.percentile(0.9),
+                        "%g" % summary.percentile(0.99),
+                        "%g" % summary.max,
+                    ]
+                )
+            sections.append(
+                render_comparison_table(
+                    ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                    rows,
+                    title="Histograms",
+                )
+            )
+        return sections
 
-def fold(records: Iterable[dict]) -> TraceMetrics:
-    """Aggregate a record stream into :class:`TraceMetrics`."""
+
+def fold(records: Iterable[dict], keep_records: bool = True) -> TraceMetrics:
+    """Aggregate a record stream into :class:`TraceMetrics` (a single
+    streaming pass; with ``keep_records=False`` only bounded
+    aggregates are retained)."""
     metrics = TraceMetrics()
     for record in records:
-        metrics.records.append(record)
-        if "start_ts" not in record:
-            # Events may carry a ``seconds`` payload field (e.g.
-            # ``campaign-end``); only ``start_ts`` marks a span record.
-            metrics.events.append(record)
-        elif "seconds" in record:
-            metrics.spans.append(record)
-            group = span_group(record)
-            summary = metrics.summaries.get(group)
-            if summary is None:
-                summary = metrics.summaries[group] = SpanGroupSummary(group)
-            summary.ingest(record)
-        # begin records (start_ts, no seconds) count as neither: their
-        # span lands via the matching end record.
+        metrics.ingest(record, keep_records=keep_records)
     return metrics
 
 
-def fold_file(path: str) -> TraceMetrics:
-    """:func:`fold` over :func:`read_trace`."""
-    return fold(read_trace(path))
+def fold_file(path: str, keep_records: bool = True) -> TraceMetrics:
+    """:func:`fold` over :func:`iter_trace` — the file is never
+    materialized as a whole."""
+    return fold(iter_trace(path), keep_records=keep_records)

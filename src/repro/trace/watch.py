@@ -43,6 +43,10 @@ class TraceTail:
     Keeps a byte offset and a partial-line buffer: a read that ends
     mid-line (a writer is inside its append) holds the fragment until
     the terminating newline arrives, so records are never half-parsed.
+    A file smaller than the last-seen offset means the trace was
+    truncated or replaced (a restarted run rewriting its path); the
+    tail resets and re-reads from the top instead of sticking at the
+    stale offset.
     """
 
     def __init__(self, path: str):
@@ -54,6 +58,11 @@ class TraceTail:
         """Every complete new record since the last poll."""
         try:
             with open(self.path) as stream:
+                stream.seek(0, 2)
+                if stream.tell() < self._offset:
+                    # Truncated/replaced underneath us: start over.
+                    self._offset = 0
+                    self._buffer = ""
                 stream.seek(self._offset)
                 chunk = stream.read()
                 self._offset = stream.tell()

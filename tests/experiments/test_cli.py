@@ -84,11 +84,12 @@ def test_main_list_prints_registries(capsys):
 
 
 @pytest.mark.pipeline
-def test_main_run_ad_hoc_pipeline(capsys):
+def test_main_run_ad_hoc_pipeline(tmp_path, capsys):
     exit_code = main(
         [
             "run", "--core", "ibex", "--attacker", "retirement-timing",
             "--solver", "greedy", "--count", "40", "--seed", "5", "--no-cache",
+            "--results-dir", str(tmp_path / "results"),
         ]
     )
     assert exit_code == 0
@@ -117,14 +118,22 @@ def test_main_run_with_executor_and_resume(tmp_path, capsys):
     output = capsys.readouterr().out
     assert "(cached)" in output
 
+    # Both completed runs landed in the run-history index.
+    from repro.metrics import load_runs
+
+    runs = load_runs(results_dir)
+    assert len(runs) == 2
+    assert all(run["kind"] == "pipeline" for run in runs)
+
 
 @pytest.mark.pipeline
-def test_main_run_cva6_cache_state(capsys):
+def test_main_run_cva6_cache_state(tmp_path, capsys):
     """The README/acceptance scenario: an ad-hoc cross-plugin pipeline
     completes end-to-end."""
     exit_code = main(
         ["run", "--core", "cva6", "--attacker", "cache-state",
-         "--count", "30", "--no-cache"]
+         "--count", "30", "--no-cache",
+         "--results-dir", str(tmp_path / "results")]
     )
     assert exit_code == 0
     output = capsys.readouterr().out
@@ -285,6 +294,7 @@ def test_main_run_on_workqueue_with_embedded_workers(tmp_path, capsys):
         "run", "--core", "ibex", "--solver", "greedy", "--count", "30",
         "--executor", "workqueue", "--queue-dir", str(tmp_path / "q"),
         "--embedded-workers", "1", "--shard-size", "10", "--no-cache",
+        "--results-dir", str(tmp_path / "results"),
     ]
     assert main(argv) == 0
     output = capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""The metrics registry: instruments, snapshots, and the no-op pin."""
+
+import gc
+import json
+import tracemalloc
+
+import pytest
+
+import repro.metrics.registry as registry_module
+from repro.metrics.registry import (
+    Metrics,
+    current_metrics,
+    install_metrics,
+)
+from repro.trace import Tracer
+
+pytestmark = pytest.mark.trace
+
+
+def _read_records(path):
+    with open(path) as stream:
+        return [json.loads(line) for line in stream if line.strip()]
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, tmp_path):
+        metrics = Metrics(Tracer(str(tmp_path / "t.jsonl")))
+        metrics.counter("a").inc()
+        metrics.counter("a").inc(4)
+        assert metrics.counter("a").value == 5
+
+    def test_gauge_keeps_last_value(self, tmp_path):
+        metrics = Metrics(Tracer(str(tmp_path / "t.jsonl")))
+        metrics.gauge("g").set(2.0)
+        metrics.gauge("g").set(0.5)
+        assert metrics.gauge("g").value == 0.5
+
+    def test_histogram_snapshot_wire_form(self, tmp_path):
+        metrics = Metrics(Tracer(str(tmp_path / "t.jsonl")))
+        histogram = metrics.histogram("h")
+        for value in (1.0, 2.0, 4.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["total"] == 7.0
+        assert snapshot["min"] == 1.0 and snapshot["max"] == 4.0
+        # Only non-empty buckets, JSON string keys.
+        assert snapshot["buckets"]
+        assert all(isinstance(key, str) for key in snapshot["buckets"])
+        assert sum(snapshot["buckets"].values()) == 3
+
+    def test_instruments_are_cached_by_name(self, tmp_path):
+        metrics = Metrics(Tracer(str(tmp_path / "t.jsonl")))
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.counter("a") is not metrics.counter("b")
+
+
+class TestSnapshots:
+    def test_flush_emits_one_metric_record(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        metrics = Metrics(Tracer(path, source="unit"))
+        metrics.counter("x").inc(3)
+        metrics.gauge("g").set(1.5)
+        metrics.histogram("h").observe(0.25)
+        metrics.flush(final=True)
+        records = _read_records(path)
+        assert len(records) == 1
+        record = records[0]
+        assert record["kind"] == "metric"
+        assert "start_ts" not in record and "seconds" not in record
+        assert record["source"] == "unit"
+        assert record["counters"] == {"x": 3}
+        assert record["gauges"] == {"g": 1.5}
+        assert record["histograms"]["h"]["count"] == 1
+        assert record["final"] is True
+
+    def test_snapshots_are_cumulative_per_process(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        metrics = Metrics(Tracer(path))
+        metrics.counter("x").inc(2)
+        metrics.flush()
+        metrics.counter("x").inc(3)
+        metrics.flush(final=True)
+        counters = [record["counters"]["x"] for record in _read_records(path)]
+        assert counters == [2, 5]
+
+    def test_flush_with_no_instruments_emits_nothing(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        Metrics(Tracer(path)).flush(final=True)
+        assert not (tmp_path / "t.jsonl").exists()
+
+    def test_maybe_flush_throttles_to_the_interval(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        metrics = Metrics(Tracer(path), flush_interval=1.0)
+        metrics.counter("x").inc()
+        metrics.maybe_flush(now=100.0)  # arms the interval
+        metrics.maybe_flush(now=100.5)  # within it
+        assert not (tmp_path / "t.jsonl").exists()
+        metrics.maybe_flush(now=101.5)
+        assert len(_read_records(path)) == 1
+
+
+class TestInstallation:
+    def test_install_returns_previous_and_none_disables(self, tmp_path):
+        metrics = Metrics(Tracer(str(tmp_path / "t.jsonl")))
+        previous = install_metrics(metrics)
+        try:
+            assert current_metrics() is metrics
+        finally:
+            install_metrics(previous)
+        assert current_metrics() is previous
+        restored = install_metrics(None)
+        try:
+            assert not current_metrics().enabled
+        finally:
+            install_metrics(restored)
+
+    def test_registry_disabled_without_active_tracer(self):
+        assert not Metrics(None).enabled
+        assert not Metrics(Tracer(None)).enabled
+
+
+class TestDisabledHotPath:
+    def test_disabled_instruments_are_shared_singletons(self):
+        metrics = Metrics(None)
+        assert metrics.counter("a") is metrics.counter("b")
+        assert metrics.gauge("a") is metrics.gauge("b")
+        assert metrics.histogram("a") is metrics.histogram("b")
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        metrics = Metrics(None)
+        for _ in range(200):  # warm CPython's dict/frame freelists
+            metrics.counter("x").inc()
+            metrics.gauge("g").set(1.0)
+            metrics.histogram("h").observe(0.5)
+            metrics.maybe_flush()
+        gc.collect()
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(1000):
+            metrics.counter("x").inc()
+            metrics.gauge("g").set(1.0)
+            metrics.histogram("h").observe(0.5)
+            metrics.maybe_flush()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        only_registry = tracemalloc.Filter(True, registry_module.__file__)
+        growth = after.filter_traces([only_registry]).compare_to(
+            before.filter_traces([only_registry]), "lineno"
+        )
+        assert sum(entry.size_diff for entry in growth) == 0

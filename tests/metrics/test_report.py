@@ -1,0 +1,92 @@
+"""The self-contained run report rendered from a trace file."""
+
+import json
+
+import pytest
+
+from repro.metrics import render_report
+
+pytestmark = pytest.mark.trace
+
+
+RECORDS = [
+    {"ts": 100.0, "start_ts": 100.0, "pid": 1, "kind": "pipeline"},
+    {
+        "ts": 102.0,
+        "start_ts": 100.0,
+        "pid": 1,
+        "kind": "phase",
+        "phase": "evaluate",
+        "seconds": 2.0,
+        "ok": True,
+    },
+    {
+        "ts": 103.0,
+        "start_ts": 100.0,
+        "pid": 1,
+        "kind": "pipeline",
+        "seconds": 3.0,
+        "ok": True,
+    },
+    {
+        "ts": 103.0,
+        "pid": 1,
+        "kind": "metric",
+        "source": "main",
+        "counters": {"dataset.cache.hits": 2, "solver.cold_solves": 1},
+        "gauges": {"queue.depth": 3},
+        "histograms": {
+            "batchsim.lanes.active": {
+                "count": 2,
+                "total": 96.0,
+                "min": 32.0,
+                "max": 64.0,
+                "buckets": {"45": 1, "46": 1},
+            }
+        },
+        "final": True,
+    },
+]
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with open(path, "w") as stream:
+        for record in RECORDS:
+            stream.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+class TestMarkdownReport:
+    def test_sections_and_values(self, trace_path):
+        report = render_report(trace_path, fmt="markdown", title="Run report")
+        assert report.startswith("# Run report")
+        assert "## Span summary" in report
+        assert "## Counters" in report
+        assert "| dataset.cache.hits | 2 |" in report
+        assert "| solver.cold_solves | 1 |" in report
+        assert "## Gauges" in report
+        assert "queue.depth" in report
+        assert "## Histogram percentiles" in report
+        assert "batchsim.lanes.active" in report
+        assert "## Slowest spans" in report
+
+    def test_md_alias_and_default_title(self, trace_path):
+        report = render_report(trace_path, fmt="md")
+        assert report.startswith("# Run report: %s" % trace_path)
+
+
+class TestHtmlReport:
+    def test_self_contained_document(self, trace_path):
+        report = render_report(trace_path, fmt="html", title="Run report")
+        assert report.startswith("<!DOCTYPE html>")
+        assert "<style>" in report  # no external assets
+        assert "dataset.cache.hits" in report
+        assert "</html>" in report.rstrip()
+
+
+class TestErrors:
+    def test_unknown_format_raises(self, trace_path):
+        with pytest.raises(ValueError):
+            render_report(trace_path, fmt="pdf")

@@ -1,0 +1,123 @@
+"""The run-history index: record, list, resolve, and diff."""
+
+import pytest
+
+from repro.metrics import (
+    diff_runs,
+    load_runs,
+    record_run,
+    render_runs,
+    resolve_run,
+)
+
+pytestmark = pytest.mark.trace
+
+
+class TestRecordAndLoad:
+    def test_round_trips_through_the_index(self, tmp_path):
+        results = str(tmp_path / "results")
+        recorded = record_run(
+            results,
+            kind="pipeline",
+            label="core=ibex budget=500",
+            seconds=2.5,
+            cases=500,
+            phases={"evaluate": 2.0, "synthesize": 0.5},
+            extra={"atoms": 4},
+        )
+        runs = load_runs(results)
+        assert runs == [recorded]
+        run = runs[0]
+        assert run["id"].startswith("pipeline-")
+        assert run["throughput"] == pytest.approx(200.0)
+        assert run["phases"]["evaluate"] == 2.0
+        assert run["atoms"] == 4
+
+    def test_missing_index_is_empty(self, tmp_path):
+        assert load_runs(str(tmp_path / "nowhere")) == []
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        results = str(tmp_path)
+        record_run(results, kind="pipeline", label="a", seconds=1.0)
+        with open(tmp_path / "runs.jsonl", "a") as stream:
+            stream.write('{"kind": "pipeline", "label": "torn')
+        assert len(load_runs(results)) == 1
+
+
+class TestResolve:
+    @pytest.fixture
+    def runs(self, tmp_path):
+        results = str(tmp_path)
+        for index in range(3):
+            record_run(
+                results, kind="pipeline", label="run%d" % index, seconds=1.0 + index
+            )
+        return load_runs(results)
+
+    def test_by_index_and_negative_index(self, runs):
+        assert resolve_run(runs, "1") is runs[0]
+        assert resolve_run(runs, "-1") is runs[-1]
+
+    def test_by_id_and_unique_prefix(self, runs):
+        target = runs[1]
+        assert resolve_run(runs, target["id"]) is target
+        assert resolve_run(runs, target["id"][:14]) is target
+
+    def test_miss_and_ambiguity_exit(self, runs):
+        with pytest.raises(SystemExit):
+            resolve_run(runs, "nope")
+        with pytest.raises(SystemExit):
+            resolve_run(runs, "pipeline-")  # every id shares this prefix
+        with pytest.raises(SystemExit):
+            resolve_run(runs, "9")
+
+
+class TestRender:
+    def test_lists_every_run(self, tmp_path):
+        results = str(tmp_path)
+        record_run(results, kind="campaign", label="grid", seconds=4.0, cases=100)
+        listing = render_runs(load_runs(results))
+        assert "Run history (1 runs)" in listing
+        assert "campaign" in listing and "25.0/s" in listing
+
+    def test_empty_history(self):
+        assert render_runs([]) == "no recorded runs"
+
+
+class TestDiff:
+    def _run(self, seconds, cases, phases):
+        record = {
+            "id": "pipeline-%d" % seconds,
+            "kind": "pipeline",
+            "seconds": float(seconds),
+            "cases": cases,
+            "throughput": cases / float(seconds),
+            "phases": phases,
+        }
+        return record
+
+    def test_flags_wall_and_throughput_regressions(self):
+        before = self._run(2, 1000, {"evaluate": 1.5})
+        after = self._run(4, 1000, {"evaluate": 3.5})
+        diff = diff_runs(before, after, threshold=0.10)
+        flagged = {row.name for row in diff.regressions}
+        assert flagged == {"wall", "throughput", "phase:evaluate"}
+        rendered = diff.render()
+        assert "REGRESSION" in rendered
+        assert "3 regression(s) flagged" in rendered
+
+    def test_improvements_are_marked_but_not_regressions(self):
+        before = self._run(4, 1000, {"evaluate": 3.5})
+        after = self._run(2, 1000, {"evaluate": 1.5})
+        diff = diff_runs(before, after, threshold=0.10)
+        assert diff.regressions == []
+        assert "improved" in diff.render()
+        assert "no regressions flagged" in diff.render()
+
+    def test_threshold_gates_the_flag(self):
+        before = self._run(100, 1000, {})
+        after = {"id": "b", "kind": "pipeline", "seconds": 105.0}
+        diff = diff_runs(before, after, threshold=0.10)
+        wall = next(row for row in diff.rows if row.name == "wall")
+        assert wall.delta == pytest.approx(0.05)
+        assert not wall.regression

@@ -1,0 +1,77 @@
+"""The worker's trace-heartbeat interval is configurable end to end."""
+
+import json
+
+import pytest
+
+from repro.service.queue import JobQueue
+from repro.service.worker import DEFAULT_HEARTBEAT_INTERVAL, JobWorker
+from repro.trace import Tracer
+
+pytestmark = pytest.mark.service
+
+
+def _records(path):
+    with open(path) as stream:
+        return [json.loads(line) for line in stream if line.strip()]
+
+
+class TestHeartbeatInterval:
+    def test_defaults_to_the_module_constant(self, tmp_path):
+        worker = JobWorker(JobQueue(str(tmp_path / "queue")))
+        assert worker.heartbeat_interval == DEFAULT_HEARTBEAT_INTERVAL == 2.0
+
+    def test_constructor_overrides_the_throttle(self, tmp_path):
+        worker = JobWorker(
+            JobQueue(str(tmp_path / "queue")), heartbeat_interval=0.25
+        )
+        assert worker.heartbeat_interval == 0.25
+
+    def test_fast_interval_beats_often_on_an_idle_queue(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        worker = JobWorker(
+            JobQueue(str(tmp_path / "queue")),
+            worker_id="w-fast",
+            poll_seconds=0.01,
+            idle_timeout=0.3,
+            heartbeat_interval=0.05,
+            tracer=Tracer(trace),
+        )
+        assert worker.run() == 0
+        beats = [
+            record
+            for record in _records(trace)
+            if record.get("kind") == "heartbeat"
+        ]
+        # 0.3s idle window / 0.05s throttle: several beats, not the one
+        # a default 2.0s interval would allow.
+        assert len(beats) >= 3
+
+    def test_cli_threads_the_flag_into_the_worker(self):
+        from repro.experiments.cli import _build_parser
+
+        arguments = _build_parser().parse_args(
+            ["service", "worker", "--heartbeat-interval", "0.5"]
+        )
+        assert arguments.heartbeat_interval == 0.5
+
+    def test_final_snapshot_carries_worker_gauges(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        worker = JobWorker(
+            JobQueue(str(tmp_path / "queue")),
+            worker_id="w-gauges",
+            poll_seconds=0.01,
+            idle_timeout=0.05,
+            heartbeat_interval=10.0,
+            tracer=Tracer(trace),
+        )
+        worker.run()
+        snapshots = [
+            record
+            for record in _records(trace)
+            if record.get("kind") == "metric" and "start_ts" not in record
+        ]
+        assert snapshots, "worker exit must flush a final metric snapshot"
+        gauges = snapshots[-1]["gauges"]
+        assert gauges["worker.jobs.completed"] == 0
+        assert "worker.utilization" in gauges

@@ -1,0 +1,98 @@
+"""Chrome-trace export: a Perfetto-loadable view of a trace file."""
+
+import json
+
+import pytest
+
+from repro.trace.export import chrome_trace_events, export_chrome
+
+pytestmark = pytest.mark.trace
+
+
+RECORDS = [
+    {"ts": 100.0, "start_ts": 100.0, "pid": 10, "kind": "phase", "phase": "evaluate"},
+    {
+        "ts": 102.0,
+        "start_ts": 100.0,
+        "pid": 10,
+        "kind": "phase",
+        "phase": "evaluate",
+        "seconds": 2.0,
+        "ok": True,
+    },
+    {
+        "ts": 101.0,
+        "start_ts": 100.5,
+        "pid": 11,
+        "source": "w1",
+        "kind": "shard",
+        "start_id": 0,
+        "count": 250,
+        "seconds": 0.5,
+        "ok": True,
+    },
+    {"ts": 101.5, "pid": 11, "source": "w1", "kind": "claim", "job": "j1"},
+    {
+        "ts": 103.0,
+        "pid": 10,
+        "kind": "metric",
+        "source": "main",
+        "counters": {"dataset.cache.hits": 1},
+        "gauges": {"queue.depth": 2},
+        "histograms": {},
+        "final": True,
+    },
+]
+
+
+class TestChromeTraceEvents:
+    def test_event_shapes(self):
+        events = chrome_trace_events(RECORDS)
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i", "C"}
+        for event in events:
+            assert "pid" in event and "tid" in event
+            if event["ph"] != "M":
+                assert event["ts"] >= 0  # rebased to the earliest record
+
+    def test_spans_become_complete_events(self):
+        events = chrome_trace_events(RECORDS)
+        complete = [event for event in events if event["ph"] == "X"]
+        assert len(complete) == 2  # begin records are dropped
+        phase = next(event for event in complete if event["pid"] == 10)
+        assert phase["name"] == "phase:evaluate"
+        assert phase["dur"] == pytest.approx(2_000_000.0)
+        assert phase["args"]["phase"] == "evaluate"
+
+    def test_lanes_get_stable_tids_and_metadata(self):
+        events = chrome_trace_events(RECORDS)
+        metadata = [event for event in events if event["ph"] == "M"]
+        names = {
+            (event["pid"], event["name"], event["args"]["name"])
+            for event in metadata
+        }
+        assert (10, "thread_name", "main") in names
+        assert (11, "thread_name", "w1") in names
+        assert any(name == "process_name" for _, name, _ in names)
+
+    def test_metric_snapshots_become_counter_events(self):
+        events = chrome_trace_events(RECORDS)
+        counters = [event for event in events if event["ph"] == "C"]
+        names = {event["name"] for event in counters}
+        assert "dataset.cache.hits" in names and "queue.depth" in names
+        for event in counters:
+            assert set(event["args"]) == {"value"}
+
+
+class TestExportChrome:
+    def test_writes_a_valid_json_document(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with open(trace, "w") as stream:
+            for record in RECORDS:
+                stream.write(json.dumps(record) + "\n")
+        output = tmp_path / "trace.chrome.json"
+        document = export_chrome(str(trace), str(output))
+        on_disk = json.loads(output.read_text())
+        assert on_disk == document
+        assert on_disk["displayTimeUnit"] == "ms"
+        assert len(on_disk["traceEvents"]) == len(chrome_trace_events(RECORDS))
